@@ -1,0 +1,188 @@
+package socbuf_test
+
+// One benchmark per table and figure of the paper, plus the ablations
+// DESIGN.md calls out. Each benchmark regenerates the artefact through
+// internal/experiments (the same code cmd/experiments prints with) and
+// reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation.
+
+import (
+	"testing"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/ctmdp"
+	"socbuf/internal/experiments"
+)
+
+// benchOpt keeps one benchmark iteration around a second.
+var benchOpt = experiments.Options{Iterations: 3, Seeds: []int64{1, 2}, Horizon: 1200, WarmUp: 100}
+
+// BenchmarkFigure3 regenerates Figure 3: per-processor loss under constant
+// sizing, CTMDP sizing and the timeout policy at the scarce 160-unit budget.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure3(160, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fig.PostTotal >= fig.PreTotal {
+			b.Fatalf("shape broken: post %d !< pre %d", fig.PostTotal, fig.PreTotal)
+		}
+		b.ReportMetric(float64(fig.PostTotal)/float64(fig.PreTotal), "post/pre")
+		b.ReportMetric(float64(fig.PostTotal)/float64(fig.TimeoutTotal), "post/timeout")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: the pre/post loss sweep over total
+// buffer budgets 160/320/640.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table1([]int{160, 320, 640}, nil, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tbl.PostTotal[160]), "post160")
+		b.ReportMetric(float64(tbl.PostTotal[640]), "post640")
+	}
+}
+
+// BenchmarkSplitVsNonlinear regenerates the §2 demonstration: the coupled
+// quadratic system of Figure 1 defeats KKT-Newton while the split system
+// solves as one LP.
+func BenchmarkSplitVsNonlinear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.SplitDemo()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.KKTValid {
+			b.Fatal("coupled system unexpectedly solvable")
+		}
+		if d.SplitSubsystems != 4 {
+			b.Fatalf("split gave %d subsystems, want 4", d.SplitSubsystems)
+		}
+		b.ReportMetric(float64(d.SplitIters), "lp-pivots")
+	}
+}
+
+// BenchmarkHeadline regenerates the §3 headline ratios (≈0.8 vs constant,
+// ≈0.5 vs timeout in the paper).
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := experiments.Headline(160, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.CTMDPOverConstant, "vs-constant")
+		b.ReportMetric(h.CTMDPOverTimeout, "vs-timeout")
+	}
+}
+
+// coreCfg is the shared ablation configuration (two-bus system keeps single
+// iterations fast).
+func coreCfg() core.Config {
+	return core.Config{
+		Arch:       arch.TwoBusAMBA(),
+		Budget:     24,
+		Iterations: 3,
+		Seeds:      []int64{1, 2},
+		Horizon:    1200,
+		WarmUp:     100,
+	}
+}
+
+// BenchmarkAblationJointVsSequential compares solving all subsystem LPs in
+// one program (the paper's "in one go") against sequential per-subsystem
+// solves.
+func BenchmarkAblationJointVsSequential(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		sequential bool
+	}{{"joint", false}, {"sequential", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := coreCfg()
+				cfg.Sequential = mode.sequential
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Best.SimLoss), "loss")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTranslator compares the three measure→capacity
+// translations (DESIGN.md ablation b).
+func BenchmarkAblationTranslator(b *testing.B) {
+	for _, tr := range []struct {
+		name string
+		t    ctmdp.Translator
+	}{
+		{"greedy-tail", ctmdp.TranslateGreedyTail},
+		{"quantile", ctmdp.TranslateQuantile},
+		{"mean-occupancy", ctmdp.TranslateMeanOccupancy},
+	} {
+		b.Run(tr.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := coreCfg()
+				cfg.Translator = tr.t
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Best.SimLoss), "loss")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationArbiter compares simulations driven by the optimal CTMDP
+// arbitration against plain longest-queue with the same allocation
+// (DESIGN.md ablation c).
+func BenchmarkAblationArbiter(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"ctmdp-policy", false}, {"longest-queue", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := coreCfg()
+				cfg.DisableCTMDPArbiter = mode.disable
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Best.SimLoss), "loss")
+			}
+		})
+	}
+}
+
+// BenchmarkJointLPSolve measures the raw joint occupation-measure LP on the
+// network-processor subsystems — the methodology's inner kernel.
+func BenchmarkJointLPSolve(b *testing.B) {
+	a := arch.NetworkProcessor()
+	a.InsertBridgeBuffers()
+	alloc, err := arch.UniformAllocation(a, 160)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := core.BuildSubsystemModels(a, alloc, core.Config{Arch: a, Budget: 160})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := ctmdp.SolveJoint(models, ctmdp.JointConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sol.Iters), "pivots")
+	}
+}

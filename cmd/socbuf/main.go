@@ -1,0 +1,80 @@
+// Command socbuf runs the buffer-insertion and sizing methodology on a named
+// preset architecture and prints the resulting allocation and loss
+// comparison.
+//
+//	socbuf -arch netproc -budget 160 -iters 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/report"
+)
+
+func main() {
+	var (
+		name   = flag.String("arch", "netproc", "preset: figure1 | twobus | netproc")
+		file   = flag.String("file", "", "load a JSON architecture instead of a preset")
+		budget = flag.Int("budget", 160, "total buffer budget in units")
+		iters  = flag.Int("iters", 10, "methodology iterations")
+		horiz  = flag.Float64("horizon", 2000, "evaluation sim horizon")
+	)
+	flag.Parse()
+
+	var a *arch.Architecture
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socbuf:", err)
+			os.Exit(1)
+		}
+		a, err = arch.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socbuf:", err)
+			os.Exit(1)
+		}
+	} else {
+		switch *name {
+		case "figure1":
+			a = arch.Figure1()
+		case "twobus":
+			a = arch.TwoBusAMBA()
+		case "netproc":
+			a = arch.NetworkProcessor()
+		default:
+			fmt.Fprintf(os.Stderr, "socbuf: unknown architecture %q\n", *name)
+			os.Exit(2)
+		}
+	}
+
+	res, err := core.Run(core.Config{
+		Arch: a, Budget: *budget, Iterations: *iters, Horizon: *horiz,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socbuf:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("architecture %s, budget %d, %d iterations\n", a.Name, *budget, len(res.Iterations))
+	fmt.Printf("subsystems after buffer insertion: %d (all linear)\n", len(res.Subsystems))
+	fmt.Printf("baseline (uniform) loss: %d\n", res.BaselineLoss)
+	fmt.Printf("best sized loss:         %d  (%.1f%% reduction, iteration %d)\n",
+		res.Best.SimLoss, res.Improvement()*100, res.Best.Index)
+	fmt.Printf("occupancy cap binding: %v, randomised states: %d\n\n",
+		res.Best.CapBinding, res.Best.RandomisedStates)
+
+	headers := []string{"buffer", "uniform", "sized"}
+	var rows [][]string
+	for _, id := range report.SortedKeys(res.Best.Alloc) {
+		rows = append(rows, []string{id, fmt.Sprint(res.BaselineAlloc[id]), fmt.Sprint(res.Best.Alloc[id])})
+	}
+	if err := report.Table(os.Stdout, headers, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "socbuf:", err)
+		os.Exit(1)
+	}
+}

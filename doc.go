@@ -1,0 +1,31 @@
+// Package socbuf reproduces "Buffer Insertion for Bridges and Optimal
+// Buffer Sizing for Communication Sub-System of Systems-on-Chip"
+// (Kallakuri, Doboli, Feinberg — DATE 2005) as a Go library.
+//
+// The repository is organised bottom-up:
+//
+//   - internal/linalg, internal/lp        — dense linear algebra and a
+//     two-phase simplex solver;
+//   - internal/markov, internal/queueing  — CTMC machinery and M/M/1/K
+//     oracles;
+//   - internal/arch, internal/graph       — the SoC communication model
+//     (buses, processors, bridges, flows) and the bridge-buffer splitting
+//     of the paper's §2;
+//   - internal/trace, internal/sim        — traffic sources and the
+//     continuous-time discrete-event simulator;
+//   - internal/ctmdp                      — the CTMDP occupation-measure
+//     LPs, K-switching policies, and the measure→capacity translation;
+//   - internal/nonlinear                  — the un-split coupled quadratic
+//     system and the solvers that fail on it;
+//   - internal/core, internal/policy      — the methodology loop and the
+//     sizing policies the paper compares;
+//   - internal/experiments                — regeneration of Figure 3,
+//     Table 1, the §2 demo and the §3 headline ratios.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// modelling decisions, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure.
+package socbuf
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,72 @@
+// Burstiness stresses the sized system with ON/OFF (Markov-modulated)
+// traffic instead of the Poisson flows the CTMDP models assume, showing how
+// far the allocation's advantage survives model mismatch — a robustness
+// check the paper leaves as future work ("better profiling").
+//
+//	go run ./examples/burstiness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/sim"
+	"socbuf/internal/trace"
+)
+
+func main() {
+	a := arch.TwoBusAMBA()
+	res, err := core.Run(core.Config{Arch: a, Budget: 24, Iterations: 4, Horizon: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buffered := res.Arch
+
+	// Replace every flow's Poisson source with an ON/OFF source of the same
+	// average rate but ~4x peak rate.
+	mkSources := func() map[sim.FlowKey]trace.Source {
+		out := map[sim.FlowKey]trace.Source{}
+		for _, f := range buffered.Flows {
+			// ON one third of the time: λon = 3λ preserves the average.
+			src, err := trace.NewOnOff(3*f.Rate, 1, 2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out[sim.FlowKey{From: f.From, To: f.To}] = src
+		}
+		return out
+	}
+
+	run := func(alloc arch.Allocation) int64 {
+		var total int64
+		for seed := int64(1); seed <= 3; seed++ {
+			s, err := sim.New(sim.Config{
+				Arch: buffered, Alloc: alloc, Horizon: 1500, WarmUp: 100,
+				Seed: seed, Sources: mkSources(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := s.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += r.TotalLost()
+		}
+		return total
+	}
+
+	uniformLoss := run(res.BaselineAlloc)
+	sizedLoss := run(res.Best.Alloc)
+	fmt.Println("bursty ON/OFF traffic (same average rates, ~4x peaks), budget 24:")
+	fmt.Printf("  uniform sizing loss: %d\n", uniformLoss)
+	fmt.Printf("  CTMDP sizing loss:   %d\n", sizedLoss)
+	if sizedLoss < uniformLoss {
+		fmt.Printf("  the Poisson-derived allocation still wins by %.0f%% under burstiness\n",
+			(1-float64(sizedLoss)/float64(uniformLoss))*100)
+	} else {
+		fmt.Println("  burstiness erased the allocation's advantage — profile-aware sizing would be needed")
+	}
+}

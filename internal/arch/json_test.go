@@ -1,0 +1,86 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, src := range []*Architecture{Figure1(), TwoBusAMBA(), NetworkProcessor()} {
+		var buf bytes.Buffer
+		if err := src.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		if back.Name != src.Name || len(back.Buses) != len(src.Buses) ||
+			len(back.Processors) != len(src.Processors) ||
+			len(back.Bridges) != len(src.Bridges) || len(back.Flows) != len(src.Flows) {
+			t.Fatalf("%s: round trip changed shape", src.Name)
+		}
+		for i := range src.Flows {
+			if back.Flows[i] != src.Flows[i] {
+				t.Fatalf("%s: flow %d changed: %+v vs %+v", src.Name, i, back.Flows[i], src.Flows[i])
+			}
+		}
+		for i := range src.Bridges {
+			if back.Bridges[i] != src.Bridges[i] {
+				t.Fatalf("%s: bridge %d changed", src.Name, i)
+			}
+		}
+	}
+}
+
+func TestJSONBufferedFlagSurvives(t *testing.T) {
+	src := Figure1()
+	src.InsertBridgeBuffers()
+	var buf bytes.Buffer
+	if err := src.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range back.Bridges {
+		if !br.Buffered {
+			t.Fatalf("bridge %s lost its buffered flag", br.ID)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"unknown field": `{"name":"x","nonsense":1}`,
+		"fails validation": `{"name":"x","buses":[{"id":"b","serviceRate":0}],
+			"processors":[],"bridges":[],"flows":[]}`,
+		"unroutable": `{"name":"x",
+			"buses":[{"id":"b1","serviceRate":1},{"id":"b2","serviceRate":1}],
+			"processors":[{"id":"p","buses":["b1"]},{"id":"q","buses":["b2"]}],
+			"bridges":[],
+			"flows":[{"from":"p","to":"q","rate":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONMinimalValid(t *testing.T) {
+	in := `{"name":"mini",
+		"buses":[{"id":"b","serviceRate":2}],
+		"processors":[{"id":"p","buses":["b"]},{"id":"q","buses":["b"]}],
+		"flows":[{"from":"p","to":"q","rate":0.5}]}`
+	a, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "mini" || len(a.Buses) != 1 {
+		t.Fatalf("decoded %+v", a)
+	}
+}

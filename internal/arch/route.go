@@ -1,0 +1,192 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hop is one leg of a packet's journey: the packet waits in Buffer until the
+// arbiter of Bus grants it, then occupies Bus for one exponential service.
+type Hop struct {
+	Buffer string // buffer the packet waits in before this leg
+	Bus    string // bus that carries this leg
+	// NextBuffer is where the packet lands after this leg: a bridge buffer
+	// ID, or "" when this leg delivers to the destination processor.
+	NextBuffer string
+}
+
+// Route is the fixed path of one flow: source egress buffer, zero or more
+// bridge buffers, destination.
+type Route struct {
+	Flow Flow
+	Hops []Hop
+}
+
+// Routes computes the route of every flow. Routing is shortest-path over the
+// bus graph (edges = bridges, regardless of Buffered state — buffering
+// changes the analysis, not the path), with the source processor free to use
+// whichever of its attachments gives the shortest path to whichever of the
+// destination's attachment buses. Ties break toward lexicographically
+// smaller bus IDs so routing is deterministic.
+func (a *Architecture) Routes() ([]Route, error) {
+	adj := a.busAdjacency()
+	routes := make([]Route, 0, len(a.Flows))
+	for i, f := range a.Flows {
+		src, ok := a.ProcessorByID(f.From)
+		if !ok {
+			return nil, fmt.Errorf("%w: flow %d: unknown source %q", ErrInvalid, i, f.From)
+		}
+		dst, ok := a.ProcessorByID(f.To)
+		if !ok {
+			return nil, fmt.Errorf("%w: flow %d: unknown destination %q", ErrInvalid, i, f.To)
+		}
+		best, err := a.bestBusPath(adj, src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("%w: flow %d (%q→%q): %v", ErrInvalid, i, f.From, f.To, err)
+		}
+		hops := make([]Hop, 0, len(best.buses))
+		buffer := AttachmentBufferID(f.From, best.buses[0])
+		for h := 0; h < len(best.buses); h++ {
+			next := ""
+			if h < len(best.buses)-1 {
+				next = BridgeBufferID(best.bridges[h], best.buses[h])
+			}
+			hops = append(hops, Hop{Buffer: buffer, Bus: best.buses[h], NextBuffer: next})
+			buffer = next
+		}
+		routes = append(routes, Route{Flow: f, Hops: hops})
+	}
+	return routes, nil
+}
+
+type busEdge struct {
+	to     string
+	bridge string
+}
+
+func (a *Architecture) busAdjacency() map[string][]busEdge {
+	adj := make(map[string][]busEdge, len(a.Buses))
+	for _, b := range a.Buses {
+		adj[b.ID] = nil
+	}
+	for _, br := range a.Bridges {
+		adj[br.BusA] = append(adj[br.BusA], busEdge{to: br.BusB, bridge: br.ID})
+		adj[br.BusB] = append(adj[br.BusB], busEdge{to: br.BusA, bridge: br.ID})
+	}
+	// Deterministic neighbour order.
+	for k := range adj {
+		es := adj[k]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].to != es[j].to {
+				return es[i].to < es[j].to
+			}
+			return es[i].bridge < es[j].bridge
+		})
+	}
+	return adj
+}
+
+type busPath struct {
+	buses   []string // buses traversed, in order
+	bridges []string // bridges crossed; len = len(buses)-1
+}
+
+// bestBusPath finds the shortest bridge path from any of src's buses to any
+// of dst's buses via BFS.
+func (a *Architecture) bestBusPath(adj map[string][]busEdge, src, dst *Processor) (*busPath, error) {
+	dstBuses := map[string]bool{}
+	for _, b := range dst.Buses {
+		dstBuses[b] = true
+	}
+	// Deterministic start order.
+	starts := append([]string(nil), src.Buses...)
+	sort.Strings(starts)
+
+	var best *busPath
+	for _, start := range starts {
+		type node struct {
+			bus  string
+			path busPath
+		}
+		visited := map[string]bool{start: true}
+		queue := []node{{bus: start, path: busPath{buses: []string{start}}}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if dstBuses[cur.bus] {
+				if best == nil || len(cur.path.buses) < len(best.buses) {
+					p := cur.path
+					best = &p
+				}
+				break // BFS: first hit from this start is its shortest
+			}
+			for _, e := range adj[cur.bus] {
+				if visited[e.to] {
+					continue
+				}
+				visited[e.to] = true
+				np := busPath{
+					buses:   append(append([]string(nil), cur.path.buses...), e.to),
+					bridges: append(append([]string(nil), cur.path.bridges...), e.bridge),
+				}
+				queue = append(queue, node{bus: e.to, path: np})
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no bus path from %q to %q", src.ID, dst.ID)
+	}
+	return best, nil
+}
+
+// BusClients returns, for every bus, the sorted buffer IDs the bus arbiter
+// serves: egress buffers of attached processors that actually carry traffic
+// on that bus, and bridge buffers that drain onto the bus. This is the
+// client set of the per-bus CTMDP.
+func (a *Architecture) BusClients() (map[string][]string, error) {
+	routes, err := a.Routes()
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]map[string]bool, len(a.Buses))
+	for _, b := range a.Buses {
+		set[b.ID] = map[string]bool{}
+	}
+	for _, r := range routes {
+		for _, h := range r.Hops {
+			set[h.Bus][h.Buffer] = true
+		}
+	}
+	out := make(map[string][]string, len(set))
+	for bus, m := range set {
+		ids := make([]string, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		out[bus] = ids
+	}
+	return out, nil
+}
+
+// BufferArrivalRates returns the total offered rate into every buffer,
+// assuming no upstream loss (the "raw" rates used to seed the boundary
+// fixed-point iteration and the proportional sizing baseline).
+func (a *Architecture) BufferArrivalRates() (map[string]float64, error) {
+	routes, err := a.Routes()
+	if err != nil {
+		return nil, err
+	}
+	rates := map[string]float64{}
+	for _, id := range a.BufferIDs() {
+		rates[id] = 0
+	}
+	for _, r := range routes {
+		for _, h := range r.Hops {
+			// A buffer on an unbuffered bridge is not in BufferIDs; count it
+			// anyway so callers can detect the inconsistency, except "".
+			rates[h.Buffer] += r.Flow.Rate
+		}
+	}
+	return rates, nil
+}

@@ -1,0 +1,175 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoutesLocalFlow(t *testing.T) {
+	a := Figure1()
+	routes, err := a.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 → p2 stays on bus a: one hop, delivered directly.
+	var r *Route
+	for i := range routes {
+		if routes[i].Flow.From == "p1" && routes[i].Flow.To == "p2" {
+			r = &routes[i]
+		}
+	}
+	if r == nil {
+		t.Fatal("p1→p2 route missing")
+	}
+	if len(r.Hops) != 1 {
+		t.Fatalf("p1→p2 hops = %v, want 1 hop", r.Hops)
+	}
+	h := r.Hops[0]
+	if h.Bus != "a" || h.Buffer != "p1@a" || h.NextBuffer != "" {
+		t.Fatalf("p1→p2 hop = %+v", h)
+	}
+}
+
+func TestRoutesCrossBridge(t *testing.T) {
+	a := Figure1()
+	routes, err := a.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r *Route
+	for i := range routes {
+		if routes[i].Flow.From == "p2" && routes[i].Flow.To == "p5" {
+			r = &routes[i]
+		}
+	}
+	if r == nil {
+		t.Fatal("p2→p5 route missing")
+	}
+	// p2 must start on bus b (bus a has no path to g), cross br1 then br2.
+	if len(r.Hops) != 3 {
+		t.Fatalf("p2→p5 hops = %+v, want 3", r.Hops)
+	}
+	if r.Hops[0].Buffer != "p2@b" || r.Hops[0].Bus != "b" {
+		t.Fatalf("hop0 = %+v", r.Hops[0])
+	}
+	if r.Hops[0].NextBuffer != BridgeBufferID("br1", "b") {
+		t.Fatalf("hop0 next = %q", r.Hops[0].NextBuffer)
+	}
+	if r.Hops[1].Bus != "f" || r.Hops[1].Buffer != BridgeBufferID("br1", "b") {
+		t.Fatalf("hop1 = %+v", r.Hops[1])
+	}
+	if r.Hops[2].Bus != "g" || r.Hops[2].NextBuffer != "" {
+		t.Fatalf("hop2 = %+v", r.Hops[2])
+	}
+}
+
+func TestRoutesDeterministic(t *testing.T) {
+	a := NetworkProcessor()
+	r1, err := a.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatal("route count differs between calls")
+	}
+	for i := range r1 {
+		if len(r1[i].Hops) != len(r2[i].Hops) {
+			t.Fatalf("route %d hop count differs", i)
+		}
+		for h := range r1[i].Hops {
+			if r1[i].Hops[h] != r2[i].Hops[h] {
+				t.Fatalf("route %d hop %d differs: %+v vs %+v", i, h, r1[i].Hops[h], r2[i].Hops[h])
+			}
+		}
+	}
+}
+
+func TestBusClients(t *testing.T) {
+	a := Figure1()
+	clients, err := a.BusClients()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bus f serves the two bridge buffers draining onto it plus p4's egress.
+	fClients := clients["f"]
+	want := map[string]bool{
+		BridgeBufferID("br1", "b"): true, // b→f traffic waits here for f
+		BridgeBufferID("br2", "g"): true, // g→f traffic
+		"p4@f":                     true,
+	}
+	if len(fClients) != len(want) {
+		t.Fatalf("bus f clients = %v", fClients)
+	}
+	for _, c := range fClients {
+		if !want[c] {
+			t.Fatalf("unexpected client %q on bus f (clients %v)", c, fClients)
+		}
+	}
+	// Bus a serves only p1@a (p2's a-attachment carries no traffic: the only
+	// flow from p2 leaves via bus b).
+	if len(clients["a"]) != 1 || clients["a"][0] != "p1@a" {
+		t.Fatalf("bus a clients = %v", clients["a"])
+	}
+}
+
+func TestBufferArrivalRates(t *testing.T) {
+	a := Figure1()
+	rates, err := a.BufferArrivalRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// br2:f> carries p2→p5 (1.2) and p4→p5 (0.8).
+	if got := rates[BridgeBufferID("br2", "f")]; math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("br2:f> rate = %v, want 2.0", got)
+	}
+	// p3@b carries only p3→p4 (1.5).
+	if got := rates["p3@b"]; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("p3@b rate = %v, want 1.5", got)
+	}
+	// p2@a carries nothing.
+	if got := rates["p2@a"]; got != 0 {
+		t.Fatalf("p2@a rate = %v, want 0", got)
+	}
+}
+
+func TestRoutesUnroutable(t *testing.T) {
+	a := Figure1()
+	a.Bridges = nil // p2→p5 now impossible
+	if _, err := a.Routes(); err == nil {
+		t.Fatal("unroutable flow accepted")
+	}
+}
+
+func TestRoutesPreferShortestPath(t *testing.T) {
+	// Diamond: two routes from x to y; BFS must pick the 2-bus path.
+	a := &Architecture{
+		Name: "diamond",
+		Buses: []Bus{
+			{ID: "w", ServiceRate: 1}, {ID: "x", ServiceRate: 1},
+			{ID: "y", ServiceRate: 1}, {ID: "z", ServiceRate: 1},
+		},
+		Processors: []Processor{
+			{ID: "src", Buses: []string{"w"}},
+			{ID: "dst", Buses: []string{"y"}},
+		},
+		Bridges: []Bridge{
+			{ID: "wx", BusA: "w", BusB: "x"},
+			{ID: "xy", BusA: "x", BusB: "y"},
+			{ID: "wz", BusA: "w", BusB: "z"},
+			{ID: "zy", BusA: "z", BusB: "y"},
+			{ID: "wy", BusA: "w", BusB: "y"}, // direct shortcut
+		},
+		Flows: []Flow{{From: "src", To: "dst", Rate: 1}},
+	}
+	routes, err := a.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes[0].Hops) != 2 {
+		t.Fatalf("diamond route hops = %+v, want the 2-hop shortcut", routes[0].Hops)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"socbuf/internal/ctmdp"
+	"socbuf/internal/sim"
+)
+
+// policyArbiter adapts a solved CTMDP policy to the simulator's Arbiter
+// interface. It quantises the physical queue lengths to model levels, draws
+// a grant from the policy's (possibly randomised) action distribution, and
+// resolves aggregate clients to their longest non-empty member.
+type policyArbiter struct {
+	policy *ctmdp.Policy
+	// viewsOf[c] lists the view indices belonging to model client c (one
+	// entry for plain clients, several for aggregates).
+	viewsOf [][]int
+	levels  []int // scratch, len = #model clients
+}
+
+// newPolicyArbiter wires a model solution to the physical client list of a
+// bus (the sorted buffer IDs the simulator will present views for).
+func newPolicyArbiter(ms *ctmdp.ModelSolution, busClients []string) (*policyArbiter, error) {
+	viewIdx := map[string]int{}
+	for i, id := range busClients {
+		viewIdx[id] = i
+	}
+	pa := &policyArbiter{
+		policy:  ms.Policy,
+		viewsOf: make([][]int, len(ms.Model.Clients)),
+		levels:  make([]int, len(ms.Model.Clients)),
+	}
+	covered := 0
+	for c, cl := range ms.Model.Clients {
+		members := cl.Members
+		if len(members) == 0 {
+			members = []string{cl.BufferID}
+		}
+		for _, id := range members {
+			vi, ok := viewIdx[id]
+			if !ok {
+				return nil, fmt.Errorf("core: model client %q not among bus clients %v", id, busClients)
+			}
+			pa.viewsOf[c] = append(pa.viewsOf[c], vi)
+			covered++
+		}
+	}
+	if covered != len(busClients) {
+		return nil, fmt.Errorf("core: model covers %d of %d bus clients", covered, len(busClients))
+	}
+	return pa, nil
+}
+
+// Pick implements sim.Arbiter.
+func (pa *policyArbiter) Pick(clients []sim.ClientView, rng *rand.Rand) int {
+	model := pa.policy.Model
+	anyWork := false
+	for c := range pa.viewsOf {
+		lenSum, capSum := 0, 0
+		for _, vi := range pa.viewsOf[c] {
+			lenSum += clients[vi].Len
+			capSum += clients[vi].Cap
+		}
+		if lenSum > 0 {
+			anyWork = true
+		}
+		L := model.Clients[c].Levels
+		lvl := 0
+		if capSum > 0 {
+			lvl = lenSum * (L + 1) / capSum
+			if lvl > L {
+				lvl = L
+			}
+		}
+		pa.levels[c] = lvl
+	}
+	if !anyWork {
+		return -1
+	}
+	dist, err := pa.policy.Action(pa.levels)
+	if err != nil {
+		return pa.longest(clients) // defensive; cannot happen for wired sizes
+	}
+	// Sample the (possibly randomised) grant.
+	u := rng.Float64()
+	choice := -1
+	var cum float64
+	for c, p := range dist {
+		cum += p
+		if u < cum {
+			choice = c
+			break
+		}
+	}
+	if choice == -1 {
+		return pa.longest(clients)
+	}
+	// Resolve to the longest non-empty member of the chosen client.
+	best, bestLen := -1, 0
+	for _, vi := range pa.viewsOf[choice] {
+		if clients[vi].Len > bestLen {
+			best, bestLen = vi, clients[vi].Len
+		}
+	}
+	if best == -1 {
+		// Quantisation said "non-empty" but the members are empty, or the
+		// policy picked a level-0 client after clamping; serve someone.
+		return pa.longest(clients)
+	}
+	return best
+}
+
+// longest is the defensive fallback: grant the longest non-empty view.
+func (pa *policyArbiter) longest(clients []sim.ClientView) int {
+	best, bestLen := -1, 0
+	for i, c := range clients {
+		if c.Len > bestLen {
+			best, bestLen = i, c.Len
+		}
+	}
+	return best
+}

@@ -1,0 +1,153 @@
+// Package core implements the paper's buffer-insertion and buffer-sizing
+// methodology end to end:
+//
+//  1. insert buffers at every bridge (arch.InsertBridgeBuffers), which
+//     splits the architecture into linear single-bus subsystems
+//     (graph.Split);
+//  2. model every subsystem as a CTMDP over quantised buffer levels
+//     (ctmdp.NewModel), with bridge buffers appearing as clients of the
+//     draining bus and as downstream-loss terms of the feeding bus;
+//  3. solve all subsystem LPs in one joint program (ctmdp.SolveJoint),
+//     linked by a total expected-occupancy cap; refresh the bridge boundary
+//     scalars (arrival rates and full probabilities) by a damped fixed
+//     point, keeping every inner solve linear — the paper's §2 device;
+//  4. translate the optimal occupation measure into physical buffer lengths
+//     (ctmdp.Translate, the K-switching step);
+//  5. resimulate with the new lengths (internal/sim) and compare losses;
+//     repeat for a fixed number of iterations (the paper uses 10) and keep
+//     the best allocation.
+package core
+
+import (
+	"fmt"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/ctmdp"
+)
+
+// Config parameterises a methodology run. Zero values select the defaults
+// noted per field.
+type Config struct {
+	// Arch is the architecture to size. It is cloned; bridges are buffered
+	// in the clone.
+	Arch *arch.Architecture
+	// Budget is the total buffer space in units (the paper sweeps 160, 320,
+	// 640 on the network-processor testbed).
+	Budget int
+	// Iterations of the size→solve→resimulate loop. Default 10.
+	Iterations int
+	// Seeds for the evaluation simulations; results are summed across
+	// seeds. Default {1, 2, 3}.
+	Seeds []int64
+	// Horizon and WarmUp of each evaluation simulation. Defaults 2000, 100.
+	Horizon float64
+	WarmUp  float64
+	// Levels is the quantisation depth of each client queue in the CTMDP
+	// state space. Default 2 (levels 0..2).
+	Levels int
+	// MaxClients caps the number of clients per bus model; colder clients
+	// are aggregated (ctmdp.AggregateClients). Default 4.
+	MaxClients int
+	// Eps is the occupancy-quantile tail mass for the translation. Default
+	// 0.05.
+	Eps float64
+	// Translator selects the measure→capacity translation. Default
+	// TranslateGreedyTail.
+	Translator ctmdp.Translator
+	// CapFactor scales the joint occupancy cap: cap = CapFactor × (free
+	// solve's occupancy). Values in (0,1) make the budget link bind; 0
+	// disables the cap. Infeasible caps are retried upward. Default 0.92.
+	CapFactor float64
+	// Sequential solves subsystem LPs separately instead of jointly — the
+	// ablation of the paper's "solve all the equations in one go".
+	Sequential bool
+	// BoundaryIters is the number of bridge-boundary fixed-point updates
+	// per methodology iteration. Default 3.
+	BoundaryIters int
+	// UseCTMDPArbiter drives the evaluation simulations with the optimal
+	// CTMDP arbitration policy instead of longest-queue. Default true
+	// (disable with DisableCTMDPArbiter).
+	DisableCTMDPArbiter bool
+	// LossWeights optionally weighs processors' losses in the objective
+	// ("allowing some losses to be more important than the others", §3).
+	// Keyed by processor ID; missing entries weigh 1.
+	LossWeights map[string]float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Arch == nil {
+		return c, fmt.Errorf("core: nil architecture")
+	}
+	if c.Budget <= 0 {
+		return c, fmt.Errorf("core: budget %d must be positive", c.Budget)
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	if c.Iterations < 0 {
+		return c, fmt.Errorf("core: negative iterations %d", c.Iterations)
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3}
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 2000
+	}
+	if c.Horizon < 0 {
+		return c, fmt.Errorf("core: negative horizon %v", c.Horizon)
+	}
+	if c.WarmUp == 0 {
+		c.WarmUp = 100
+	}
+	if c.WarmUp < 0 || c.WarmUp >= c.Horizon {
+		return c, fmt.Errorf("core: warm-up %v outside [0, horizon)", c.WarmUp)
+	}
+	if c.Levels == 0 {
+		c.Levels = 2
+	}
+	if c.Levels < 1 {
+		return c, fmt.Errorf("core: levels %d < 1", c.Levels)
+	}
+	if c.MaxClients == 0 {
+		c.MaxClients = 4
+	}
+	if c.MaxClients < 1 {
+		return c, fmt.Errorf("core: max clients %d < 1", c.MaxClients)
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.05
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		return c, fmt.Errorf("core: eps %v outside (0,1)", c.Eps)
+	}
+	if c.CapFactor == 0 {
+		c.CapFactor = 0.92
+	}
+	if c.CapFactor < 0 || c.CapFactor > 1 {
+		return c, fmt.Errorf("core: cap factor %v outside [0,1]", c.CapFactor)
+	}
+	if c.BoundaryIters == 0 {
+		c.BoundaryIters = 3
+	}
+	if c.BoundaryIters < 1 {
+		return c, fmt.Errorf("core: boundary iterations %d < 1", c.BoundaryIters)
+	}
+	return c, nil
+}
+
+// cloneArch deep-copies the architecture so the caller's copy keeps its
+// bridge-buffering state.
+func cloneArch(a *arch.Architecture) *arch.Architecture {
+	out := &arch.Architecture{Name: a.Name}
+	out.Buses = append([]arch.Bus(nil), a.Buses...)
+	out.Bridges = append([]arch.Bridge(nil), a.Bridges...)
+	out.Flows = append([]arch.Flow(nil), a.Flows...)
+	for _, p := range a.Processors {
+		out.Processors = append(out.Processors, arch.Processor{
+			ID:    p.ID,
+			Buses: append([]string(nil), p.Buses...),
+		})
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/ctmdp"
+	"socbuf/internal/graph"
+	"socbuf/internal/sim"
+)
+
+// Iteration records one pass of the size→solve→resimulate loop.
+type Iteration struct {
+	Index int
+	// Alloc is the allocation produced by this iteration's translation.
+	Alloc arch.Allocation
+	// SimLoss is the total simulated loss (summed over seeds) under Alloc.
+	SimLoss int64
+	// LossByProc is the per-processor simulated loss (summed over seeds).
+	LossByProc map[string]int64
+	// ModelLoss is the LP objective (weighted model loss rate).
+	ModelLoss float64
+	// CapBinding reports whether the joint occupancy cap bound.
+	CapBinding bool
+	// RandomisedStates counts states with randomised grants across all
+	// subsystem policies (the K of K-switching).
+	RandomisedStates int
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	// Arch is the buffered clone the methodology worked on.
+	Arch *arch.Architecture
+	// Subsystems is the post-insertion split (all linear).
+	Subsystems []graph.Subsystem
+	// BaselineAlloc is the uniform pre-sizing allocation ("before" bars).
+	BaselineAlloc arch.Allocation
+	// BaselineLoss is the total simulated loss under BaselineAlloc, and
+	// BaselineLossByProc its per-processor split.
+	BaselineLoss       int64
+	BaselineLossByProc map[string]int64
+	// Iterations holds every loop pass, in order.
+	Iterations []Iteration
+	// Best points at the iteration whose allocation minimised simulated
+	// loss (the paper keeps the resized system that won the comparison).
+	Best *Iteration
+	// FinalSolution is the joint solution of the last iteration (policies,
+	// occupancy distributions, switching structure).
+	FinalSolution *ctmdp.JointSolution
+}
+
+// Improvement returns 1 − best/baseline, the fractional loss reduction of
+// the chosen allocation over uniform sizing.
+func (r *Result) Improvement() float64 {
+	if r.BaselineLoss == 0 {
+		return 0
+	}
+	return 1 - float64(r.Best.SimLoss)/float64(r.BaselineLoss)
+}
+
+// Run executes the methodology.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	a := cloneArch(cfg.Arch)
+	a.InsertBridgeBuffers() // the paper's buffer insertion for bridges
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	subs, err := graph.Split(a)
+	if err != nil {
+		return nil, err
+	}
+	if err := graph.VerifyPartition(a, subs); err != nil {
+		return nil, err
+	}
+	for _, s := range subs {
+		if !s.Linear() {
+			return nil, fmt.Errorf("core: subsystem %v still nonlinear after buffer insertion", s.Buses)
+		}
+	}
+
+	res := &Result{Arch: a, Subsystems: subs}
+
+	// Baseline: uniform allocation, longest-queue arbitration.
+	res.BaselineAlloc, err = arch.UniformAllocation(a, cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineLoss, res.BaselineLossByProc, err = evaluate(a, res.BaselineAlloc, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	alloc := res.BaselineAlloc.Clone()
+	bnd, err := initialBoundary(a)
+	if err != nil {
+		return nil, err
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		sol, models, err := solveWithBoundary(a, alloc, bnd, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+		}
+		_ = models
+
+		demands, err := ctmdp.Demands(sol.PerModel, cfg.Eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+		}
+		// Buffers that carry no traffic (e.g. an attachment no flow uses)
+		// never appear in any model; they keep the one-unit floor and the
+		// rest of the budget goes to the demanded buffers.
+		covered := map[string]bool{}
+		for _, d := range demands {
+			covered[d.BufferID] = true
+		}
+		var inert []string
+		for _, id := range a.BufferIDs() {
+			if !covered[id] {
+				inert = append(inert, id)
+			}
+		}
+		next, err := ctmdp.Translate(demands, cfg.Budget-len(inert), cfg.Translator)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+		}
+		for _, id := range inert {
+			next[id] = 1
+		}
+		newAlloc := arch.Allocation(next)
+		if err := newAlloc.Validate(a, cfg.Budget); err != nil {
+			return nil, fmt.Errorf("core: iteration %d produced bad allocation: %w", it, err)
+		}
+
+		var arbiters map[string]sim.Arbiter
+		if !cfg.DisableCTMDPArbiter {
+			arbiters, err = buildArbiters(a, sol, newAlloc)
+			if err != nil {
+				return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+			}
+		}
+		loss, byProc, err := evaluate(a, newAlloc, arbiters, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+		}
+
+		randomised := 0
+		for _, ms := range sol.PerModel {
+			randomised += len(ms.Policy.KSwitching().Randomised)
+		}
+		res.Iterations = append(res.Iterations, Iteration{
+			Index:            it,
+			Alloc:            newAlloc,
+			SimLoss:          loss,
+			LossByProc:       byProc,
+			ModelLoss:        sol.TotalLossRate,
+			CapBinding:       sol.CapBinding,
+			RandomisedStates: randomised,
+		})
+		res.FinalSolution = sol
+		alloc = newAlloc
+	}
+
+	if len(res.Iterations) == 0 {
+		return nil, errors.New("core: zero iterations requested")
+	}
+	best := &res.Iterations[0]
+	for i := range res.Iterations {
+		if res.Iterations[i].SimLoss < best.SimLoss {
+			best = &res.Iterations[i]
+		}
+	}
+	res.Best = best
+	return res, nil
+}
+
+// solveWithBoundary runs the bridge-boundary fixed point: free joint solves
+// refresh the boundary scalars, then a final (optionally capped) solve
+// produces the measure used for translation.
+func solveWithBoundary(a *arch.Architecture, alloc arch.Allocation, bnd *boundary, cfg Config) (*ctmdp.JointSolution, []*ctmdp.Model, error) {
+	var sol *ctmdp.JointSolution
+	var models []*ctmdp.Model
+	var err error
+	for bi := 0; bi < cfg.BoundaryIters; bi++ {
+		models, err = buildModels(a, alloc, bnd, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		sol, err = ctmdp.SolveJoint(models, ctmdp.JointConfig{Sequential: cfg.Sequential})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := bnd.update(a, sol.PerModel, 0.7); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.CapFactor > 0 && cfg.CapFactor < 1 && !cfg.Sequential {
+		// Capped final solve with a retry ladder toward the free occupancy.
+		free := sol.OccupancyUsed
+		for _, f := range []float64{cfg.CapFactor, (cfg.CapFactor + 1) / 2, 0.97} {
+			capped, err := ctmdp.SolveJoint(models, ctmdp.JointConfig{OccupancyCap: free * f})
+			if err == nil {
+				return capped, models, nil
+			}
+			if !errors.Is(err, ctmdp.ErrInfeasible) {
+				return nil, nil, err
+			}
+		}
+		// All caps infeasible: the free solution stands.
+	}
+	return sol, models, nil
+}
+
+// buildArbiters wires each bus's solved policy to the simulator.
+func buildArbiters(a *arch.Architecture, sol *ctmdp.JointSolution, alloc arch.Allocation) (map[string]sim.Arbiter, error) {
+	clients, err := a.BusClients()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]sim.Arbiter{}
+	for _, ms := range sol.PerModel {
+		pa, err := newPolicyArbiter(ms, clients[ms.Model.Bus])
+		if err != nil {
+			return nil, err
+		}
+		out[ms.Model.Bus] = pa
+	}
+	return out, nil
+}
+
+// evaluate sums simulated losses across the configured seeds.
+func evaluate(a *arch.Architecture, alloc arch.Allocation, arbiters map[string]sim.Arbiter, cfg Config) (int64, map[string]int64, error) {
+	byProc := map[string]int64{}
+	var total int64
+	for _, seed := range cfg.Seeds {
+		s, err := sim.New(sim.Config{
+			Arch:     a,
+			Alloc:    alloc,
+			Horizon:  cfg.Horizon,
+			WarmUp:   cfg.WarmUp,
+			Seed:     seed,
+			Arbiters: arbiters,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		r, err := s.Run()
+		if err != nil {
+			return 0, nil, err
+		}
+		for p, v := range r.Lost {
+			byProc[p] += v
+		}
+		total += r.TotalLost()
+	}
+	return total, byProc, nil
+}

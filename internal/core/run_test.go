@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/ctmdp"
+)
+
+// fastCfg keeps unit-test runs quick.
+func fastCfg(a *arch.Architecture, budget int) Config {
+	return Config{
+		Arch:       a,
+		Budget:     budget,
+		Iterations: 2,
+		Seeds:      []int64{1},
+		Horizon:    800,
+		WarmUp:     50,
+	}
+}
+
+func TestRunTwoBus(t *testing.T) {
+	res, err := Run(fastCfg(arch.TwoBusAMBA(), 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 2 {
+		t.Fatalf("iterations = %d", len(res.Iterations))
+	}
+	if res.Best == nil {
+		t.Fatal("no best iteration")
+	}
+	if err := res.Best.Alloc.Validate(res.Arch, 24); err != nil {
+		t.Fatalf("best allocation invalid: %v", err)
+	}
+	if res.Best.Alloc.Total() != 24 {
+		t.Fatalf("budget not exhausted: %d", res.Best.Alloc.Total())
+	}
+	// The split must be one linear subsystem per bus.
+	if len(res.Subsystems) != 2 {
+		t.Fatalf("subsystems = %d", len(res.Subsystems))
+	}
+	for _, s := range res.Subsystems {
+		if !s.Linear() {
+			t.Fatalf("nonlinear subsystem after insertion: %v", s.Buses)
+		}
+	}
+	if res.FinalSolution == nil {
+		t.Fatal("no final solution")
+	}
+}
+
+func TestRunImprovesLoadedSystem(t *testing.T) {
+	// Tight budget on the two-bus system: CTMDP sizing + arbitration must
+	// beat uniform sizing. Generous horizon keeps noise down.
+	cfg := Config{
+		Arch:       arch.TwoBusAMBA(),
+		Budget:     24,
+		Iterations: 4,
+		Seeds:      []int64{1, 2, 3},
+		Horizon:    1500,
+		WarmUp:     100,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineLoss == 0 {
+		t.Skip("baseline lost nothing; system not loaded enough to compare")
+	}
+	if res.Best.SimLoss >= res.BaselineLoss {
+		t.Fatalf("no improvement: baseline %d, best %d", res.BaselineLoss, res.Best.SimLoss)
+	}
+	if res.Improvement() <= 0 {
+		t.Fatalf("improvement = %v", res.Improvement())
+	}
+}
+
+func TestRunFigure1HandlesDualHomedInertBuffer(t *testing.T) {
+	// p2@a carries no traffic; the methodology must still produce a full
+	// allocation with its one-unit floor.
+	res, err := Run(fastCfg(arch.Figure1(), 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Best.Alloc["p2@a"]; got != 1 {
+		t.Fatalf("inert buffer p2@a allocated %d, want the 1-unit floor", got)
+	}
+	if res.Best.Alloc.Total() != 40 {
+		t.Fatalf("budget not exhausted: %d", res.Best.Alloc.Total())
+	}
+	// Bridge buffers must exist in the allocation (buffer insertion ran).
+	for _, id := range []string{"br1:b>", "br1:f>", "br2:f>", "br2:g>"} {
+		if res.Best.Alloc[id] < 1 {
+			t.Fatalf("bridge buffer %s missing from allocation %v", id, res.Best.Alloc)
+		}
+	}
+}
+
+func TestRunDoesNotMutateCallerArch(t *testing.T) {
+	a := arch.Figure1()
+	if _, err := Run(fastCfg(a, 40)); err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range a.Bridges {
+		if br.Buffered {
+			t.Fatal("Run mutated the caller's architecture")
+		}
+	}
+}
+
+func TestRunSequentialAblation(t *testing.T) {
+	cfg := fastCfg(arch.TwoBusAMBA(), 24)
+	cfg.Sequential = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.CapBinding {
+		t.Fatal("sequential solve cannot have a binding joint cap")
+	}
+}
+
+func TestRunTranslatorAblations(t *testing.T) {
+	for _, tr := range []ctmdp.Translator{ctmdp.TranslateGreedyTail, ctmdp.TranslateQuantile, ctmdp.TranslateMeanOccupancy} {
+		cfg := fastCfg(arch.TwoBusAMBA(), 24)
+		cfg.Translator = tr
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("translator %d: %v", tr, err)
+		}
+		if res.Best.Alloc.Total() != 24 {
+			t.Fatalf("translator %d: total %d", tr, res.Best.Alloc.Total())
+		}
+	}
+}
+
+func TestRunLossWeights(t *testing.T) {
+	// Weighting one processor's losses heavily must not break the pipeline
+	// (§3's "weighing of the loss at processors").
+	cfg := fastCfg(arch.TwoBusAMBA(), 24)
+	cfg.LossWeights = map[string]float64{"cpu": 10}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDisabledArbiter(t *testing.T) {
+	cfg := fastCfg(arch.TwoBusAMBA(), 24)
+	cfg.DisableCTMDPArbiter = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	base := fastCfg(arch.TwoBusAMBA(), 24)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nil arch", func(c *Config) { c.Arch = nil }},
+		{"zero budget", func(c *Config) { c.Budget = 0 }},
+		{"negative iterations", func(c *Config) { c.Iterations = -1 }},
+		{"negative horizon", func(c *Config) { c.Horizon = -5 }},
+		{"warmup past horizon", func(c *Config) { c.WarmUp = 1e9 }},
+		{"negative levels", func(c *Config) { c.Levels = -1 }},
+		{"negative max clients", func(c *Config) { c.MaxClients = -1 }},
+		{"bad eps", func(c *Config) { c.Eps = 2 }},
+		{"bad cap factor", func(c *Config) { c.CapFactor = 3 }},
+		{"bad boundary iters", func(c *Config) { c.BoundaryIters = -1 }},
+		{"budget below floor", func(c *Config) { c.Budget = 2 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestIterationBookkeeping(t *testing.T) {
+	res, err := Run(fastCfg(arch.TwoBusAMBA(), 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range res.Iterations {
+		if it.Index != i {
+			t.Fatalf("iteration %d has index %d", i, it.Index)
+		}
+		if it.ModelLoss < 0 {
+			t.Fatalf("negative model loss %v", it.ModelLoss)
+		}
+		if it.LossByProc == nil {
+			t.Fatal("nil per-processor losses")
+		}
+		var sum int64
+		for _, v := range it.LossByProc {
+			sum += v
+		}
+		if sum != it.SimLoss {
+			t.Fatalf("per-processor losses sum to %d, total is %d", sum, it.SimLoss)
+		}
+	}
+	// Best is genuinely the minimum.
+	for _, it := range res.Iterations {
+		if it.SimLoss < res.Best.SimLoss {
+			t.Fatalf("best (%d) is not minimal (%d)", res.Best.SimLoss, it.SimLoss)
+		}
+	}
+}

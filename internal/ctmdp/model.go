@@ -1,0 +1,276 @@
+// Package ctmdp builds and solves the Continuous-Time Markov Decision
+// Processes at the heart of the paper's buffer-sizing methodology.
+//
+// After buffer insertion splits the architecture (internal/graph), every
+// subsystem is a single bus serving a set of client buffers. The subsystem's
+// CTMDP is:
+//
+//   - state: the vector of client queue levels (each client's occupancy is
+//     quantised into Levels+1 values to bound the state space; one level
+//     stands for UnitsPerLevel physical buffer units),
+//   - action: which non-empty client the arbiter grants (idle only when all
+//     queues are empty — work conservation is optimal for loss and keeps the
+//     action set small),
+//   - dynamics: Poisson arrivals per client, exponential service by the bus,
+//   - cost rate: the weighted loss rate — arrivals that hit a full client
+//     level are lost, and a served packet is lost downstream with the
+//     client's DownstreamFullProb (how bridge buffers feed the cost back).
+//
+// Following Feinberg 2002, the average-cost optimal (possibly constrained)
+// policy is found by linear programming over state–action occupation
+// measures x(s,a); see solve.go. The paper's device of solving all split
+// subsystems "in one go" is the joint LP with a shared expected-occupancy
+// budget row linking the subsystem blocks.
+package ctmdp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxStates bounds a single model's state space; larger requests are
+// configuration errors (quantise harder or aggregate clients instead).
+const MaxStates = 60000
+
+// Client is one buffer competing for a bus inside a subsystem model.
+type Client struct {
+	// BufferID names the physical buffer (or the aggregate, when Members is
+	// non-empty).
+	BufferID string
+	// Lambda is the arrival rate into the buffer (exogenous flow rate or the
+	// boundary estimate for bridge buffers).
+	Lambda float64
+	// Levels is the maximum quantised level L; the client's occupancy in the
+	// model takes values 0..L. Must be >= 1.
+	Levels int
+	// UnitsPerLevel converts one model level to physical buffer units.
+	UnitsPerLevel float64
+	// LossWeight scales this client's losses in the cost ("allowing some
+	// losses to be more important than the others", §3). Default 1.
+	LossWeight float64
+	// DownstreamFullProb is the probability that the buffer this client's
+	// packets move into next is full (0 for local delivery). Service then
+	// incurs a loss cost at that rate.
+	DownstreamFullProb float64
+	// Members lists the physical buffers folded into this client when it is
+	// an aggregate; empty for ordinary clients. MemberLambda aligns with it.
+	Members      []string
+	MemberLambda []float64
+}
+
+// Model is the CTMDP of one single-bus subsystem.
+type Model struct {
+	Bus         string
+	ServiceRate float64
+	Clients     []Client
+
+	strides   []int
+	numStates int
+	// vars enumerates feasible (state, action) pairs; action == -1 is idle
+	// (feasible only in the all-empty state).
+	vars        []svar
+	varsByState [][]int // state -> indices into vars
+}
+
+type svar struct {
+	state  int
+	action int
+}
+
+// NewModel validates and precomputes the state enumeration.
+func NewModel(bus string, serviceRate float64, clients []Client) (*Model, error) {
+	if bus == "" {
+		return nil, errors.New("ctmdp: empty bus ID")
+	}
+	if serviceRate <= 0 {
+		return nil, fmt.Errorf("ctmdp: bus %q service rate %v must be positive", bus, serviceRate)
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("ctmdp: bus %q has no clients", bus)
+	}
+	m := &Model{Bus: bus, ServiceRate: serviceRate, Clients: clients}
+	m.strides = make([]int, len(clients))
+	n := 1
+	for i, c := range clients {
+		if c.BufferID == "" {
+			return nil, fmt.Errorf("ctmdp: bus %q client %d has empty buffer ID", bus, i)
+		}
+		if c.Lambda < 0 {
+			return nil, fmt.Errorf("ctmdp: client %q lambda %v negative", c.BufferID, c.Lambda)
+		}
+		if c.Levels < 1 {
+			return nil, fmt.Errorf("ctmdp: client %q levels %d < 1", c.BufferID, c.Levels)
+		}
+		if c.UnitsPerLevel <= 0 {
+			return nil, fmt.Errorf("ctmdp: client %q units-per-level %v must be positive", c.BufferID, c.UnitsPerLevel)
+		}
+		if c.LossWeight <= 0 {
+			return nil, fmt.Errorf("ctmdp: client %q loss weight %v must be positive", c.BufferID, c.LossWeight)
+		}
+		if c.DownstreamFullProb < 0 || c.DownstreamFullProb > 1 {
+			return nil, fmt.Errorf("ctmdp: client %q downstream full prob %v outside [0,1]", c.BufferID, c.DownstreamFullProb)
+		}
+		if len(c.Members) != len(c.MemberLambda) {
+			return nil, fmt.Errorf("ctmdp: client %q members/lambdas length mismatch", c.BufferID)
+		}
+		m.strides[i] = n
+		n *= c.Levels + 1
+		if n > MaxStates {
+			return nil, fmt.Errorf("ctmdp: bus %q state space exceeds %d states", bus, MaxStates)
+		}
+	}
+	m.numStates = n
+	m.enumerate()
+	return m, nil
+}
+
+// NumStates returns the size of the state space.
+func (m *Model) NumStates() int { return m.numStates }
+
+// NumVars returns the number of (state, action) occupation variables.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// Level returns client c's level in state s.
+func (m *Model) Level(s, c int) int {
+	return (s / m.strides[c]) % (m.Clients[c].Levels + 1)
+}
+
+// stateOf composes a state index from a level vector.
+func (m *Model) stateOf(levels []int) int {
+	s := 0
+	for c, l := range levels {
+		s += l * m.strides[c]
+	}
+	return s
+}
+
+// enumerate builds the feasible (state, action) list.
+func (m *Model) enumerate() {
+	m.varsByState = make([][]int, m.numStates)
+	for s := 0; s < m.numStates; s++ {
+		nonEmpty := false
+		for c := range m.Clients {
+			if m.Level(s, c) > 0 {
+				nonEmpty = true
+				m.vars = append(m.vars, svar{state: s, action: c})
+				m.varsByState[s] = append(m.varsByState[s], len(m.vars)-1)
+			}
+		}
+		if !nonEmpty {
+			m.vars = append(m.vars, svar{state: s, action: -1})
+			m.varsByState[s] = append(m.varsByState[s], len(m.vars)-1)
+		}
+	}
+}
+
+// CostRate returns the instantaneous cost rate of (state, action): weighted
+// loss from arrivals hitting full levels, plus downstream loss of the served
+// client.
+func (m *Model) CostRate(s, action int) float64 {
+	var cost float64
+	for c, cl := range m.Clients {
+		if m.Level(s, c) == cl.Levels {
+			cost += cl.Lambda * cl.LossWeight
+		}
+	}
+	if action >= 0 {
+		cl := m.Clients[action]
+		cost += m.ServiceRate * cl.DownstreamFullProb * cl.LossWeight
+	}
+	return cost
+}
+
+// OccupancyUnits returns the physical units held in state s:
+// Σ_c level_c · UnitsPerLevel_c.
+func (m *Model) OccupancyUnits(s int) float64 {
+	var occ float64
+	for c, cl := range m.Clients {
+		occ += float64(m.Level(s, c)) * cl.UnitsPerLevel
+	}
+	return occ
+}
+
+// transitions invokes fn(target, rate) for every outgoing transition of
+// (state, action). Self-loops (arrivals at full levels) are omitted: they
+// cancel in the balance equations.
+func (m *Model) transitions(s, action int, fn func(target int, rate float64)) {
+	for c, cl := range m.Clients {
+		if cl.Lambda > 0 && m.Level(s, c) < cl.Levels {
+			fn(s+m.strides[c], cl.Lambda)
+		}
+	}
+	if action >= 0 && m.Level(s, action) > 0 {
+		fn(s-m.strides[action], m.ServiceRate)
+	}
+}
+
+// AggregateClients folds the lowest-rate clients of a raw client list into a
+// single aggregate until at most maxClients remain. The aggregate's rate is
+// the sum of member rates, its levels/units/weight come from the member
+// maxima, and Members/MemberLambda record the composition so allocations can
+// be split back out. A list already within the limit is returned unchanged.
+func AggregateClients(clients []Client, maxClients int) ([]Client, error) {
+	if maxClients < 1 {
+		return nil, fmt.Errorf("ctmdp: maxClients %d < 1", maxClients)
+	}
+	if len(clients) <= maxClients {
+		return clients, nil
+	}
+	// Sort indices by rate ascending; fold the coldest len-maxClients+1 into
+	// one aggregate.
+	idx := make([]int, len(clients))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if clients[idx[j]].Lambda < clients[idx[i]].Lambda {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	nFold := len(clients) - maxClients + 1
+	fold := map[int]bool{}
+	for _, i := range idx[:nFold] {
+		fold[i] = true
+	}
+	agg := Client{BufferID: "agg(" + clients[idx[0]].BufferID + "+)", LossWeight: 0, UnitsPerLevel: 0}
+	var out []Client
+	for i, c := range clients {
+		if !fold[i] {
+			out = append(out, c)
+			continue
+		}
+		agg.Lambda += c.Lambda
+		if c.Levels > agg.Levels {
+			agg.Levels = c.Levels
+		}
+		if c.UnitsPerLevel > agg.UnitsPerLevel {
+			agg.UnitsPerLevel = c.UnitsPerLevel
+		}
+		if c.LossWeight > agg.LossWeight {
+			agg.LossWeight = c.LossWeight
+		}
+		if c.DownstreamFullProb > agg.DownstreamFullProb {
+			agg.DownstreamFullProb = c.DownstreamFullProb
+		}
+		if len(c.Members) > 0 {
+			agg.Members = append(agg.Members, c.Members...)
+			agg.MemberLambda = append(agg.MemberLambda, c.MemberLambda...)
+		} else {
+			agg.Members = append(agg.Members, c.BufferID)
+			agg.MemberLambda = append(agg.MemberLambda, c.Lambda)
+		}
+	}
+	if agg.Levels == 0 {
+		agg.Levels = 1
+	}
+	if agg.LossWeight == 0 {
+		agg.LossWeight = 1
+	}
+	if agg.UnitsPerLevel == 0 {
+		agg.UnitsPerLevel = 1
+	}
+	out = append(out, agg)
+	return out, nil
+}

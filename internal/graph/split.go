@@ -1,0 +1,152 @@
+// Package graph analyses the bus topology of an architecture and implements
+// the paper's subsystem splitting (§2, Figure 2): buses connected by
+// *buffered* bridges no longer interact directly — each side sees only a
+// buffer — so the architecture decomposes into independent subsystems whose
+// stationary equations are linear. Un-buffered bridges keep buses coupled;
+// those coupled groups are exactly where the quadratic terms of the paper's
+// original formulation live.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"socbuf/internal/arch"
+)
+
+// ErrTopology is wrapped by topology-level failures.
+var ErrTopology = errors.New("graph: invalid topology")
+
+// Subsystem is one independent analysis unit after splitting: a set of buses
+// mutually reachable through un-buffered bridges, together with the buffers
+// its arbiters serve and the buffered bridges on its boundary.
+type Subsystem struct {
+	// Buses in this subsystem, sorted. A fully buffered architecture has
+	// exactly one bus per subsystem.
+	Buses []string
+	// Clients maps each bus to the sorted buffer IDs its arbiter serves
+	// (processor egress buffers and draining bridge buffers).
+	Clients map[string][]string
+	// BoundaryBridges lists the buffered bridges connecting this subsystem
+	// to others, sorted by bridge ID.
+	BoundaryBridges []string
+	// InternalBridges lists un-buffered bridges inside the subsystem (these
+	// are what make the subsystem's equations quadratic), sorted.
+	InternalBridges []string
+}
+
+// Linear reports whether the subsystem's stationary equations are linear,
+// i.e. it contains no un-buffered bridge.
+func (s *Subsystem) Linear() bool { return len(s.InternalBridges) == 0 }
+
+// Split partitions the architecture into subsystems: connected components of
+// the bus graph restricted to un-buffered bridge edges. The result is sorted
+// by the first bus ID of each subsystem, so it is deterministic.
+func Split(a *arch.Architecture) ([]Subsystem, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	clients, err := a.BusClients()
+	if err != nil {
+		return nil, err
+	}
+
+	// Union of buses through un-buffered bridges.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, b := range a.Buses {
+		parent[b.ID] = b.ID
+	}
+	for _, br := range a.Bridges {
+		if br.Buffered {
+			continue
+		}
+		ra, rb := find(br.BusA), find(br.BusB)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	groups := map[string][]string{}
+	for _, b := range a.Buses {
+		r := find(b.ID)
+		groups[r] = append(groups[r], b.ID)
+	}
+
+	var subs []Subsystem
+	for _, buses := range groups {
+		sort.Strings(buses)
+		inGroup := map[string]bool{}
+		for _, b := range buses {
+			inGroup[b] = true
+		}
+		s := Subsystem{Buses: buses, Clients: map[string][]string{}}
+		for _, b := range buses {
+			s.Clients[b] = clients[b]
+		}
+		for _, br := range a.Bridges {
+			touches := inGroup[br.BusA] || inGroup[br.BusB]
+			if !touches {
+				continue
+			}
+			if br.Buffered {
+				s.BoundaryBridges = append(s.BoundaryBridges, br.ID)
+			} else {
+				s.InternalBridges = append(s.InternalBridges, br.ID)
+			}
+		}
+		sort.Strings(s.BoundaryBridges)
+		sort.Strings(s.InternalBridges)
+		subs = append(subs, s)
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Buses[0] < subs[j].Buses[0] })
+	return subs, nil
+}
+
+// VerifyPartition checks that subs is a partition of the architecture's
+// buses: every bus appears in exactly one subsystem. Used by tests and by
+// the core methodology as a defensive invariant.
+func VerifyPartition(a *arch.Architecture, subs []Subsystem) error {
+	seen := map[string]int{}
+	for i, s := range subs {
+		for _, b := range s.Buses {
+			if prev, dup := seen[b]; dup {
+				return fmt.Errorf("%w: bus %q in subsystems %d and %d", ErrTopology, b, prev, i)
+			}
+			seen[b] = i
+		}
+	}
+	for _, b := range a.Buses {
+		if _, ok := seen[b.ID]; !ok {
+			return fmt.Errorf("%w: bus %q missing from every subsystem", ErrTopology, b.ID)
+		}
+	}
+	if len(seen) != len(a.Buses) {
+		return fmt.Errorf("%w: subsystems mention %d buses, architecture has %d", ErrTopology, len(seen), len(a.Buses))
+	}
+	return nil
+}
+
+// CoupledGroups returns the subsystems that are *not* linear — the groups of
+// buses still coupled through un-buffered bridges. The paper's §2 problem
+// statement is exactly that these groups produce quadratic equations.
+func CoupledGroups(a *arch.Architecture) ([]Subsystem, error) {
+	subs, err := Split(a)
+	if err != nil {
+		return nil, err
+	}
+	var out []Subsystem
+	for _, s := range subs {
+		if !s.Linear() {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

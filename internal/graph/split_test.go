@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"socbuf/internal/arch"
+)
+
+func TestSplitUnbuffered(t *testing.T) {
+	// Figure 1 before buffer insertion: b,f,g are coupled, a is alone.
+	a := arch.Figure1()
+	subs, err := Split(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("got %d subsystems, want 2 (a alone, bfg coupled): %+v", len(subs), subs)
+	}
+	if err := VerifyPartition(a, subs); err != nil {
+		t.Fatal(err)
+	}
+	var coupled *Subsystem
+	for i := range subs {
+		if len(subs[i].Buses) == 3 {
+			coupled = &subs[i]
+		}
+	}
+	if coupled == nil {
+		t.Fatalf("no 3-bus coupled group: %+v", subs)
+	}
+	if coupled.Linear() {
+		t.Fatal("coupled group claims to be linear")
+	}
+	if len(coupled.InternalBridges) != 2 {
+		t.Fatalf("internal bridges = %v, want [br1 br2]", coupled.InternalBridges)
+	}
+}
+
+func TestSplitAfterInsertion(t *testing.T) {
+	// The paper's result: after buffer insertion Figure 1 splits into 4
+	// linear subsystems, one per bus.
+	a := arch.Figure1()
+	a.InsertBridgeBuffers()
+	subs, err := Split(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 4 {
+		t.Fatalf("got %d subsystems, want 4", len(subs))
+	}
+	if err := VerifyPartition(a, subs); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if !s.Linear() {
+			t.Fatalf("subsystem %v not linear after insertion", s.Buses)
+		}
+		if len(s.Buses) != 1 {
+			t.Fatalf("subsystem has %d buses, want 1", len(s.Buses))
+		}
+	}
+	// Bus b's subsystem must see br1 as a boundary bridge.
+	for _, s := range subs {
+		if s.Buses[0] == "b" {
+			if len(s.BoundaryBridges) != 1 || s.BoundaryBridges[0] != "br1" {
+				t.Fatalf("bus b boundary = %v", s.BoundaryBridges)
+			}
+		}
+		if s.Buses[0] == "f" {
+			if len(s.BoundaryBridges) != 2 {
+				t.Fatalf("bus f boundary = %v, want both bridges", s.BoundaryBridges)
+			}
+		}
+	}
+}
+
+func TestSplitClientsPropagated(t *testing.T) {
+	a := arch.Figure1()
+	a.InsertBridgeBuffers()
+	subs, err := Split(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if s.Buses[0] != "f" {
+			continue
+		}
+		cl := s.Clients["f"]
+		if len(cl) != 3 {
+			t.Fatalf("bus f clients = %v, want 3", cl)
+		}
+	}
+}
+
+func TestCoupledGroups(t *testing.T) {
+	a := arch.Figure1()
+	groups, err := CoupledGroups(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("coupled groups = %d, want 1", len(groups))
+	}
+	a.InsertBridgeBuffers()
+	groups, err = CoupledGroups(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("coupled groups after insertion = %d, want 0", len(groups))
+	}
+}
+
+func TestSplitInvalidArch(t *testing.T) {
+	if _, err := Split(&arch.Architecture{}); err == nil {
+		t.Fatal("invalid architecture accepted")
+	}
+}
+
+func TestVerifyPartitionCatchesErrors(t *testing.T) {
+	a := arch.Figure1()
+	a.InsertBridgeBuffers()
+	subs, err := Split(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate a bus.
+	dup := append([]Subsystem{}, subs...)
+	dup = append(dup, subs[0])
+	if err := VerifyPartition(a, dup); err == nil {
+		t.Fatal("duplicate bus accepted")
+	}
+	// Drop a subsystem.
+	if err := VerifyPartition(a, subs[:len(subs)-1]); err == nil {
+		t.Fatal("missing bus accepted")
+	}
+}
+
+// Property: on random bus-chain architectures with random buffered flags, the
+// split is always a partition, subsystem count equals (#buses − #unbuffered
+// bridges that join distinct groups), and every subsystem marked Linear has
+// no internal bridges.
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := &arch.Architecture{Name: "chain"}
+		for i := 0; i < n; i++ {
+			a.Buses = append(a.Buses, arch.Bus{ID: string(rune('A' + i)), ServiceRate: 1 + rng.Float64()})
+			a.Processors = append(a.Processors, arch.Processor{
+				ID:    "proc" + string(rune('A'+i)),
+				Buses: []string{string(rune('A' + i))},
+			})
+		}
+		unbufferedJoins := 0
+		for i := 0; i < n-1; i++ {
+			buffered := rng.Intn(2) == 0
+			if !buffered {
+				unbufferedJoins++ // chain: every unbuffered bridge merges two groups
+			}
+			a.Bridges = append(a.Bridges, arch.Bridge{
+				ID:       "br" + string(rune('A'+i)),
+				BusA:     string(rune('A' + i)),
+				BusB:     string(rune('A' + i + 1)),
+				Buffered: buffered,
+			})
+		}
+		// One flow across the whole chain keeps everything routable.
+		a.Flows = []arch.Flow{{From: "procA", To: "proc" + string(rune('A'+n-1)), Rate: 1}}
+		subs, err := Split(a)
+		if err != nil {
+			return false
+		}
+		if err := VerifyPartition(a, subs); err != nil {
+			return false
+		}
+		if len(subs) != n-unbufferedJoins {
+			return false
+		}
+		for _, s := range subs {
+			if s.Linear() != (len(s.InternalBridges) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

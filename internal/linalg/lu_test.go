@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-9) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system solved without error")
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("LU of non-square accepted")
+	}
+}
+
+func TestSolveWrongRHSLen(t *testing.T) {
+	f, err := Factor(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("rhs length mismatch accepted")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -6, 1e-12) {
+		t.Fatalf("Det = %v, want -6", f.Det())
+	}
+	fi, _ := Factor(Identity(5))
+	if !almostEq(fi.Det(), 1, 1e-12) {
+		t.Fatalf("Det(I) = %v", fi.Det())
+	}
+}
+
+func TestDetPermutationSign(t *testing.T) {
+	// A row swap of the identity has determinant -1.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -1, 1e-12) {
+		t.Fatalf("Det(perm) = %v, want -1", f.Det())
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a pivot swap.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 7, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestResidualZeroForExactSolve(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 1}, {1, 2}})
+	b := []float64{9, 8}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Residual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1e-10 {
+		t.Fatalf("residual = %v", r)
+	}
+}
+
+func TestResidualShapeError(t *testing.T) {
+	a := Identity(2)
+	if _, err := Residual(a, []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("bad x length accepted")
+	}
+	if _, err := Residual(a, []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("bad b length accepted")
+	}
+}
+
+// Property: for random diagonally-dominant systems, Solve produces residual
+// ~0 and LU reconstructs the solution of the original system.
+func TestSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Add(i, i, rowSum+1) // diagonal dominance => nonsingular
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		r, err := Residual(a, x, b)
+		return err == nil && r < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Det of a random triangular matrix equals the product of its
+// diagonal entries.
+func TestDetTriangularProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		prod := 1.0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			d := 1 + rng.Float64()*3
+			a.Set(i, i, d)
+			prod *= d
+		}
+		f2, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		return math.Abs(f2.Det()-prod) < 1e-8*math.Abs(prod)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

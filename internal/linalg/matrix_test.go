@@ -1,0 +1,181 @@
+package linalg
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(-1, 2) did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("wrong contents: %v", m.Data)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("dims = %dx%d, want 0x0", m.Rows, m.Cols)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(3)[%d,%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAddRow(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At(0,1) = %v, want 7", m.At(0, 1))
+	}
+	row := m.Row(0)
+	row[0] = 9 // Row is a view; mutation must be visible.
+	if m.At(0, 0) != 9 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T dims = %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("T contents wrong: %v", tr.Data)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := m.MatVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MatVec = %v, want [3 7]", y)
+	}
+}
+
+func TestMatVecShapeError(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if _, err := m.MatVec([]float64{1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 1}, {4, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d,%d] = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	p, err := a.Mul(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if p.Data[i] != a.Data[i] {
+			t.Fatalf("A·I != A at flat index %d", i)
+		}
+	}
+}
+
+func TestStringContainsEntries(t *testing.T) {
+	m, _ := FromRows([][]float64{{1.5, -2}})
+	s := m.String()
+	if !strings.Contains(s, "1.5") || !strings.Contains(s, "-2") {
+		t.Fatalf("String() = %q lacks entries", s)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, -9}, {3, 4}})
+	if m.MaxAbs() != 9 {
+		t.Fatalf("MaxAbs = %v, want 9", m.MaxAbs())
+	}
+	if NewMatrix(0, 0).MaxAbs() != 0 {
+		t.Fatal("MaxAbs of empty != 0")
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

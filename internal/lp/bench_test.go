@@ -1,0 +1,83 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a bounded random LP with n variables and m inequality
+// rows plus box bounds.
+func benchProblem(n, m int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(n)
+	for j := range p.Objective {
+		p.Objective[j] = rng.NormFloat64()
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			if rng.Float64() < 0.5 {
+				row[j] = rng.Float64()
+			}
+		}
+		if err := p.AddConstraint(row, LE, 1+rng.Float64()*3); err != nil {
+			panic(err)
+		}
+	}
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		row[j] = 1
+		if err := p.AddConstraint(row, LE, 1); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func BenchmarkSimplexSmall(b *testing.B) {
+	p := benchProblem(20, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	p := benchProblem(120, 60, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexEqualityHeavy(b *testing.B) {
+	// CTMDP-like: mostly equality rows.
+	rng := rand.New(rand.NewSource(3))
+	n, m := 80, 40
+	p := NewProblem(n)
+	for j := range p.Objective {
+		p.Objective[j] = rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			if rng.Float64() < 0.2 {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		row[i%n] += 2 // keep rows independent-ish
+		if err := p.AddConstraint(row, EQ, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

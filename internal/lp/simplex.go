@@ -1,0 +1,355 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	pivotEps  = 1e-9 // entries smaller than this are treated as zero pivots
+	feasEps   = 1e-7 // phase-1 objective above this means infeasible
+	reduceEps = 1e-9 // reduced-cost tolerance for optimality
+)
+
+// tableau is the dense simplex working state. Layout:
+//
+//	rows 0..m-1:  constraint rows, columns 0..n-1 variables, column n = RHS
+//	row m:        objective row (reduced costs), column n = -objective value
+type tableau struct {
+	m, n  int
+	a     [][]float64 // (m+1) x (n+1)
+	basis []int       // basis[i] = variable index basic in row i
+}
+
+// Solve runs two-phase simplex on the problem. The limit on pivots is
+// proportional to the problem size; exceeding it returns ErrIterationLimit.
+func Solve(p *Problem) (*Solution, error) {
+	n := p.NumVars()
+	if n == 0 {
+		return nil, ErrNoVariables
+	}
+	m := len(p.Constraints)
+
+	// Count auxiliary columns: one slack per LE, one surplus per GE, one
+	// artificial per GE and EQ row (and per LE row with negative RHS after
+	// normalisation — normalising first keeps this simple).
+	type rowSpec struct {
+		coeffs []float64
+		rhs    float64
+		rel    Relation
+	}
+	rows := make([]rowSpec, m)
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 { // normalise to b >= 0
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowSpec{coeffs, rhs, rel}
+	}
+
+	nSlack := 0
+	for _, r := range rows {
+		if r.rel == LE || r.rel == GE {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range rows {
+		if r.rel == GE || r.rel == EQ {
+			nArt++
+		}
+	}
+
+	total := n + nSlack + nArt
+	t := &tableau{m: m, n: total}
+	t.a = make([][]float64, m+1)
+	for i := range t.a {
+		t.a[i] = make([]float64, total+1)
+	}
+	t.basis = make([]int, m)
+
+	slackCol := n
+	artCol := n + nSlack
+	artStart := artCol
+	for i, r := range rows {
+		copy(t.a[i][:n], r.coeffs)
+		t.a[i][total] = r.rhs
+		switch r.rel {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	maxIters := 200 * (m + total + 10)
+	iters := 0
+
+	// Phase 1: minimise the sum of artificials.
+	if nArt > 0 {
+		obj := t.a[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for j := artStart; j < total; j++ {
+			obj[j] = 1
+		}
+		// Price out the artificial basis (reduced costs must be expressed in
+		// terms of the current basis).
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= artStart {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t.a[i][j]
+				}
+			}
+		}
+		it, err := t.iterate(maxIters, artStart)
+		iters += it
+		if err != nil {
+			return nil, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if -t.a[m][total] > feasEps {
+			return &Solution{Status: Infeasible, Iters: iters}, nil
+		}
+		// Drive any artificial still basic (at zero level) out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[i][j]) > pivotEps {
+					t.pivot(i, j)
+					iters++
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it can never constrain phase 2.
+				for j := 0; j <= total; j++ {
+					t.a[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: restore the true objective, priced out over the basis, and
+	// forbid artificial columns. A deterministic, negligible perturbation
+	// breaks total objective ties: problems whose actions all cost the same
+	// (dual-degenerate CTMDP instances) otherwise orbit forever even under
+	// Bland's rule with floating-point pivoting. The reported objective is
+	// recomputed from the unperturbed costs below.
+	objScale := 0.0
+	for j := 0; j < n; j++ {
+		if a := math.Abs(p.Objective[j]); a > objScale {
+			objScale = a
+		}
+	}
+	if objScale == 0 {
+		objScale = 1
+	}
+	perturb := objScale * 1e-9 / float64(n)
+	obj := t.a[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = p.Objective[j] + perturb*float64(j+1)
+	}
+	for i := 0; i < m; i++ {
+		b := t.basis[i]
+		if b < n && math.Abs(obj[b]) > 0 {
+			c := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= c * t.a[i][j]
+			}
+		}
+	}
+	it, err := t.iterate(maxIters, artStart)
+	iters += it
+	if err != nil {
+		if err == errUnbounded {
+			return &Solution{Status: Unbounded, Iters: iters}, nil
+		}
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if b := t.basis[i]; b < n {
+			x[b] = t.a[i][total]
+		}
+	}
+	// Clamp tiny negatives introduced by roundoff.
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-9 {
+			x[j] = 0
+		}
+	}
+	var objVal float64
+	for j := 0; j < n; j++ {
+		objVal += p.Objective[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: objVal, Iters: iters}, nil
+}
+
+type simplexErr string
+
+func (e simplexErr) Error() string { return string(e) }
+
+const errUnbounded = simplexErr("lp: unbounded")
+
+// iterate runs simplex pivots until optimal, unbounded or the iteration cap.
+// Columns at index >= banFrom are never entered (used to keep artificials out
+// during phase 2). Pivoting uses Dantzig's rule (most negative reduced cost)
+// for speed; a run of pivots with no objective progress flips it to Bland's
+// rule permanently, which guarantees termination (switching back on
+// roundoff-scale "improvements" can livelock between the two rules).
+func (t *tableau) iterate(maxIters, banFrom int) (int, error) {
+	obj := t.a[t.m]
+	iters := 0
+	bland := false
+	stall := 0
+	stallLimit := 30 + t.m/4
+	lastObj := -obj[t.n]
+	for {
+		if iters >= maxIters {
+			return iters, ErrIterationLimit
+		}
+		enter := -1
+		if bland {
+			// Bland: lowest index with negative reduced cost.
+			for j := 0; j < t.n && j < banFrom; j++ {
+				if obj[j] < -reduceEps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			// Dantzig: most negative reduced cost.
+			best := -reduceEps
+			for j := 0; j < t.n && j < banFrom; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return iters, nil // optimal
+		}
+		// Ratio test with a numerical-stability tie-break. CTMDP balance
+		// systems are maximally degenerate (almost every RHS is 0): many
+		// rows tie at ratio 0, and repeatedly pivoting on tiny entries
+		// blows the tableau up until "reduced costs" are pure noise. Among
+		// (near-)minimal-ratio rows we therefore pivot on the LARGEST
+		// entry in the entering column, which keeps growth bounded.
+		leave := -1
+		bestRatio := math.Inf(1)
+		bestPivot := 0.0
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= pivotEps {
+				continue
+			}
+			// Roundoff can leave a basic value microscopically negative;
+			// clamp so ratios stay non-negative.
+			rhs := t.a[i][t.n]
+			if rhs < 0 {
+				rhs = 0
+			}
+			ratio := rhs / aij
+			switch {
+			case ratio < bestRatio-1e-9:
+				bestRatio = ratio
+				bestPivot = aij
+				leave = i
+			case ratio <= bestRatio+1e-9 && aij > bestPivot:
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+				bestPivot = aij
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return iters, errUnbounded
+		}
+		t.pivot(leave, enter)
+		iters++
+		cur := -obj[t.n]
+		if cur < lastObj-1e-12 {
+			lastObj = cur
+			stall = 0
+		} else {
+			stall++
+			if stall > stallLimit {
+				bland = true
+			}
+			// Prolonged stagnation in Bland mode means roundoff is keeping
+			// a reduced cost pinned fractionally below the tolerance at an
+			// effectively-optimal vertex. Accept the vertex if every
+			// reduced cost clears a loosened tolerance.
+			if bland && stall > 20*stallLimit {
+				worst := 0.0
+				for j := 0; j < t.n && j < banFrom; j++ {
+					if obj[j] < worst {
+						worst = obj[j]
+					}
+				}
+				if worst > -1e-6 {
+					return iters, nil
+				}
+			}
+		}
+	}
+}
+
+// pivot makes column `col` basic in row `row`.
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	prow := t.a[row]
+	for j := 0; j <= t.n; j++ {
+		prow[j] *= inv
+	}
+	prow[col] = 1 // exact
+	for i := 0; i <= t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.n; j++ {
+			ri[j] -= f * prow[j]
+		}
+		ri[col] = 0 // exact
+	}
+	t.basis[row] = col
+}

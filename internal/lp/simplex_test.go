@@ -1,0 +1,313 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestBasicLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6 -> min -(x+y); optimum at (1.6, 1.2) = 2.8.
+	p := NewProblem(2)
+	p.Objective = []float64{-1, -1}
+	mustAdd(t, p, []float64{1, 2}, LE, 4)
+	mustAdd(t, p, []float64{3, 1}, LE, 6)
+	s := solveOK(t, p)
+	if !close2(s.Objective, -2.8, 1e-8) {
+		t.Fatalf("objective = %v, want -2.8", s.Objective)
+	}
+	if !close2(s.X[0], 1.6, 1e-8) || !close2(s.X[1], 1.2, 1e-8) {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+y s.t. x+y = 5, x <= 3 -> any point on the segment, objective 5.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	mustAdd(t, p, []float64{1, 1}, EQ, 5)
+	mustAdd(t, p, []float64{1, 0}, LE, 3)
+	s := solveOK(t, p)
+	if !close2(s.Objective, 5, 1e-8) {
+		t.Fatalf("objective = %v, want 5", s.Objective)
+	}
+	if s.X[0] > 3+1e-9 {
+		t.Fatalf("x violates x<=3: %v", s.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x+3y s.t. x+y >= 4, x,y >= 0. Optimal at (4,0) = 8.
+	p := NewProblem(2)
+	p.Objective = []float64{2, 3}
+	mustAdd(t, p, []float64{1, 1}, GE, 4)
+	s := solveOK(t, p)
+	if !close2(s.Objective, 8, 1e-8) {
+		t.Fatalf("objective = %v, want 8", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	mustAdd(t, p, []float64{1}, LE, 1)
+	mustAdd(t, p, []float64{1}, GE, 2)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x >= 1: objective unbounded below.
+	p := NewProblem(1)
+	p.Objective = []float64{-1}
+	mustAdd(t, p, []float64{1}, GE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalisation(t *testing.T) {
+	// -x <= -2  is  x >= 2; min x should give 2.
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	mustAdd(t, p, []float64{-1}, LE, -2)
+	s := solveOK(t, p)
+	if !close2(s.X[0], 2, 1e-8) {
+		t.Fatalf("x = %v, want 2", s.X)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Beale's classic cycling example (cycles under Dantzig's rule without
+	// anti-cycling; Bland's rule must terminate).
+	p := NewProblem(4)
+	p.Objective = []float64{-0.75, 150, -0.02, 6}
+	mustAdd(t, p, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	mustAdd(t, p, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	mustAdd(t, p, []float64{0, 0, 1, 0}, LE, 1)
+	s := solveOK(t, p)
+	if !close2(s.Objective, -0.05, 1e-8) {
+		t.Fatalf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// CTMDP balance systems always carry one redundant equality; make sure
+	// phase 1 handles a dependent row without declaring infeasibility.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 2}
+	mustAdd(t, p, []float64{1, 1}, EQ, 3)
+	mustAdd(t, p, []float64{2, 2}, EQ, 6) // same hyperplane
+	s := solveOK(t, p)
+	if !close2(s.X[0]+s.X[1], 3, 1e-8) {
+		t.Fatalf("x = %v", s.X)
+	}
+	if !close2(s.Objective, 3, 1e-8) { // all mass on x0
+		t.Fatalf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestDistributionLikeLP(t *testing.T) {
+	// Mimics an occupation-measure LP: probabilities sum to 1, pick the
+	// cheapest state subject to a coverage constraint.
+	p := NewProblem(3)
+	p.Objective = []float64{5, 1, 3}
+	mustAdd(t, p, []float64{1, 1, 1}, EQ, 1)
+	mustAdd(t, p, []float64{1, 0, 1}, GE, 0.4) // at least 0.4 mass off state 1
+	s := solveOK(t, p)
+	if !close2(s.Objective, 0.6*1+0.4*3, 1e-8) {
+		t.Fatalf("objective = %v, want 1.8", s.Objective)
+	}
+}
+
+func TestNoVariables(t *testing.T) {
+	if _, err := Solve(NewProblem(0)); err == nil {
+		t.Fatal("expected error for empty problem")
+	}
+}
+
+func TestAddConstraintLengthMismatch(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.AddConstraint([]float64{1}, LE, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestConstraintCoeffsCopied(t *testing.T) {
+	p := NewProblem(1)
+	coeffs := []float64{1}
+	mustAdd(t, p, coeffs, LE, 5)
+	coeffs[0] = -99 // must not corrupt the stored constraint
+	p.Objective = []float64{-1}
+	s := solveOK(t, p)
+	if !close2(s.X[0], 5, 1e-8) {
+		t.Fatalf("x = %v, want 5 (constraint mutated after add?)", s.X)
+	}
+}
+
+func TestStatusAndRelationStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+	if LE.String() != "<=" || EQ.String() != "==" || GE.String() != ">=" {
+		t.Fatal("Relation strings wrong")
+	}
+	if Status(42).String() == "" || Relation(42).String() == "" {
+		t.Fatal("unknown enum strings must be non-empty")
+	}
+}
+
+// Property test: on random bounded LPs over the box [0,1]^n (explicit upper
+// bounds), the simplex optimum is no worse than any of a batch of random
+// feasible points, and satisfies all constraints.
+func TestSimplexDominatesRandomFeasiblePoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(3)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.Objective[j] = rng.NormFloat64()
+		}
+		rowsA := make([][]float64, m)
+		rowsB := make([]float64, m)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = math.Abs(rng.NormFloat64()) // nonneg coeffs keep 0 feasible
+			}
+			rowsA[i] = row
+			rowsB[i] = 0.5 + rng.Float64()*2
+			if err := p.AddConstraint(row, LE, rowsB[i]); err != nil {
+				return false
+			}
+		}
+		// Box bounds x_j <= 1 keep the LP bounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			if err := p.AddConstraint(row, LE, 1); err != nil {
+				return false
+			}
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Check feasibility of the reported optimum.
+		for j := 0; j < n; j++ {
+			if s.X[j] < -1e-7 || s.X[j] > 1+1e-7 {
+				return false
+			}
+		}
+		for i := 0; i < m; i++ {
+			var lhs float64
+			for j := 0; j < n; j++ {
+				lhs += rowsA[i][j] * s.X[j]
+			}
+			if lhs > rowsB[i]+1e-6 {
+				return false
+			}
+		}
+		// Compare against random feasible points (rejection sampling).
+		for trial := 0; trial < 40; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			feasible := true
+			for i := 0; i < m; i++ {
+				var lhs float64
+				for j := 0; j < n; j++ {
+					lhs += rowsA[i][j] * x[j]
+				}
+				if lhs > rowsB[i] {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			var obj float64
+			for j := 0; j < n; j++ {
+				obj += p.Objective[j] * x[j]
+			}
+			if obj < s.Objective-1e-6 {
+				return false // a random point beat the "optimum"
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: scaling the objective scales the optimum and keeps the
+// argmin (for a fixed random bounded LP).
+func TestObjectiveScalingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		p := NewProblem(n)
+		for j := range p.Objective {
+			p.Objective[j] = rng.NormFloat64()
+		}
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			if err := p.AddConstraint(row, LE, 2); err != nil {
+				return false
+			}
+		}
+		s1, err := Solve(p)
+		if err != nil || s1.Status != Optimal {
+			return false
+		}
+		q := NewProblem(n)
+		for j := range q.Objective {
+			q.Objective[j] = 3 * p.Objective[j]
+		}
+		q.Constraints = p.Constraints
+		s2, err := Solve(q)
+		if err != nil || s2.Status != Optimal {
+			return false
+		}
+		return math.Abs(s2.Objective-3*s1.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAdd(t *testing.T, p *Problem, coeffs []float64, rel Relation, rhs float64) {
+	t.Helper()
+	if err := p.AddConstraint(coeffs, rel, rhs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close2(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,72 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchChain(b *testing.B, n int) *Generator {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := NewGenerator(n)
+	for i := 0; i < n; i++ {
+		if err := g.SetRate(i, (i+1)%n, 0.5+rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+		j := rng.Intn(n)
+		if j != i {
+			if err := g.AddRate(i, j, rng.Float64()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkStationaryDirect64(b *testing.B) {
+	g := benchChain(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Stationary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStationaryDirect256(b *testing.B) {
+	g := benchChain(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Stationary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStationaryPower64(b *testing.B) {
+	g := benchChain(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.StationaryPower(1_000_000, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBirthDeathClosedForm(b *testing.B) {
+	birth := make([]float64, 100)
+	death := make([]float64, 100)
+	for i := range birth {
+		birth[i], death[i] = 1.5, 2.0
+	}
+	bd, err := NewBirthDeath(birth, death)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bd.Stationary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

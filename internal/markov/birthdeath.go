@@ -1,0 +1,73 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BirthDeath describes a finite birth-death CTMC on states 0..N where Birth[k]
+// is the rate k→k+1 (len N) and Death[k] is the rate k+1→k (len N).
+// Finite buffers in front of a bus are exactly such chains when the arrival
+// and service processes are Markovian, which is why this shortcut exists:
+// the stationary distribution has the closed product form
+//
+//	π_k ∝ Π_{j<k} Birth[j]/Death[j].
+type BirthDeath struct {
+	Birth []float64 // Birth[k]: rate from state k to k+1
+	Death []float64 // Death[k]: rate from state k+1 to k
+}
+
+// NewBirthDeath validates and wraps the rate slices.
+func NewBirthDeath(birth, death []float64) (*BirthDeath, error) {
+	if len(birth) != len(death) {
+		return nil, fmt.Errorf("markov: birth/death length mismatch %d vs %d", len(birth), len(death))
+	}
+	for k, b := range birth {
+		if b < 0 {
+			return nil, fmt.Errorf("markov: negative birth rate %v at %d", b, k)
+		}
+	}
+	for k, d := range death {
+		if d <= 0 {
+			return nil, fmt.Errorf("markov: non-positive death rate %v at %d", d, k)
+		}
+	}
+	return &BirthDeath{Birth: birth, Death: death}, nil
+}
+
+// N returns the top state index (states run 0..N).
+func (bd *BirthDeath) N() int { return len(bd.Birth) }
+
+// Stationary returns the product-form stationary distribution over 0..N.
+func (bd *BirthDeath) Stationary() ([]float64, error) {
+	n := bd.N()
+	pi := make([]float64, n+1)
+	pi[0] = 1
+	var sum float64 = 1
+	coef := 1.0
+	for k := 0; k < n; k++ {
+		coef *= bd.Birth[k] / bd.Death[k]
+		pi[k+1] = coef
+		sum += coef
+	}
+	if sum <= 0 {
+		return nil, errors.New("markov: degenerate birth-death chain")
+	}
+	for k := range pi {
+		pi[k] /= sum
+	}
+	return pi, nil
+}
+
+// Generator expands the birth-death chain to a full generator matrix, mainly
+// for cross-validation against the generic solvers.
+func (bd *BirthDeath) Generator() *Generator {
+	n := bd.N()
+	g := NewGenerator(n + 1)
+	for k := 0; k < n; k++ {
+		// Rates validated at construction; ignore impossible errors.
+		_ = g.SetRate(k, k+1, bd.Birth[k])
+		_ = g.SetRate(k+1, k, bd.Death[k])
+	}
+	return g
+}

@@ -1,0 +1,95 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBirthDeathValidation(t *testing.T) {
+	if _, err := NewBirthDeath([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewBirthDeath([]float64{-1}, []float64{1}); err == nil {
+		t.Fatal("negative birth accepted")
+	}
+	if _, err := NewBirthDeath([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero death accepted")
+	}
+}
+
+func TestBirthDeathTwoState(t *testing.T) {
+	bd, err := NewBirthDeath([]float64{2}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := bd.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.6) > 1e-12 || math.Abs(pi[1]-0.4) > 1e-12 {
+		t.Fatalf("pi = %v", pi)
+	}
+}
+
+func TestBirthDeathMM1KShape(t *testing.T) {
+	// Constant λ, μ gives the classic geometric M/M/1/K distribution.
+	lambda, mu, k := 1.0, 2.0, 4
+	birth := make([]float64, k)
+	death := make([]float64, k)
+	for i := range birth {
+		birth[i], death[i] = lambda, mu
+	}
+	bd, err := NewBirthDeath(birth, death)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := bd.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	norm := (1 - math.Pow(rho, float64(k+1))) / (1 - rho)
+	for i := 0; i <= k; i++ {
+		want := math.Pow(rho, float64(i)) / norm
+		if math.Abs(pi[i]-want) > 1e-12 {
+			t.Fatalf("pi[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+}
+
+// Property: product form matches the generic CTMC stationary solve.
+func TestBirthDeathMatchesGeneratorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		birth := make([]float64, n)
+		death := make([]float64, n)
+		for i := range birth {
+			birth[i] = 0.1 + rng.Float64()*4
+			death[i] = 0.1 + rng.Float64()*4
+		}
+		bd, err := NewBirthDeath(birth, death)
+		if err != nil {
+			return false
+		}
+		prod, err := bd.Stationary()
+		if err != nil {
+			return false
+		}
+		gen, err := bd.Generator().Stationary()
+		if err != nil {
+			return false
+		}
+		for i := range prod {
+			if math.Abs(prod[i]-gen[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package markov implements continuous-time Markov chain (CTMC) fundamentals:
+// generator matrices, stationary distributions, uniformisation, and
+// birth-death shortcuts.
+//
+// The buffer-sizing pipeline uses this package in two ways: to validate the
+// discrete-event simulator against analytic M/M/1/K results, and to compute
+// stationary occupancy distributions of bus subsystems under a *fixed* policy
+// (the CTMDP solver in internal/ctmdp optimises over policies; once a policy
+// is fixed the subsystem is a plain CTMC handled here).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"socbuf/internal/linalg"
+)
+
+// ErrNotGenerator is returned when a matrix fails generator validation.
+var ErrNotGenerator = errors.New("markov: not a valid generator matrix")
+
+// ErrNoConvergence is returned when an iterative method exceeds its budget.
+var ErrNoConvergence = errors.New("markov: iteration did not converge")
+
+// Generator is the infinitesimal generator (rate matrix) Q of a CTMC:
+// off-diagonal entries are transition rates, each diagonal entry is the
+// negated sum of its row's off-diagonals.
+type Generator struct {
+	Q *linalg.Matrix
+}
+
+// NewGenerator returns an n-state generator with all rates zero.
+func NewGenerator(n int) *Generator {
+	return &Generator{Q: linalg.NewMatrix(n, n)}
+}
+
+// N returns the number of states.
+func (g *Generator) N() int { return g.Q.Rows }
+
+// SetRate sets the transition rate from state i to state j (i != j) and
+// maintains the diagonal invariant.
+func (g *Generator) SetRate(i, j int, rate float64) error {
+	if i == j {
+		return fmt.Errorf("markov: SetRate on diagonal (%d,%d)", i, j)
+	}
+	if rate < 0 {
+		return fmt.Errorf("markov: negative rate %v for (%d,%d)", rate, i, j)
+	}
+	old := g.Q.At(i, j)
+	g.Q.Set(i, j, rate)
+	g.Q.Add(i, i, old-rate)
+	return nil
+}
+
+// AddRate adds to the transition rate from i to j (i != j), maintaining the
+// diagonal invariant.
+func (g *Generator) AddRate(i, j int, rate float64) error {
+	if i == j {
+		return fmt.Errorf("markov: AddRate on diagonal (%d,%d)", i, j)
+	}
+	if rate < 0 {
+		return fmt.Errorf("markov: negative rate %v for (%d,%d)", rate, i, j)
+	}
+	g.Q.Add(i, j, rate)
+	g.Q.Add(i, i, -rate)
+	return nil
+}
+
+// Rate returns the transition rate from i to j.
+func (g *Generator) Rate(i, j int) float64 { return g.Q.At(i, j) }
+
+// Validate checks the generator invariants: non-negative off-diagonals and
+// rows summing to zero (within tolerance).
+func (g *Generator) Validate() error {
+	n := g.N()
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			v := g.Q.At(i, j)
+			if i != j && v < 0 {
+				return fmt.Errorf("%w: negative off-diagonal Q[%d,%d]=%v", ErrNotGenerator, i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum) > 1e-8*(1+math.Abs(g.Q.At(i, i))) {
+			return fmt.Errorf("%w: row %d sums to %v", ErrNotGenerator, i, sum)
+		}
+	}
+	return nil
+}
+
+// Stationary computes the stationary distribution π with πQ = 0, Σπ = 1 by a
+// direct linear solve. It requires the chain to have a unique stationary
+// distribution (single recurrent class); otherwise the solve fails or the
+// result contains negative entries, both reported as errors.
+func (g *Generator) Stationary() ([]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("markov: empty chain")
+	}
+	// Solve Qᵀπ = 0 with the last equation replaced by Σπ = 1.
+	a := g.Q.T()
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: stationary solve: %w", err)
+	}
+	var sum float64
+	for i, v := range pi {
+		if v < -1e-8 {
+			return nil, fmt.Errorf("markov: stationary solution has negative mass %v at state %d (reducible chain?)", v, i)
+		}
+		if v < 0 {
+			pi[i] = 0
+			v = 0
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("markov: stationary mass %v != 1", sum)
+	}
+	linalg.Scale(1/sum, pi)
+	return pi, nil
+}
+
+// Uniformise returns the uniformised DTMC transition matrix
+// P = I + Q/Λ with Λ = rate (must satisfy Λ ≥ max_i |q_ii|; pass 0 to let the
+// function pick 1.05·max|q_ii|). The returned rate is the Λ used.
+func (g *Generator) Uniformise(rate float64) (*linalg.Matrix, float64, error) {
+	n := g.N()
+	var maxDiag float64
+	for i := 0; i < n; i++ {
+		if d := -g.Q.At(i, i); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if rate == 0 {
+		rate = 1.05*maxDiag + 1e-12
+	}
+	if rate < maxDiag {
+		return nil, 0, fmt.Errorf("markov: uniformisation rate %v < max exit rate %v", rate, maxDiag)
+	}
+	p := linalg.Identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p.Add(i, j, g.Q.At(i, j)/rate)
+		}
+	}
+	return p, rate, nil
+}
+
+// StationaryPower computes the stationary distribution by power iteration on
+// the uniformised chain. Slower but allocation-light; used as a
+// cross-validation of Stationary and for very large sparse-ish chains.
+func (g *Generator) StationaryPower(maxIters int, tol float64) ([]float64, error) {
+	p, _, err := g.Uniformise(0)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for it := 0; it < maxIters; it++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			v := pi[i]
+			if v == 0 {
+				continue
+			}
+			row := p.Row(i)
+			for j, pij := range row {
+				next[j] += v * pij
+			}
+		}
+		var diff float64
+		for j := range next {
+			if d := math.Abs(next[j] - pi[j]); d > diff {
+				diff = d
+			}
+		}
+		pi, next = next, pi
+		if diff < tol {
+			// Normalise against drift.
+			s := linalg.Sum(pi)
+			if s <= 0 {
+				return nil, fmt.Errorf("markov: power iteration collapsed (sum=%v)", s)
+			}
+			linalg.Scale(1/s, pi)
+			return pi, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}

@@ -1,0 +1,262 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func twoState(t *testing.T, a, b float64) *Generator {
+	t.Helper()
+	g := NewGenerator(2)
+	if err := g.SetRate(0, 1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetRate(1, 0, b); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTwoStateStationary(t *testing.T) {
+	// 0 -a-> 1, 1 -b-> 0 has π = (b, a)/(a+b).
+	g := twoState(t, 2, 3)
+	pi, err := g.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.6) > 1e-10 || math.Abs(pi[1]-0.4) > 1e-10 {
+		t.Fatalf("pi = %v, want [0.6 0.4]", pi)
+	}
+}
+
+func TestSetRateMaintainsDiagonal(t *testing.T) {
+	g := NewGenerator(3)
+	if err := g.SetRate(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetRate(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.Rate(0, 0) != -8 {
+		t.Fatalf("diag = %v, want -8", g.Rate(0, 0))
+	}
+	// Overwrite should adjust, not accumulate.
+	if err := g.SetRate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Rate(0, 0) != -4 {
+		t.Fatalf("diag after overwrite = %v, want -4", g.Rate(0, 0))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRate(t *testing.T) {
+	g := NewGenerator(2)
+	if err := g.AddRate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRate(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Rate(0, 1) != 3 || g.Rate(0, 0) != -3 {
+		t.Fatalf("rates = %v / %v", g.Rate(0, 1), g.Rate(0, 0))
+	}
+}
+
+func TestRateErrors(t *testing.T) {
+	g := NewGenerator(2)
+	if err := g.SetRate(0, 0, 1); err == nil {
+		t.Fatal("diagonal SetRate accepted")
+	}
+	if err := g.SetRate(0, 1, -1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := g.AddRate(1, 1, 1); err == nil {
+		t.Fatal("diagonal AddRate accepted")
+	}
+	if err := g.AddRate(0, 1, -2); err == nil {
+		t.Fatal("negative AddRate accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := NewGenerator(2)
+	if err := g.SetRate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.Q.Set(0, 0, 5) // corrupt the diagonal directly
+	if err := g.Validate(); err == nil {
+		t.Fatal("corrupted generator validated")
+	}
+	g2 := NewGenerator(2)
+	g2.Q.Set(0, 1, -1)
+	g2.Q.Set(0, 0, 1)
+	if err := g2.Validate(); err == nil {
+		t.Fatal("negative off-diagonal validated")
+	}
+}
+
+func TestStationaryEmptyChain(t *testing.T) {
+	g := NewGenerator(0)
+	if _, err := g.Stationary(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestStationaryReducibleChainFails(t *testing.T) {
+	// Two absorbing states: no unique stationary distribution.
+	g := NewGenerator(2) // all-zero generator: both states absorbing
+	if _, err := g.Stationary(); err == nil {
+		t.Fatal("reducible chain returned a stationary distribution")
+	}
+}
+
+func TestUniformise(t *testing.T) {
+	g := twoState(t, 2, 3)
+	p, lam, err := g.Uniformise(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam < 3 {
+		t.Fatalf("lambda = %v, want >= 3", lam)
+	}
+	// Rows of P must be probability vectors.
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for j := 0; j < 2; j++ {
+			v := p.At(i, j)
+			if v < -1e-12 {
+				t.Fatalf("P[%d,%d] = %v < 0", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestUniformiseRateTooSmall(t *testing.T) {
+	g := twoState(t, 5, 1)
+	if _, _, err := g.Uniformise(2); err == nil {
+		t.Fatal("rate below max exit rate accepted")
+	}
+}
+
+func TestStationaryPowerMatchesDirect(t *testing.T) {
+	g := twoState(t, 2, 3)
+	direct, err := g.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := g.StationaryPower(100000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if math.Abs(direct[i]-power[i]) > 1e-8 {
+			t.Fatalf("direct %v vs power %v", direct, power)
+		}
+	}
+}
+
+func TestStationaryPowerNoConvergence(t *testing.T) {
+	g := twoState(t, 2, 3)
+	if _, err := g.StationaryPower(1, 0); err == nil {
+		t.Fatal("expected non-convergence with 1 iteration and zero tolerance")
+	}
+}
+
+// Property: for random irreducible chains, the stationary distribution sums
+// to 1, is non-negative, and satisfies the balance equations πQ ≈ 0.
+func TestStationaryBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := NewGenerator(n)
+		// Ring structure guarantees irreducibility; extra random edges.
+		for i := 0; i < n; i++ {
+			if err := g.SetRate(i, (i+1)%n, 0.1+rng.Float64()*5); err != nil {
+				return false
+			}
+		}
+		for e := 0; e < n; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				if err := g.AddRate(i, j, rng.Float64()*3); err != nil {
+					return false
+				}
+			}
+		}
+		pi, err := g.Stationary()
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range pi {
+			if v < -1e-10 {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-8 {
+			return false
+		}
+		// Balance: (πQ)_j ≈ 0 for all j.
+		for j := 0; j < n; j++ {
+			var bal float64
+			for i := 0; i < n; i++ {
+				bal += pi[i] * g.Q.At(i, j)
+			}
+			if math.Abs(bal) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: power iteration and direct solve agree on random irreducible
+// chains.
+func TestPowerVsDirectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		g := NewGenerator(n)
+		for i := 0; i < n; i++ {
+			if err := g.SetRate(i, (i+1)%n, 0.5+rng.Float64()*2); err != nil {
+				return false
+			}
+			j := rng.Intn(n)
+			if j != i {
+				if err := g.AddRate(i, j, rng.Float64()); err != nil {
+					return false
+				}
+			}
+		}
+		d, err := g.Stationary()
+		if err != nil {
+			return false
+		}
+		p, err := g.StationaryPower(200000, 1e-13)
+		if err != nil {
+			return false
+		}
+		for i := range d {
+			if math.Abs(d[i]-p[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package nonlinear
+
+import (
+	"fmt"
+	"sort"
+
+	"socbuf/internal/arch"
+)
+
+// FromArchitecture builds the coupled quadratic system of one group of buses
+// connected by un-buffered bridges (as reported by graph.CoupledGroups).
+// levels caps each client queue. Every flow must either avoid the group
+// entirely or run entirely inside it; partially-crossing flows are a
+// modelling error for the un-buffered analysis.
+//
+// A flow whose route visits buses m1→m2→…→mk inside the group becomes one
+// client on m1 (the source egress buffer) whose service is gated by the
+// availability of m2…mk: an un-buffered transfer holds every bus on the path
+// simultaneously.
+func FromArchitecture(a *arch.Architecture, groupBuses []string, levels int) (*CoupledSystem, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("nonlinear: levels %d < 1", levels)
+	}
+	inGroup := map[string]bool{}
+	for _, b := range groupBuses {
+		inGroup[b] = true
+	}
+	routes, err := a.Routes()
+	if err != nil {
+		return nil, err
+	}
+
+	busIdx := map[string]int{}
+	ordered := append([]string(nil), groupBuses...)
+	sort.Strings(ordered)
+	specs := make([]BusSpec, len(ordered))
+	for i, id := range ordered {
+		bus, ok := a.BusByID(id)
+		if !ok {
+			return nil, fmt.Errorf("nonlinear: unknown bus %q", id)
+		}
+		specs[i] = BusSpec{ID: id, Mu: bus.ServiceRate}
+		busIdx[id] = i
+	}
+
+	for _, r := range routes {
+		inside := 0
+		for _, h := range r.Hops {
+			if inGroup[h.Bus] {
+				inside++
+			}
+		}
+		if inside == 0 {
+			continue
+		}
+		if inside != len(r.Hops) {
+			return nil, fmt.Errorf("nonlinear: flow %s→%s partially crosses the coupled group", r.Flow.From, r.Flow.To)
+		}
+		first := r.Hops[0]
+		m := busIdx[first.Bus]
+		var gates []int
+		for _, h := range r.Hops[1:] {
+			gates = append(gates, busIdx[h.Bus])
+		}
+		specs[m].Clients = append(specs[m].Clients, ClientSpec{
+			ID:     fmt.Sprintf("%s(%s→%s)", first.Buffer, r.Flow.From, r.Flow.To),
+			Lambda: r.Flow.Rate,
+			Levels: levels,
+			Gates:  gates,
+		})
+	}
+	for i := range specs {
+		sort.Slice(specs[i].Clients, func(x, y int) bool {
+			return specs[i].Clients[x].ID < specs[i].Clients[y].ID
+		})
+		if len(specs[i].Clients) == 0 {
+			// A bus in the group with no sourced traffic still gates others;
+			// give it an inert client so the state space is well-formed.
+			specs[i].Clients = []ClientSpec{{ID: specs[i].ID + "(inert)", Lambda: 0, Levels: 1}}
+		}
+	}
+	return NewCoupledSystem(specs)
+}

@@ -1,0 +1,112 @@
+package nonlinear
+
+import (
+	"strings"
+	"testing"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/graph"
+)
+
+func figure1Coupled(t *testing.T) *CoupledSystem {
+	t.Helper()
+	a := arch.Figure1()
+	groups, err := graph.CoupledGroups(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("coupled groups = %d", len(groups))
+	}
+	cs, err := FromArchitecture(a, groups[0].Buses, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// The headline reproduction of the paper's §2: Newton on the first-order
+// conditions of the quadratic optimisation system fails on the Figure 1
+// example — "we were not able to get solutions for them" — at every damping
+// level, with a singular KKT matrix.
+func TestKKTNewtonFailsOnFigure1(t *testing.T) {
+	cs := figure1Coupled(t)
+	for _, damping := range []float64{1, 0.5, 0.2} {
+		r, err := cs.KKTNewton(NewtonOptions{MaxIters: 150, Damping: damping})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Valid {
+			t.Fatalf("damping %v: KKT-Newton unexpectedly solved the Figure 1 coupled system; "+
+				"the split-linear contribution would be moot (diag %+v)", damping, r.Diag)
+		}
+	}
+}
+
+// Control: the same solver handles a minimal two-bus coupled instance, so the
+// Figure 1 failure is about the system, not a broken solver.
+func TestKKTNewtonSolvesTrivialInstance(t *testing.T) {
+	cs, err := NewCoupledSystem([]BusSpec{
+		{ID: "A", Mu: 2, Clients: []ClientSpec{{ID: "a1", Lambda: 3, Levels: 3, Gates: []int{1}}}},
+		{ID: "B", Mu: 2, Clients: []ClientSpec{{ID: "b1", Lambda: 3, Levels: 3, Gates: []int{0}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cs.KKTNewton(NewtonOptions{MaxIters: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Valid {
+		t.Fatalf("KKT-Newton failed even on the trivial instance: %+v", r.Diag)
+	}
+	if r.LossRate < 0 || r.LossRate > 6 {
+		t.Fatalf("implausible loss rate %v", r.LossRate)
+	}
+}
+
+func TestKKTDiagnosticsPopulated(t *testing.T) {
+	cs := figure1Coupled(t)
+	r, err := cs.KKTNewton(NewtonOptions{MaxIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Diag.Reason == "" {
+		t.Fatal("no reason recorded")
+	}
+	if len(r.Diag.History) == 0 {
+		t.Fatal("no residual history")
+	}
+	if !strings.Contains(r.Diag.Reason, "singular") && !strings.Contains(r.Diag.Reason, "diverged") &&
+		!strings.Contains(r.Diag.Reason, "limit") && !strings.Contains(r.Diag.Reason, "tolerance") {
+		t.Fatalf("unexpected reason %q", r.Diag.Reason)
+	}
+}
+
+func TestKKTLayoutCounts(t *testing.T) {
+	cs := figure1Coupled(t)
+	vars, rows := cs.kktLayout()
+	if len(vars) == 0 || rows == 0 {
+		t.Fatal("empty KKT layout")
+	}
+	total := 0
+	for m := range cs.Buses {
+		total += cs.states[m]
+	}
+	if rows != total {
+		t.Fatalf("rows = %d, want %d", rows, total)
+	}
+	// Idle vars exist exactly in the all-empty states.
+	idle := 0
+	for _, v := range vars {
+		if v.action == -1 {
+			if v.state != 0 {
+				t.Fatalf("idle action outside all-empty state: %+v", v)
+			}
+			idle++
+		}
+	}
+	if idle != len(cs.Buses) {
+		t.Fatalf("idle vars = %d, want one per bus", idle)
+	}
+}

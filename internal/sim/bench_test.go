@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"socbuf/internal/arch"
+)
+
+func benchRun(b *testing.B, a *arch.Architecture, budget int, horizon float64) {
+	b.Helper()
+	a.InsertBridgeBuffers()
+	alloc, err := arch.UniformAllocation(a, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{Arch: a, Alloc: alloc, Horizon: horizon, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.TotalGenerated())/horizon, "pkts/t")
+	}
+}
+
+func BenchmarkSimTwoBus(b *testing.B)  { benchRun(b, arch.TwoBusAMBA(), 24, 2000) }
+func BenchmarkSimFigure1(b *testing.B) { benchRun(b, arch.Figure1(), 40, 2000) }
+func BenchmarkSimNetproc(b *testing.B) { benchRun(b, arch.NetworkProcessor(), 160, 2000) }
+
+func BenchmarkSimNetprocTimeout(b *testing.B) {
+	a := arch.NetworkProcessor()
+	a.InsertBridgeBuffers()
+	alloc, err := arch.UniformAllocation(a, 160)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{Arch: a, Alloc: alloc, Horizon: 2000, Seed: int64(i), Timeout: 1.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

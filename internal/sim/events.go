@@ -1,0 +1,48 @@
+package sim
+
+import "container/heap"
+
+// eventKind discriminates the two event types of the simulator.
+type eventKind int
+
+const (
+	evArrival   eventKind = iota // a flow generates a new packet
+	evDeparture                  // a bus finishes one transfer
+)
+
+// event is a scheduled occurrence. seq breaks time ties deterministically so
+// that runs with equal seeds are bit-for-bit reproducible.
+type event struct {
+	at   float64
+	seq  uint64
+	kind eventKind
+	flow int // evArrival: index into routes
+	bus  int // evDeparture: index into buses
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// schedule pushes an event, assigning the next sequence number.
+func (s *Simulator) schedule(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}

@@ -1,0 +1,465 @@
+// Package sim is a continuous-time discrete-event simulator of the SoC
+// communication sub-system: Poisson (or bursty) packet flows, bus arbiters
+// serving one exponential transfer at a time, bridges whose directional
+// buffers decouple the buses, finite buffers that lose packets on overflow,
+// and the paper's timeout policy that refuses to serve packets older than a
+// threshold.
+//
+// The simulator is the experiment ground truth: the paper's Figure 3 and
+// Table 1 compare loss counts measured by resimulating the architecture
+// under each sizing policy, and this package produces those counts here.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/trace"
+)
+
+// FlowKey identifies a flow by endpoints (flows are unique per From→To pair
+// within one architecture in this codebase).
+type FlowKey struct {
+	From, To string
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	Arch  *arch.Architecture
+	Alloc arch.Allocation
+	// Horizon is the simulated duration. Events past it are not processed.
+	Horizon float64
+	// WarmUp discards statistics for packets generated before this time.
+	WarmUp float64
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Timeout, when positive, enables the paper's timeout policy: a packet
+	// whose waiting time in its current buffer exceeds Timeout is dropped at
+	// arbitration time instead of being served.
+	Timeout float64
+	// Arbiters optionally overrides arbitration per bus ID. Buses without an
+	// entry use LongestQueue.
+	Arbiters map[string]Arbiter
+	// Sources optionally overrides the arrival process per flow. Flows
+	// without an entry use Poisson(flow.Rate).
+	Sources map[FlowKey]trace.Source
+}
+
+// Results aggregates one run's statistics. All per-processor maps are keyed
+// by processor ID; loss is attributed to the *generating* processor, as in
+// the paper's Figure 3.
+type Results struct {
+	Horizon     float64
+	Generated   map[string]int64
+	Delivered   map[string]int64
+	Lost        map[string]int64 // overflow + timeout, by source processor
+	LostTimeout map[string]int64 // timeout component, by source processor
+	// BufferOverflow counts overflow losses at the buffer where they
+	// happened (includes bridge buffers, which have no source processor of
+	// their own).
+	BufferOverflow map[string]int64
+	// MeanOccupancy is the time-averaged queue length per buffer over the
+	// post-warm-up window.
+	MeanOccupancy map[string]float64
+	// MaxOccupancy is the peak queue length per buffer.
+	MaxOccupancy map[string]int
+	// InFlight counts counted packets still queued or in service at the end.
+	InFlight int64
+}
+
+// TotalLost sums losses over processors.
+func (r *Results) TotalLost() int64 {
+	var t int64
+	for _, v := range r.Lost {
+		t += v
+	}
+	return t
+}
+
+// TotalGenerated sums generated packets over processors.
+func (r *Results) TotalGenerated() int64 {
+	var t int64
+	for _, v := range r.Generated {
+		t += v
+	}
+	return t
+}
+
+// TotalDelivered sums delivered packets over processors.
+func (r *Results) TotalDelivered() int64 {
+	var t int64
+	for _, v := range r.Delivered {
+		t += v
+	}
+	return t
+}
+
+// LossFraction is TotalLost / TotalGenerated (0 when nothing was generated).
+func (r *Results) LossFraction() float64 {
+	g := r.TotalGenerated()
+	if g == 0 {
+		return 0
+	}
+	return float64(r.TotalLost()) / float64(g)
+}
+
+// packet is one request in flight.
+type packet struct {
+	flow      int     // index into routes
+	hop       int     // current hop index
+	genAt     float64 // generation time
+	countable bool    // generated after warm-up?
+	enqAt     float64 // when it entered its current buffer
+}
+
+// queue is one finite FIFO buffer.
+type queue struct {
+	id    string
+	cap   int
+	items []packet
+	// occupancy integral bookkeeping
+	lastT float64
+	area  float64
+	maxN  int
+}
+
+func (q *queue) updateArea(now, warmUp float64) {
+	if now > q.lastT {
+		from := q.lastT
+		if from < warmUp {
+			from = warmUp
+		}
+		if now > from {
+			q.area += float64(len(q.items)) * (now - from)
+		}
+		q.lastT = now
+	}
+}
+
+// busState is one bus's runtime state.
+type busState struct {
+	id      string
+	rate    float64
+	clients []int // queue indices, sorted by buffer ID
+	arbiter Arbiter
+	busy    bool
+	serving packet
+}
+
+// Simulator holds one run's mutable state. Create with New, run with Run.
+type Simulator struct {
+	cfg    Config
+	rng    *rand.Rand
+	routes []arch.Route
+	srcs   []trace.Source
+
+	queues  []*queue
+	qIndex  map[string]int
+	buses   []*busState
+	bIndex  map[string]int
+	events  eventHeap
+	seq     uint64
+	now     float64
+	results *Results
+}
+
+// New validates the configuration and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Arch == nil {
+		return nil, errors.New("sim: nil architecture")
+	}
+	if err := cfg.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %v must be positive", cfg.Horizon)
+	}
+	if cfg.WarmUp < 0 || cfg.WarmUp >= cfg.Horizon {
+		return nil, fmt.Errorf("sim: warm-up %v outside [0, horizon)", cfg.WarmUp)
+	}
+	if cfg.Timeout < 0 {
+		return nil, fmt.Errorf("sim: negative timeout %v", cfg.Timeout)
+	}
+	if err := cfg.Alloc.Validate(cfg.Arch, 0); err != nil {
+		return nil, err
+	}
+	for _, br := range cfg.Arch.Bridges {
+		if !br.Buffered {
+			return nil, fmt.Errorf("sim: bridge %q is un-buffered; the simulator models buffered bridges only (run InsertBridgeBuffers first)", br.ID)
+		}
+	}
+	routes, err := cfg.Arch.Routes()
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Simulator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		routes: routes,
+		qIndex: map[string]int{},
+		bIndex: map[string]int{},
+	}
+
+	// Sources per flow.
+	s.srcs = make([]trace.Source, len(routes))
+	for i, r := range routes {
+		if src, ok := cfg.Sources[FlowKey{From: r.Flow.From, To: r.Flow.To}]; ok && src != nil {
+			s.srcs[i] = src
+			continue
+		}
+		p, err := trace.NewPoisson(r.Flow.Rate)
+		if err != nil {
+			return nil, err
+		}
+		s.srcs[i] = p
+	}
+
+	// Queues, in sorted buffer-ID order.
+	for _, id := range cfg.Arch.BufferIDs() {
+		s.qIndex[id] = len(s.queues)
+		s.queues = append(s.queues, &queue{id: id, cap: cfg.Alloc[id]})
+	}
+
+	// Buses with their client lists.
+	clients, err := cfg.Arch.BusClients()
+	if err != nil {
+		return nil, err
+	}
+	busIDs := make([]string, 0, len(cfg.Arch.Buses))
+	for _, b := range cfg.Arch.Buses {
+		busIDs = append(busIDs, b.ID)
+	}
+	sort.Strings(busIDs)
+	for _, id := range busIDs {
+		bus, _ := cfg.Arch.BusByID(id)
+		st := &busState{id: id, rate: bus.ServiceRate}
+		for _, c := range clients[id] {
+			qi, ok := s.qIndex[c]
+			if !ok {
+				return nil, fmt.Errorf("sim: bus %q client %q has no buffer (unbuffered bridge?)", id, c)
+			}
+			st.clients = append(st.clients, qi)
+		}
+		if a, ok := cfg.Arbiters[id]; ok && a != nil {
+			st.arbiter = a
+		} else {
+			st.arbiter = LongestQueue{}
+		}
+		s.bIndex[id] = len(s.buses)
+		s.buses = append(s.buses, st)
+	}
+
+	s.results = &Results{
+		Horizon:        cfg.Horizon,
+		Generated:      map[string]int64{},
+		Delivered:      map[string]int64{},
+		Lost:           map[string]int64{},
+		LostTimeout:    map[string]int64{},
+		BufferOverflow: map[string]int64{},
+		MeanOccupancy:  map[string]float64{},
+		MaxOccupancy:   map[string]int{},
+	}
+	for _, p := range cfg.Arch.Processors {
+		s.results.Generated[p.ID] = 0
+		s.results.Delivered[p.ID] = 0
+		s.results.Lost[p.ID] = 0
+		s.results.LostTimeout[p.ID] = 0
+	}
+	return s, nil
+}
+
+// Run executes the simulation to the horizon and returns the statistics.
+// A simulator is single-use: calling Run twice returns an error.
+func (s *Simulator) Run() (*Results, error) {
+	if s.now != 0 || s.seq != 0 {
+		return nil, errors.New("sim: Run called twice on one Simulator")
+	}
+	// Prime one arrival per flow.
+	for i := range s.routes {
+		gap, err := s.srcs[i].Next(s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: flow %d initial arrival: %w", i, err)
+		}
+		s.schedule(event{at: gap, kind: evArrival, flow: i})
+	}
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.at > s.cfg.Horizon {
+			break
+		}
+		s.now = e.at
+		switch e.kind {
+		case evArrival:
+			if err := s.handleArrival(e.flow); err != nil {
+				return nil, err
+			}
+		case evDeparture:
+			if err := s.handleDeparture(e.bus); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Close occupancy integrals and gather.
+	window := s.cfg.Horizon - s.cfg.WarmUp
+	for _, q := range s.queues {
+		q.updateArea(s.cfg.Horizon, s.cfg.WarmUp)
+		if window > 0 {
+			s.results.MeanOccupancy[q.id] = q.area / window
+		}
+		s.results.MaxOccupancy[q.id] = q.maxN
+		for _, p := range q.items {
+			if p.countable {
+				s.results.InFlight++
+			}
+		}
+	}
+	for _, b := range s.buses {
+		if b.busy && b.serving.countable {
+			s.results.InFlight++
+		}
+	}
+	return s.results, nil
+}
+
+func (s *Simulator) handleArrival(flow int) error {
+	r := &s.routes[flow]
+	// Schedule the next arrival first (exhausted replay sources stop the
+	// flow without failing the run).
+	gap, err := s.srcs[flow].Next(s.rng)
+	switch {
+	case err == nil:
+		s.schedule(event{at: s.now + gap, kind: evArrival, flow: flow})
+	case errors.Is(err, trace.ErrExhausted):
+		// no further arrivals for this flow
+	default:
+		return fmt.Errorf("sim: flow %d arrival: %w", flow, err)
+	}
+
+	p := packet{flow: flow, genAt: s.now, countable: s.now >= s.cfg.WarmUp, enqAt: s.now}
+	if p.countable {
+		s.results.Generated[r.Flow.From]++
+	}
+	hop := r.Hops[0]
+	q := s.queues[s.qIndex[hop.Buffer]]
+	if !s.enqueue(q, p) {
+		if p.countable {
+			s.results.Lost[r.Flow.From]++
+			s.results.BufferOverflow[q.id]++
+		}
+		return nil
+	}
+	return s.dispatch(s.bIndex[hop.Bus])
+}
+
+func (s *Simulator) handleDeparture(busIdx int) error {
+	b := s.buses[busIdx]
+	if !b.busy {
+		return fmt.Errorf("sim: departure on idle bus %q", b.id)
+	}
+	p := b.serving
+	b.busy = false
+
+	r := &s.routes[p.flow]
+	hop := r.Hops[p.hop]
+	if hop.NextBuffer == "" {
+		if p.countable {
+			s.results.Delivered[r.Flow.From]++
+		}
+	} else {
+		nq := s.queues[s.qIndex[hop.NextBuffer]]
+		p.hop++
+		p.enqAt = s.now
+		if s.enqueue(nq, p) {
+			nextBus := r.Hops[p.hop].Bus
+			if err := s.dispatch(s.bIndex[nextBus]); err != nil {
+				return err
+			}
+		} else if p.countable {
+			s.results.Lost[r.Flow.From]++
+			s.results.BufferOverflow[nq.id]++
+		}
+	}
+	return s.dispatch(busIdx)
+}
+
+// enqueue appends p to q unless full, maintaining occupancy accounting.
+// Reports whether the packet was accepted.
+func (s *Simulator) enqueue(q *queue, p packet) bool {
+	if len(q.items) >= q.cap {
+		return false
+	}
+	q.updateArea(s.now, s.cfg.WarmUp)
+	q.items = append(q.items, p)
+	if len(q.items) > q.maxN {
+		q.maxN = len(q.items)
+	}
+	return true
+}
+
+// popHead removes and returns the head of q.
+func (s *Simulator) popHead(q *queue) packet {
+	q.updateArea(s.now, s.cfg.WarmUp)
+	p := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return p
+}
+
+// dispatch runs arbitration on a bus if it is idle and work exists.
+func (s *Simulator) dispatch(busIdx int) error {
+	b := s.buses[busIdx]
+	if b.busy {
+		return nil
+	}
+	// Timeout policy: purge heads that have waited longer than the
+	// threshold. Behind an expired head, later arrivals may also have
+	// expired, so purge repeatedly.
+	if s.cfg.Timeout > 0 {
+		for _, qi := range b.clients {
+			q := s.queues[qi]
+			for len(q.items) > 0 && s.now-q.items[0].enqAt > s.cfg.Timeout {
+				p := s.popHead(q)
+				if p.countable {
+					from := s.routes[p.flow].Flow.From
+					s.results.Lost[from]++
+					s.results.LostTimeout[from]++
+				}
+			}
+		}
+	}
+
+	views := make([]ClientView, len(b.clients))
+	any := false
+	for i, qi := range b.clients {
+		q := s.queues[qi]
+		v := ClientView{BufferID: q.id, Len: len(q.items), Cap: q.cap}
+		if len(q.items) > 0 {
+			v.HeadWait = s.now - q.items[0].enqAt
+			any = true
+		}
+		views[i] = v
+	}
+	if !any {
+		return nil
+	}
+	pick := b.arbiter.Pick(views, s.rng)
+	if pick == -1 {
+		return nil // arbiter chose to idle
+	}
+	if pick < 0 || pick >= len(b.clients) || views[pick].Len == 0 {
+		return fmt.Errorf("sim: arbiter on bus %q picked invalid client %d", b.id, pick)
+	}
+	q := s.queues[b.clients[pick]]
+	b.serving = s.popHead(q)
+	b.busy = true
+	svc := s.rng.ExpFloat64() / b.rate
+	s.schedule(event{at: s.now + svc, kind: evDeparture, bus: busIdx})
+	return nil
+}

@@ -1,0 +1,93 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: summaries with confidence intervals and loss aggregation
+// across seeds.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1)
+	Min    float64
+	Max    float64
+}
+
+// Summarise computes a Summary. It errors on empty input.
+func Summarise(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s, nil
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// Median returns the sample median (average of middle pair for even n).
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: empty sample")
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2], nil
+	}
+	return (c[n/2-1] + c[n/2]) / 2, nil
+}
+
+// SumInt64Maps adds per-key counts across maps (per-processor losses across
+// seeds).
+func SumInt64Maps(maps ...map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for _, m := range maps {
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// RelChange returns (b−a)/a; +Inf for a == 0, b > 0; 0 for both zero.
+func RelChange(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (b - a) / a
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarise(t *testing.T) {
+	s, err := Summarise([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("zero CI for non-degenerate sample")
+	}
+}
+
+func TestSummariseEmpty(t *testing.T) {
+	if _, err := Summarise(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestSummariseSingle(t *testing.T) {
+	s, err := Summarise([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("single-sample dispersion: %+v", s)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m, err := Median([]float64{5, 1, 3})
+	if err != nil || m != 3 {
+		t.Fatalf("median = %v, %v", m, err)
+	}
+	m, err = Median([]float64{4, 1, 3, 2})
+	if err != nil || m != 2.5 {
+		t.Fatalf("even median = %v, %v", m, err)
+	}
+	if _, err := Median(nil); err == nil {
+		t.Fatal("empty median accepted")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Median(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 {
+		t.Fatal("Median sorted the caller's slice")
+	}
+}
+
+func TestSumInt64Maps(t *testing.T) {
+	got := SumInt64Maps(map[string]int64{"a": 1, "b": 2}, map[string]int64{"a": 3})
+	if got["a"] != 4 || got["b"] != 2 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if RelChange(10, 8) != -0.2 {
+		t.Fatal("rel change wrong")
+	}
+	if RelChange(0, 0) != 0 {
+		t.Fatal("0/0 should be 0")
+	}
+	if !math.IsInf(RelChange(0, 5), 1) {
+		t.Fatal("x/0 should be +Inf")
+	}
+}
+
+// Property: Min ≤ Mean ≤ Max and Median within [Min, Max].
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw [9]float64) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = math.Tanh(v) * 100 // bounded
+		}
+		s, err := Summarise(xs)
+		if err != nil {
+			return false
+		}
+		m, err := Median(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && m >= s.Min-1e-9 && m <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

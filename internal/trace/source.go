@@ -1,0 +1,143 @@
+// Package trace generates the stochastic traffic that drives the simulator:
+// Poisson streams (the paper's model), ON/OFF bursty sources (a 2-state
+// Markov-modulated Poisson process used in robustness ablations) and
+// deterministic replay for tests.
+//
+// A Source produces successive inter-arrival times. Sources are pure
+// functions of the *rand.Rand handed to them, so a seeded simulation is
+// fully reproducible.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrExhausted is returned by replay sources that run out of samples.
+var ErrExhausted = errors.New("trace: replay source exhausted")
+
+// Source emits successive inter-arrival times (strictly positive).
+type Source interface {
+	// Next returns the time until the next arrival.
+	Next(rng *rand.Rand) (float64, error)
+	// Rate returns the long-run average arrival rate.
+	Rate() float64
+}
+
+// Poisson is a homogeneous Poisson process: exponential inter-arrivals.
+type Poisson struct {
+	Lambda float64
+}
+
+// NewPoisson validates the rate.
+func NewPoisson(lambda float64) (*Poisson, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("trace: poisson rate %v must be positive", lambda)
+	}
+	return &Poisson{Lambda: lambda}, nil
+}
+
+// Next draws Exp(λ).
+func (p *Poisson) Next(rng *rand.Rand) (float64, error) {
+	return rng.ExpFloat64() / p.Lambda, nil
+}
+
+// Rate returns λ.
+func (p *Poisson) Rate() float64 { return p.Lambda }
+
+// OnOff is a 2-state Markov-modulated Poisson process: while ON it emits at
+// rate LambdaOn; while OFF it emits nothing. Sojourn times in each state are
+// exponential. Burstiness grows as the ON rate concentrates the same average
+// load into shorter windows.
+type OnOff struct {
+	LambdaOn float64 // emission rate while ON
+	OnRate   float64 // OFF→ON transition rate
+	OffRate  float64 // ON→OFF transition rate
+
+	on        bool
+	residual  float64 // time left in the current state
+	initState bool
+}
+
+// NewOnOff validates parameters.
+func NewOnOff(lambdaOn, onRate, offRate float64) (*OnOff, error) {
+	if lambdaOn <= 0 || onRate <= 0 || offRate <= 0 {
+		return nil, fmt.Errorf("trace: on/off parameters must be positive (λon=%v on=%v off=%v)",
+			lambdaOn, onRate, offRate)
+	}
+	return &OnOff{LambdaOn: lambdaOn, OnRate: onRate, OffRate: offRate}, nil
+}
+
+// Rate returns the long-run average rate λon·π(ON).
+func (s *OnOff) Rate() float64 {
+	pOn := s.OnRate / (s.OnRate + s.OffRate)
+	return s.LambdaOn * pOn
+}
+
+// Next simulates the modulating chain until the next emission.
+func (s *OnOff) Next(rng *rand.Rand) (float64, error) {
+	if !s.initState {
+		// Start in the stationary state distribution.
+		s.on = rng.Float64() < s.OnRate/(s.OnRate+s.OffRate)
+		if s.on {
+			s.residual = rng.ExpFloat64() / s.OffRate
+		} else {
+			s.residual = rng.ExpFloat64() / s.OnRate
+		}
+		s.initState = true
+	}
+	var elapsed float64
+	for {
+		if s.on {
+			gap := rng.ExpFloat64() / s.LambdaOn
+			if gap < s.residual {
+				s.residual -= gap
+				return elapsed + gap, nil
+			}
+			elapsed += s.residual
+			s.on = false
+			s.residual = rng.ExpFloat64() / s.OnRate
+		} else {
+			elapsed += s.residual
+			s.on = true
+			s.residual = rng.ExpFloat64() / s.OffRate
+		}
+	}
+}
+
+// Replay replays a fixed list of inter-arrival times; tests use it to script
+// exact scenarios.
+type Replay struct {
+	Gaps []float64
+	pos  int
+	rate float64
+}
+
+// NewReplay validates that all gaps are positive and precomputes the rate.
+func NewReplay(gaps []float64) (*Replay, error) {
+	if len(gaps) == 0 {
+		return nil, errors.New("trace: empty replay")
+	}
+	var total float64
+	for i, g := range gaps {
+		if g <= 0 {
+			return nil, fmt.Errorf("trace: replay gap %d = %v must be positive", i, g)
+		}
+		total += g
+	}
+	return &Replay{Gaps: gaps, rate: float64(len(gaps)) / total}, nil
+}
+
+// Next returns the next scripted gap.
+func (r *Replay) Next(*rand.Rand) (float64, error) {
+	if r.pos >= len(r.Gaps) {
+		return 0, ErrExhausted
+	}
+	g := r.Gaps[r.pos]
+	r.pos++
+	return g, nil
+}
+
+// Rate returns the empirical rate of the scripted gaps.
+func (r *Replay) Rate() float64 { return r.rate }

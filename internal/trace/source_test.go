@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewPoisson(-1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestPoissonEmpiricalRate(t *testing.T) {
+	p, err := NewPoisson(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var total float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		g, err := p.Next(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g <= 0 {
+			t.Fatal("non-positive gap")
+		}
+		total += g
+	}
+	emp := float64(n) / total
+	if math.Abs(emp-4) > 0.05 {
+		t.Fatalf("empirical rate = %v, want ≈ 4", emp)
+	}
+	if p.Rate() != 4 {
+		t.Fatalf("Rate() = %v", p.Rate())
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	bad := [][3]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}}
+	for _, b := range bad {
+		if _, err := NewOnOff(b[0], b[1], b[2]); err == nil {
+			t.Fatalf("accepted %v", b)
+		}
+	}
+}
+
+func TestOnOffEmpiricalRate(t *testing.T) {
+	// λon=6, π(ON)=onRate/(onRate+offRate)=2/(2+4)=1/3 ⇒ rate 2.
+	s, err := NewOnOff(6, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Rate()-2) > 1e-12 {
+		t.Fatalf("Rate() = %v, want 2", s.Rate())
+	}
+	rng := rand.New(rand.NewSource(7))
+	var total float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		g, err := s.Next(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += g
+	}
+	emp := float64(n) / total
+	if math.Abs(emp-2) > 0.1 {
+		t.Fatalf("empirical rate = %v, want ≈ 2", emp)
+	}
+}
+
+func TestOnOffIsBurstierThanPoisson(t *testing.T) {
+	// Squared coefficient of variation of inter-arrival times: Poisson has
+	// ~1, a strongly modulated ON/OFF source must exceed it.
+	rng := rand.New(rand.NewSource(11))
+	s, err := NewOnOff(20, 0.5, 9.5) // rate 1, very bursty
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 60000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		g, err := s.Next(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += g
+		sumsq += g * g
+	}
+	mean := sum / float64(n)
+	varr := sumsq/float64(n) - mean*mean
+	scv := varr / (mean * mean)
+	if scv < 1.5 {
+		t.Fatalf("ON/OFF SCV = %v, expected clearly > 1 (bursty)", scv)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	r, err := NewReplay([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Rate()-0.5) > 1e-12 {
+		t.Fatalf("Rate = %v, want 0.5", r.Rate())
+	}
+	for i, want := range []float64{1, 2, 3} {
+		g, err := r.Next(nil)
+		if err != nil {
+			t.Fatalf("gap %d: %v", i, err)
+		}
+		if g != want {
+			t.Fatalf("gap %d = %v, want %v", i, g, want)
+		}
+	}
+	if _, err := r.Next(nil); err != ErrExhausted {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Fatal("empty replay accepted")
+	}
+	if _, err := NewReplay([]float64{1, 0}); err == nil {
+		t.Fatal("zero gap accepted")
+	}
+}
+
+// Property: Poisson gaps are always positive and the running mean converges
+// near 1/λ for random λ.
+func TestPoissonMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lambda := 0.5 + rng.Float64()*8
+		p, err := NewPoisson(lambda)
+		if err != nil {
+			return false
+		}
+		var total float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			g, err := p.Next(rng)
+			if err != nil || g <= 0 {
+				return false
+			}
+			total += g
+		}
+		mean := total / float64(n)
+		return math.Abs(mean-1/lambda) < 0.1/lambda
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
