@@ -164,6 +164,36 @@ func BenchmarkAblationArbiter(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep32 runs a 32-point Table 1 budget sweep serially and through
+// the parallel sweep runner. On an 8-core machine the parallel variant is
+// expected ≥ 3× faster; with GOMAXPROCS=1 the two are equivalent by
+// construction (the determinism tests assert identical results).
+func BenchmarkSweep32(b *testing.B) {
+	budgets := make([]int, 32)
+	for i := range budgets {
+		budgets[i] = 100 + 10*i
+	}
+	sweepOpt := experiments.Options{Iterations: 1, Seeds: []int64{1}, Horizon: 300, WarmUp: 50}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} { // 0 = GOMAXPROCS
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := sweepOpt
+				opt.Workers = mode.workers
+				res, err := experiments.BudgetSweep(arch.NetworkProcessor, budgets, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Budgets) != 32 {
+					b.Fatalf("sweep lost points: %d/32", len(res.Budgets))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkJointLPSolve measures the raw joint occupation-measure LP on the
 // network-processor subsystems — the methodology's inner kernel.
 func BenchmarkJointLPSolve(b *testing.B) {

@@ -5,9 +5,12 @@
 //	experiments -table1          Table 1 (budget sweep 160/320/640)
 //	experiments -split           §2 demo (coupled quadratic vs split linear)
 //	experiments -headline        §3 headline ratios
+//	experiments -sweep           parallel budget sweep (see -budgets)
 //	experiments -all             everything (the EXPERIMENTS.md run)
 //
-// -quick reduces iterations/seeds/horizon for a fast smoke pass.
+// -quick reduces iterations/seeds/horizon for a fast smoke pass. -parallel N
+// bounds the sweep engine's worker pool (default GOMAXPROCS); results are
+// identical for every worker count.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"socbuf/internal/arch"
 	"socbuf/internal/experiments"
 	"socbuf/internal/report"
 )
@@ -25,18 +29,22 @@ func main() {
 		table1   = flag.Bool("table1", false, "regenerate Table 1")
 		split    = flag.Bool("split", false, "run the §2 split-vs-nonlinear demo")
 		headline = flag.Bool("headline", false, "compute the §3 headline ratios")
+		sweep    = flag.Bool("sweep", false, "run a parallel budget sweep over -budgets")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "smaller iterations/seeds/horizon")
 		budget   = flag.Int("budget", 160, "buffer budget for Figure 3 / headline")
+		budgets  = flag.String("budgets", "160,320,640", "comma-separated budgets for -sweep")
+		parallel = flag.Int("parallel", 0, "worker goroutines for sweeps (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-	if !*fig3 && !*table1 && !*split && !*headline && !*all {
+	if !*fig3 && !*table1 && !*split && !*headline && !*sweep && !*all {
 		*all = true
 	}
 	opt := experiments.Options{}
 	if *quick {
 		opt = experiments.Options{Iterations: 3, Seeds: []int64{1, 2}, Horizon: 1200}
 	}
+	opt.Workers = *parallel
 
 	if *all || *split {
 		if err := runSplit(); err != nil {
@@ -58,6 +66,28 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *sweep {
+		list, err := experiments.ParseBudgets(*budgets)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runSweep(list, opt); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runSweep(budgets []int, opt experiments.Options) error {
+	res, err := experiments.BudgetSweep(arch.NetworkProcessor, budgets, opt)
+	if res == nil {
+		return err
+	}
+	fmt.Printf("Budget sweep — %d points\n", len(budgets))
+	if werr := res.WriteTable(os.Stdout); werr != nil {
+		return werr
+	}
+	fmt.Println()
+	return err
 }
 
 func fatal(err error) {

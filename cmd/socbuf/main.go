@@ -3,6 +3,11 @@
 // comparison.
 //
 //	socbuf -arch netproc -budget 160 -iters 10
+//	socbuf -arch netproc -sweep 160,320,640 -parallel 8
+//
+// -sweep runs the methodology at each listed budget through the parallel
+// sweep engine instead of a single run; -parallel bounds its worker pool
+// (0 = GOMAXPROCS). Results are identical for every worker count.
 package main
 
 import (
@@ -12,16 +17,20 @@ import (
 
 	"socbuf/internal/arch"
 	"socbuf/internal/core"
+	"socbuf/internal/experiments"
 	"socbuf/internal/report"
 )
 
 func main() {
 	var (
-		name   = flag.String("arch", "netproc", "preset: figure1 | twobus | netproc")
-		file   = flag.String("file", "", "load a JSON architecture instead of a preset")
-		budget = flag.Int("budget", 160, "total buffer budget in units")
-		iters  = flag.Int("iters", 10, "methodology iterations")
-		horiz  = flag.Float64("horizon", 2000, "evaluation sim horizon")
+		name     = flag.String("arch", "netproc", "preset: figure1 | twobus | netproc")
+		file     = flag.String("file", "", "load a JSON architecture instead of a preset")
+		budget   = flag.Int("budget", 160, "total buffer budget in units")
+		iters    = flag.Int("iters", 10, "methodology iterations")
+		horiz    = flag.Float64("horizon", 2000, "evaluation sim horizon")
+		sweep    = flag.String("sweep", "", "comma-separated budgets: sweep instead of a single run")
+		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		refine   = flag.Bool("refine", false, "refine stationary distributions from the policy-induced chains (dense/sparse auto-selected)")
 	)
 	flag.Parse()
 
@@ -52,8 +61,17 @@ func main() {
 		}
 	}
 
+	if *sweep != "" {
+		if err := runSweep(a, *sweep, *iters, *horiz, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "socbuf:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	res, err := core.Run(core.Config{
 		Arch: a, Budget: *budget, Iterations: *iters, Horizon: *horiz,
+		Workers: *parallel, RefineStationary: *refine,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "socbuf:", err)
@@ -77,4 +95,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "socbuf:", err)
 		os.Exit(1)
 	}
+}
+
+// runSweep fans the methodology across the listed budgets with the parallel
+// sweep engine and prints one row per budget.
+func runSweep(a *arch.Architecture, list string, iters int, horizon float64, workers int) error {
+	budgets, err := experiments.ParseBudgets(list)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.BudgetSweep(func() *arch.Architecture { return a },
+		budgets, experiments.Options{Iterations: iters, Horizon: horizon, Workers: workers})
+	if res == nil {
+		return err
+	}
+	fmt.Printf("architecture %s — budget sweep, %d points, %d iterations each\n", a.Name, len(budgets), iters)
+	if werr := res.WriteTable(os.Stdout); werr != nil {
+		return werr
+	}
+	return err
 }

@@ -4,7 +4,8 @@
 //
 // The repository is organised bottom-up:
 //
-//   - internal/linalg, internal/lp        — dense linear algebra and a
+//   - internal/linalg, internal/lp        — dense and CSR-sparse linear
+//     algebra (LU, Gauss–Seidel/power-iteration stationary solvers) and a
 //     two-phase simplex solver;
 //   - internal/markov, internal/queueing  — CTMC machinery and M/M/1/K
 //     oracles;
@@ -17,10 +18,20 @@
 //     LPs, K-switching policies, and the measure→capacity translation;
 //   - internal/nonlinear                  — the un-split coupled quadratic
 //     system and the solvers that fail on it;
+//   - internal/parallel                   — the deterministic worker pool
+//     behind every sweep fan-out;
 //   - internal/core, internal/policy      — the methodology loop and the
 //     sizing policies the paper compares;
 //   - internal/experiments                — regeneration of Figure 3,
-//     Table 1, the §2 demo and the §3 headline ratios.
+//     Table 1, the §2 demo and the §3 headline ratios, plus the parallel
+//     budget-sweep engine.
+//
+// Stationary distributions of policy-induced chains are solved through two
+// interchangeable paths: an exact dense LU solve for small state spaces and
+// a CSR sparse Gauss–Seidel solve (power-iteration fallback) above
+// ctmdp.SparseStateThreshold states. The two agree to better than 1e-8 on
+// every fixture; see ctmdp.StationaryOptions. The methodology invokes this
+// refinement when core.Config.RefineStationary is set (socbuf -refine).
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // modelling decisions, and EXPERIMENTS.md for paper-vs-measured results.

@@ -1,0 +1,3 @@
+module socbuf
+
+go 1.24.0

@@ -72,6 +72,16 @@ type Config struct {
 	// ("allowing some losses to be more important than the others", §3).
 	// Keyed by processor ID; missing entries weigh 1.
 	LossWeights map[string]float64
+	// Workers bounds the goroutines used for the per-seed evaluation
+	// simulations. 0 (or negative) means GOMAXPROCS; 1 forces serial
+	// execution. Results are independent of the worker count.
+	Workers int
+	// RefineStationary recomputes each subsystem's stationary distribution
+	// from its policy-induced chain after every LP solve (dense LU below
+	// ctmdp.SparseStateThreshold reachable states, sparse-iterative above),
+	// tightening the LP's roundoff-level state probabilities before
+	// translation. Off by default; the two paths agree to 1e-8.
+	RefineStationary bool
 }
 
 // withDefaults fills zero fields.

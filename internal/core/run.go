@@ -7,6 +7,7 @@ import (
 	"socbuf/internal/arch"
 	"socbuf/internal/ctmdp"
 	"socbuf/internal/graph"
+	"socbuf/internal/parallel"
 	"socbuf/internal/sim"
 )
 
@@ -137,14 +138,17 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: iteration %d produced bad allocation: %w", it, err)
 		}
 
-		var arbiters map[string]sim.Arbiter
+		var makeArbiters func() (map[string]sim.Arbiter, error)
 		if !cfg.DisableCTMDPArbiter {
-			arbiters, err = buildArbiters(a, sol, newAlloc)
-			if err != nil {
+			makeArbiters = func() (map[string]sim.Arbiter, error) {
+				return buildArbiters(a, sol, newAlloc)
+			}
+			// Fail fast on wiring errors before fanning out the seeds.
+			if _, err := makeArbiters(); err != nil {
 				return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 			}
 		}
-		loss, byProc, err := evaluate(a, newAlloc, arbiters, cfg)
+		loss, byProc, err := evaluate(a, newAlloc, makeArbiters, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
@@ -191,7 +195,10 @@ func solveWithBoundary(a *arch.Architecture, alloc arch.Allocation, bnd *boundar
 		if err != nil {
 			return nil, nil, err
 		}
-		sol, err = ctmdp.SolveJoint(models, ctmdp.JointConfig{Sequential: cfg.Sequential})
+		sol, err = ctmdp.SolveJoint(models, ctmdp.JointConfig{
+			Sequential:       cfg.Sequential,
+			RefineStationary: cfg.RefineStationary,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -203,7 +210,10 @@ func solveWithBoundary(a *arch.Architecture, alloc arch.Allocation, bnd *boundar
 		// Capped final solve with a retry ladder toward the free occupancy.
 		free := sol.OccupancyUsed
 		for _, f := range []float64{cfg.CapFactor, (cfg.CapFactor + 1) / 2, 0.97} {
-			capped, err := ctmdp.SolveJoint(models, ctmdp.JointConfig{OccupancyCap: free * f})
+			capped, err := ctmdp.SolveJoint(models, ctmdp.JointConfig{
+				OccupancyCap:     free * f,
+				RefineStationary: cfg.RefineStationary,
+			})
 			if err == nil {
 				return capped, models, nil
 			}
@@ -233,26 +243,44 @@ func buildArbiters(a *arch.Architecture, sol *ctmdp.JointSolution, alloc arch.Al
 	return out, nil
 }
 
-// evaluate sums simulated losses across the configured seeds.
-func evaluate(a *arch.Architecture, alloc arch.Allocation, arbiters map[string]sim.Arbiter, cfg Config) (int64, map[string]int64, error) {
-	byProc := map[string]int64{}
-	var total int64
-	for _, seed := range cfg.Seeds {
+// evaluate sums simulated losses across the configured seeds. Seeds run
+// concurrently on cfg.Workers goroutines; each seed's simulation is fully
+// determined by its seed, and the merge below walks the per-seed results in
+// seed order, so the totals are identical for any worker count.
+//
+// makeArbiters (nil for the longest-queue default) is invoked once per seed:
+// arbiter implementations carry per-run scratch state (policyArbiter's level
+// buffer, RoundRobin's cursor), so concurrent simulations must not share
+// instances.
+func evaluate(a *arch.Architecture, alloc arch.Allocation, makeArbiters func() (map[string]sim.Arbiter, error), cfg Config) (int64, map[string]int64, error) {
+	perSeed, err := parallel.Map(len(cfg.Seeds), cfg.Workers, func(i int) (*sim.Results, error) {
+		var arbiters map[string]sim.Arbiter
+		if makeArbiters != nil {
+			var err error
+			arbiters, err = makeArbiters()
+			if err != nil {
+				return nil, err
+			}
+		}
 		s, err := sim.New(sim.Config{
 			Arch:     a,
 			Alloc:    alloc,
 			Horizon:  cfg.Horizon,
 			WarmUp:   cfg.WarmUp,
-			Seed:     seed,
+			Seed:     cfg.Seeds[i],
 			Arbiters: arbiters,
 		})
 		if err != nil {
-			return 0, nil, err
+			return nil, err
 		}
-		r, err := s.Run()
-		if err != nil {
-			return 0, nil, err
-		}
+		return s.Run()
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	byProc := map[string]int64{}
+	var total int64
+	for _, r := range perSeed {
 		for p, v := range r.Lost {
 			byProc[p] += v
 		}

@@ -1,0 +1,264 @@
+package ctmdp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socbuf/internal/queueing"
+)
+
+// fixtureModels rebuilds every single-bus model fixture the solve/sizing
+// tests exercise, so the dense-vs-sparse agreement check covers the same
+// ground as the rest of the suite.
+func fixtureModels(t *testing.T) map[string]*Model {
+	t.Helper()
+	return map[string]*Model{
+		"mm1k-1": mustModel(t, "b", 3, singleClient(2, 1)),
+		"mm1k-2": mustModel(t, "b", 3, singleClient(2, 2)),
+		"mm1k-4": mustModel(t, "b", 3, singleClient(2, 4)),
+		"two-client": mustModel(t, "b", 4, []Client{
+			{BufferID: "x", Lambda: 2, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+			{BufferID: "y", Lambda: 1, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+		}),
+		"hot-cold": mustModel(t, "b", 3.5, []Client{
+			{BufferID: "hot", Lambda: 3, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+			{BufferID: "cold", Lambda: 0.3, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+		}),
+		"asymmetric-units": mustModel(t, "b", 4.5, []Client{
+			{BufferID: "x", Lambda: 2.0, Levels: 2, UnitsPerLevel: 5, LossWeight: 1},
+			{BufferID: "y", Lambda: 2.0, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+		}),
+		"inert-client": mustModel(t, "b", 3, []Client{
+			{BufferID: "live", Lambda: 2, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+			{BufferID: "dead", Lambda: 0, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+		}),
+		"three-client": mustModel(t, "b", 6, []Client{
+			{BufferID: "a", Lambda: 1.5, Levels: 3, UnitsPerLevel: 1, LossWeight: 1},
+			{BufferID: "b", Lambda: 2.0, Levels: 2, UnitsPerLevel: 2, LossWeight: 2},
+			{BufferID: "c", Lambda: 0.7, Levels: 3, UnitsPerLevel: 1, LossWeight: 1},
+		}),
+	}
+}
+
+// TestDenseSparseStationaryAgree is the acceptance check: on every fixture,
+// the sparse-iterative stationary solve of the policy-induced chain agrees
+// with the dense-LU solve to 1e-8, for both free and capped policies.
+func TestDenseSparseStationaryAgree(t *testing.T) {
+	for name, m := range fixtureModels(t) {
+		configs := []JointConfig{{}}
+		free := mustSolve(t, []*Model{m}, JointConfig{})
+		if free.OccupancyUsed > 0.1 {
+			configs = append(configs, JointConfig{OccupancyCap: free.OccupancyUsed * 0.9})
+		}
+		for ci, cfg := range configs {
+			sol, err := SolveJoint([]*Model{m}, cfg)
+			if errors.Is(err, ErrInfeasible) {
+				continue // a 90% cap is not feasible for every fixture
+			}
+			if err != nil {
+				t.Fatalf("%s cfg %d: %v", name, ci, err)
+			}
+			ms := sol.PerModel[0]
+			dense, err := ms.StationaryUnderPolicy(StationaryOptions{Method: MethodDenseLU})
+			if err != nil {
+				t.Fatalf("%s cfg %d dense: %v", name, ci, err)
+			}
+			sparse, err := ms.StationaryUnderPolicy(StationaryOptions{Method: MethodSparseIterative})
+			if err != nil {
+				t.Fatalf("%s cfg %d sparse: %v", name, ci, err)
+			}
+			for s := range dense {
+				if d := math.Abs(dense[s] - sparse[s]); d > 1e-8 {
+					t.Fatalf("%s cfg %d state %d: dense %v sparse %v (Δ=%g)",
+						name, ci, s, dense[s], sparse[s], d)
+				}
+			}
+			// Both must also reproduce the LP's stationary distribution: the
+			// occupation measure is stationary for its own policy.
+			for s := range dense {
+				if d := math.Abs(dense[s] - ms.StateProb[s]); d > 1e-6 {
+					t.Fatalf("%s cfg %d state %d: chain π %v vs LP %v (Δ=%g)",
+						name, ci, s, dense[s], ms.StateProb[s], d)
+				}
+			}
+		}
+	}
+}
+
+// longestQueueSolution builds a ModelSolution with a synthetic deterministic
+// longest-queue policy over the full state space, bypassing the LP. Only the
+// Model and Policy fields are populated — enough for the stationary-solve
+// paths, and cheap enough to exercise state spaces the simplex cannot.
+func longestQueueSolution(m *Model) *ModelSolution {
+	p := &Policy{
+		Model:      m,
+		ActionProb: make([][]float64, m.numStates),
+		Visited:    make([]bool, m.numStates),
+	}
+	for s := 0; s < m.numStates; s++ {
+		p.Visited[s] = true
+		p.ActionProb[s] = make([]float64, len(m.Clients))
+		best, bestLvl := -1, 0
+		for c := range m.Clients {
+			if l := m.Level(s, c); l > bestLvl {
+				best, bestLvl = c, l
+			}
+		}
+		if best >= 0 {
+			p.ActionProb[s][best] = 1
+		}
+	}
+	return &ModelSolution{Model: m, Policy: p}
+}
+
+func TestStationaryAutoPicksByStateCount(t *testing.T) {
+	// A three-client model with deep levels crosses the sparse threshold:
+	// (L+1)^3 with L=7 is 512 > 400. The LP would take minutes here, so the
+	// chain comes from a synthetic longest-queue policy instead.
+	big := mustModel(t, "b", 8, []Client{
+		{BufferID: "a", Lambda: 2, Levels: 7, UnitsPerLevel: 1, LossWeight: 1},
+		{BufferID: "b", Lambda: 2.5, Levels: 7, UnitsPerLevel: 1, LossWeight: 1},
+		{BufferID: "c", Lambda: 1.5, Levels: 7, UnitsPerLevel: 1, LossWeight: 1},
+	})
+	if big.NumStates() < SparseStateThreshold {
+		t.Fatalf("fixture too small: %d states", big.NumStates())
+	}
+	ms := longestQueueSolution(big)
+	auto, err := ms.StationaryUnderPolicy(StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := ms.StationaryUnderPolicy(StationaryOptions{Method: MethodSparseIterative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range auto {
+		if auto[s] != sparse[s] {
+			t.Fatalf("auto did not take the sparse path above threshold (state %d: %v vs %v)",
+				s, auto[s], sparse[s])
+		}
+	}
+	// Dense and sparse must agree to 1e-8 at this scale too.
+	dense, err := ms.StationaryUnderPolicy(StationaryOptions{Method: MethodDenseLU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range dense {
+		if d := math.Abs(dense[s] - sparse[s]); d > 1e-8 {
+			t.Fatalf("512-state chain: dense %v sparse %v at state %d (Δ=%g)", dense[s], sparse[s], s, d)
+		}
+	}
+	// And the small fixture must take the dense path (exact match with LU).
+	small := mustModel(t, "b", 3, singleClient(2, 2))
+	ssol := mustSolve(t, []*Model{small}, JointConfig{})
+	sms := ssol.PerModel[0]
+	sauto, err := sms.StationaryUnderPolicy(StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdense, err := sms.StationaryUnderPolicy(StationaryOptions{Method: MethodDenseLU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range sauto {
+		if sauto[s] != sdense[s] {
+			t.Fatalf("auto did not take the dense path below threshold (state %d)", s)
+		}
+	}
+}
+
+func TestRefineStationaryKeepsMM1KExact(t *testing.T) {
+	lambda, mu := 2.0, 3.0
+	m := mustModel(t, "b", mu, singleClient(lambda, 4))
+	sol := mustSolve(t, []*Model{m}, JointConfig{RefineStationary: true})
+	ms := sol.PerModel[0]
+	q, err := queueing.NewMM1K(lambda, mu, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.Distribution()
+	got := ms.OccupancyDistribution(0)
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-9 {
+			t.Fatalf("refined dist[%d] = %v, analytic %v", k, got[k], want[k])
+		}
+	}
+	if math.Abs(sol.TotalLossRate-q.LossRate()) > 1e-9 {
+		t.Fatalf("refined loss %v, analytic %v", sol.TotalLossRate, q.LossRate())
+	}
+}
+
+func TestRefineStationarySmallCorrection(t *testing.T) {
+	for name, m := range fixtureModels(t) {
+		sol := mustSolve(t, []*Model{m}, JointConfig{})
+		ms := sol.PerModel[0]
+		delta, err := ms.RefineStationary(StationaryOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if delta > 1e-6 {
+			t.Fatalf("%s: refinement moved a state probability by %g — LP and chain disagree", name, delta)
+		}
+		var sum float64
+		for _, p := range ms.StateProb {
+			if p < 0 {
+				t.Fatalf("%s: negative refined probability %v", name, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("%s: refined mass %v", name, sum)
+		}
+	}
+}
+
+func TestPolicyChainExcludesUnreachable(t *testing.T) {
+	// The inert client's levels are unreachable: the restricted chain must
+	// contain exactly the live client's 3 levels.
+	m := mustModel(t, "b", 3, []Client{
+		{BufferID: "live", Lambda: 2, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+		{BufferID: "dead", Lambda: 0, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+	})
+	sol := mustSolve(t, []*Model{m}, JointConfig{})
+	chain, err := sol.PerModel[0].PolicyChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain.States) != 3 {
+		t.Fatalf("reachable states = %d, want 3 (dead client levels pruned)", len(chain.States))
+	}
+	for _, s := range chain.States {
+		if m.Level(s, 1) != 0 {
+			t.Fatalf("state %d has dead client at level %d", s, m.Level(s, 1))
+		}
+	}
+}
+
+func TestDemandsOptRefines(t *testing.T) {
+	m := mustModel(t, "b", 4, []Client{
+		{BufferID: "x", Lambda: 2, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+		{BufferID: "y", Lambda: 1, Levels: 2, UnitsPerLevel: 1, LossWeight: 1},
+	})
+	sol := mustSolve(t, []*Model{m}, JointConfig{})
+	plain, err := Demands(sol.PerModel, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2 := mustSolve(t, []*Model{m}, JointConfig{})
+	refined, err := DemandsOpt(sol2.PerModel, DemandsOptions{Eps: 0.05, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(refined) {
+		t.Fatalf("demand count changed: %d vs %d", len(plain), len(refined))
+	}
+	for i := range plain {
+		if plain[i].BufferID != refined[i].BufferID {
+			t.Fatalf("demand order changed: %v vs %v", plain[i].BufferID, refined[i].BufferID)
+		}
+		if math.Abs(plain[i].MeanUnits-refined[i].MeanUnits) > 1e-6 {
+			t.Fatalf("%s: refined mean %v far from plain %v", plain[i].BufferID, refined[i].MeanUnits, plain[i].MeanUnits)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"socbuf/internal/ctmdp"
 	"socbuf/internal/graph"
 	"socbuf/internal/nonlinear"
+	"socbuf/internal/parallel"
 	"socbuf/internal/policy"
 	"socbuf/internal/sim"
 )
@@ -25,6 +26,11 @@ type Options struct {
 	Seeds      []int64 // evaluation seeds (default 1..5)
 	Horizon    float64 // sim horizon (default 2000)
 	WarmUp     float64 // sim warm-up (default 100)
+	// Workers bounds the goroutines each experiment fans its points
+	// (budgets, seeds) across. 0 means GOMAXPROCS; 1 forces serial runs.
+	// Results are identical for every worker count — the sweep runner
+	// aggregates in point order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +80,7 @@ func Figure3(budget int, opt Options) (*Figure3Result, error) {
 		Seeds:      opt.Seeds,
 		Horizon:    opt.Horizon,
 		WarmUp:     opt.WarmUp,
+		Workers:    opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -97,21 +104,25 @@ func Figure3(budget int, opt Options) (*Figure3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	timeout := map[string]int64{}
-	var timeoutTotal int64
-	for _, seed := range opt.Seeds {
+	// The per-seed timeout evaluations are independent sweep points; fan
+	// them out and merge in seed order.
+	perSeed, err := parallel.Map(len(opt.Seeds), opt.Workers, func(i int) (*sim.Results, error) {
 		s, err := sim.New(sim.Config{
 			Arch: buffered, Alloc: res.BaselineAlloc,
-			Horizon: opt.Horizon, WarmUp: opt.WarmUp, Seed: seed,
+			Horizon: opt.Horizon, WarmUp: opt.WarmUp, Seed: opt.Seeds[i],
 			Timeout: threshold,
 		})
 		if err != nil {
 			return nil, err
 		}
-		r, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
+		return s.Run()
+	})
+	if err != nil {
+		return nil, err
+	}
+	timeout := map[string]int64{}
+	var timeoutTotal int64
+	for _, r := range perSeed {
 		for p, v := range r.Lost {
 			timeout[p] += v
 		}
@@ -178,18 +189,32 @@ func Table1(budgets []int, procs []string, opt Options) (*Table1Result, error) {
 		PreTotal:  map[int]int64{},
 		PostTotal: map[int]int64{},
 	}
-	for _, b := range budgets {
+	// Budgets are independent sweep points: fan them across the worker pool
+	// and aggregate in budget order. Any point's failure is reported with
+	// its budget; the whole table fails, matching the serial behaviour.
+	// Each point runs its seeds serially (Workers: 1) — the outer fan-out
+	// already saturates the pool, and nesting would multiply concurrency to
+	// Workers² goroutines.
+	points, err := parallel.Map(len(budgets), opt.Workers, func(i int) (*core.Result, error) {
 		res, err := core.Run(core.Config{
 			Arch:       arch.NetworkProcessor(),
-			Budget:     b,
+			Budget:     budgets[i],
 			Iterations: opt.Iterations,
 			Seeds:      opt.Seeds,
 			Horizon:    opt.Horizon,
 			WarmUp:     opt.WarmUp,
+			Workers:    1,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: budget %d: %w", b, err)
+			return nil, fmt.Errorf("experiments: budget %d: %w", budgets[i], err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range points {
+		b := budgets[i]
 		out.Pre[b] = res.BaselineLossByProc
 		out.Post[b] = res.Best.LossByProc
 		out.PreTotal[b] = res.BaselineLoss

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/parallel"
+	"socbuf/internal/report"
+)
+
+// BudgetSweepResult holds a parallel budget sweep of the full methodology on
+// one architecture. Aggregation is order-stable: every map is keyed by
+// budget and filled by walking the points in input order, so the result is
+// byte-identical for any worker count.
+type BudgetSweepResult struct {
+	// Budgets lists the points that succeeded, in input order.
+	Budgets []int
+	// Pre and Post are total simulated losses before/after CTMDP sizing.
+	Pre, Post map[int]int64
+	// Improvement is 1 − post/pre per budget (0 when pre is 0).
+	Improvement map[int]float64
+	// Failed pairs each failing budget with its error, in input order; the
+	// successful points above are still populated.
+	Failed []BudgetError
+}
+
+// BudgetError records one failed sweep point.
+type BudgetError struct {
+	Budget int
+	Err    error
+}
+
+// Err joins the per-point failures (nil when every point succeeded).
+func (r *BudgetSweepResult) Err() error {
+	errs := make([]error, len(r.Failed))
+	for i, f := range r.Failed {
+		errs[i] = fmt.Errorf("budget %d: %w", f.Budget, f.Err)
+	}
+	return errors.Join(errs...)
+}
+
+// ParseBudgets parses a comma-separated budget list like "160,320,640",
+// ignoring empty segments. Both sweep CLIs share this parser.
+func ParseBudgets(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		b, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad budget %q: %v", part, err)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no budgets in %q", s)
+	}
+	return out, nil
+}
+
+// WriteTable renders the sweep — one row per successful budget, one trailing
+// line per failed point — in the shared report format.
+func (r *BudgetSweepResult) WriteTable(w io.Writer) error {
+	headers := []string{"BUDGET", "uniform loss", "sized loss", "improvement"}
+	var rows [][]string
+	for _, b := range r.Budgets {
+		rows = append(rows, []string{
+			fmt.Sprint(b),
+			fmt.Sprint(r.Pre[b]),
+			fmt.Sprint(r.Post[b]),
+			fmt.Sprintf("%.1f%%", r.Improvement[b]*100),
+		})
+	}
+	if err := report.Table(w, headers, rows); err != nil {
+		return err
+	}
+	for _, f := range r.Failed {
+		if _, err := fmt.Fprintf(w, "  FAILED budget %d: %v\n", f.Budget, f.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BudgetSweep runs the size→solve→resimulate methodology at every budget,
+// fanning the points across opt.Workers goroutines (GOMAXPROCS by default).
+// newArch must return a fresh architecture per call — points must not share
+// mutable state. Failed points are collected per budget rather than aborting
+// the sweep; the returned error is r.Err().
+func BudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, error) {
+	opt = opt.withDefaults()
+	if len(budgets) == 0 {
+		return nil, errors.New("experiments: empty budget sweep")
+	}
+	if newArch == nil {
+		newArch = arch.NetworkProcessor
+	}
+	// Points run their seeds serially (Workers: 1): the outer fan-out
+	// already saturates the pool, and nesting would multiply concurrency to
+	// Workers² goroutines.
+	points, err := parallel.Map(len(budgets), opt.Workers, func(i int) (*core.Result, error) {
+		return core.Run(core.Config{
+			Arch:       newArch(),
+			Budget:     budgets[i],
+			Iterations: opt.Iterations,
+			Seeds:      opt.Seeds,
+			Horizon:    opt.Horizon,
+			WarmUp:     opt.WarmUp,
+			Workers:    1,
+		})
+	})
+
+	out := &BudgetSweepResult{
+		Pre:         map[int]int64{},
+		Post:        map[int]int64{},
+		Improvement: map[int]float64{},
+	}
+	// Pull per-point failures out of the joined error by index so partial
+	// sweeps stay usable.
+	failedAt := map[int]error{}
+	for _, pe := range parallel.Points(err) {
+		failedAt[pe.Index] = pe.Err
+	}
+	for i, res := range points {
+		b := budgets[i]
+		if fe, ok := failedAt[i]; ok {
+			out.Failed = append(out.Failed, BudgetError{Budget: b, Err: fe})
+			continue
+		}
+		out.Budgets = append(out.Budgets, b)
+		out.Pre[b] = res.BaselineLoss
+		out.Post[b] = res.Best.SimLoss
+		out.Improvement[b] = res.Improvement()
+	}
+	return out, out.Err()
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"socbuf/internal/arch"
+)
+
+// sweepFast keeps the real-methodology sweep tests cheap enough for -race CI.
+var sweepFast = Options{Iterations: 1, Seeds: []int64{1}, Horizon: 400, WarmUp: 50}
+
+// TestTable1WorkerInvariance is the determinism contract of the sweep
+// engine: the full Table 1 pipeline must produce identical results with 1, 4
+// and 8 workers.
+func TestTable1WorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	budgets := []int{120, 160}
+	var baseline *Table1Result
+	for _, workers := range []int{1, 4, 8} {
+		opt := sweepFast
+		opt.Workers = workers
+		tbl, err := Table1(budgets, nil, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if baseline == nil {
+			baseline = tbl
+			continue
+		}
+		if !reflect.DeepEqual(baseline, tbl) {
+			t.Fatalf("workers=%d diverged from serial run:\nserial: %+v\ngot:    %+v", workers, baseline, tbl)
+		}
+	}
+}
+
+func TestBudgetSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	budgets := []int{120, 160}
+	res, err := BudgetSweep(arch.NetworkProcessor, budgets, sweepFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Budgets, budgets) {
+		t.Fatalf("budget order not preserved: %v", res.Budgets)
+	}
+	for _, b := range budgets {
+		if res.Pre[b] <= 0 {
+			t.Fatalf("budget %d: no baseline loss measured", b)
+		}
+		if res.Post[b] < 0 {
+			t.Fatalf("budget %d: negative post loss", b)
+		}
+	}
+}
+
+// TestBudgetSweepPerPointErrors checks the engine's failure isolation: an
+// invalid budget fails its own point while the valid points complete.
+func TestBudgetSweepPerPointErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := BudgetSweep(arch.NetworkProcessor, []int{120, -1, 160}, sweepFast)
+	if err == nil {
+		t.Fatal("invalid budget did not surface an error")
+	}
+	if len(res.Failed) != 1 || res.Failed[0].Budget != -1 {
+		t.Fatalf("failed points = %+v, want exactly budget -1", res.Failed)
+	}
+	if !reflect.DeepEqual(res.Budgets, []int{120, 160}) {
+		t.Fatalf("valid points lost: %v", res.Budgets)
+	}
+	if res.Pre[120] <= 0 || res.Pre[160] <= 0 {
+		t.Fatalf("valid points not populated: %+v", res.Pre)
+	}
+}
+
+func TestBudgetSweepEmpty(t *testing.T) {
+	if _, err := BudgetSweep(nil, nil, Options{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("linalg: iteration did not converge")
+
+// IterOptions tunes the iterative stationary solvers. Zero values pick
+// defaults good for the CTMDP pipeline's 1e-8 agreement requirement.
+type IterOptions struct {
+	// Tol is the convergence tolerance on the balance-equation residual
+	// max_j |(πQ)_j| relative to the largest exit rate. Default 1e-12.
+	Tol float64
+	// MaxIters bounds solver sweeps. Default 20000.
+	MaxIters int
+}
+
+func (o IterOptions) withDefaults() IterOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 20000
+	}
+	return o
+}
+
+// StationaryGaussSeidel computes the stationary distribution π of the CTMC
+// with generator Q, solving πQ = 0, Σπ = 1 by Gauss–Seidel sweeps on the
+// transposed system Qᵀπ = 0. q must be a valid generator in CSR form
+// (non-negative off-diagonals, rows summing to zero); the chain must be
+// irreducible for the answer to be the unique stationary distribution.
+//
+// Each sweep updates π_i ← (Σ_{j≠i} q_ji·π_j) / (−q_ii) in place and then
+// renormalises. For irreducible generators this is the classical iterative
+// stationary method (Stewart, "Introduction to the Numerical Solution of
+// Markov Chains") and converges geometrically.
+func StationaryGaussSeidel(q *CSR, opts IterOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := q.Rows
+	if n == 0 || q.Cols != n {
+		return nil, fmt.Errorf("%w: generator %dx%d", ErrShape, q.Rows, q.Cols)
+	}
+	qt := q.T() // row i of qt holds incoming rates q_ji plus the diagonal q_ii
+
+	// Diagonal lookup per row of qt (the diagonal of Q).
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		found := false
+		for k := qt.RowPtr[i]; k < qt.RowPtr[i+1]; k++ {
+			if qt.Col[k] == i {
+				diag[i] = qt.Val[k]
+				found = true
+				break
+			}
+		}
+		if !found || diag[i] >= 0 {
+			// A state with no exit rate is absorbing; the stationary
+			// distribution is degenerate and Gauss–Seidel's division by the
+			// diagonal breaks down.
+			return nil, fmt.Errorf("linalg: state %d has no exit rate (absorbing or empty row)", i)
+		}
+	}
+
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	scale := rateScale(q)
+	for it := 0; it < opts.MaxIters; it++ {
+		for i := 0; i < n; i++ {
+			var in float64
+			for k := qt.RowPtr[i]; k < qt.RowPtr[i+1]; k++ {
+				if j := qt.Col[k]; j != i {
+					in += qt.Val[k] * pi[j]
+				}
+			}
+			pi[i] = in / -diag[i]
+		}
+		s := Sum(pi)
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("linalg: Gauss–Seidel collapsed (mass %v)", s)
+		}
+		Scale(1/s, pi)
+		if stationaryResidual(q, pi) <= opts.Tol*scale {
+			return pi, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// StationaryPower computes the stationary distribution of the CTMC with
+// generator Q by power iteration on the uniformised DTMC P = I + Q/Λ with
+// Λ = 1.05·max_i |q_ii|. Slower than Gauss–Seidel per digit of accuracy but
+// unconditionally stable; the auto path uses it as the fallback.
+func StationaryPower(q *CSR, opts IterOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := q.Rows
+	if n == 0 || q.Cols != n {
+		return nil, fmt.Errorf("%w: generator %dx%d", ErrShape, q.Rows, q.Cols)
+	}
+	var maxDiag float64
+	for i := 0; i < n; i++ {
+		if d := -q.At(i, i); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag <= 0 {
+		return nil, errors.New("linalg: generator has no transitions")
+	}
+	rate := 1.05 * maxDiag
+	qt := q.T()
+
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	scale := rateScale(q)
+	for it := 0; it < opts.MaxIters; it++ {
+		// next = π·P = π + (π·Q)/Λ, computed via the transpose:
+		// (π·Q)_j = Σ_i π_i q_ij = Σ over row j of qt.
+		for j := 0; j < n; j++ {
+			var flow float64
+			for k := qt.RowPtr[j]; k < qt.RowPtr[j+1]; k++ {
+				flow += qt.Val[k] * pi[qt.Col[k]]
+			}
+			next[j] = pi[j] + flow/rate
+		}
+		pi, next = next, pi
+		s := Sum(pi)
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("linalg: power iteration collapsed (mass %v)", s)
+		}
+		Scale(1/s, pi)
+		if stationaryResidual(q, pi) <= opts.Tol*scale {
+			return pi, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// StationarySparse computes the stationary distribution of the generator,
+// trying Gauss–Seidel first and falling back to power iteration when the
+// sweep diverges or stalls. This is the entry point the CTMDP layer uses for
+// large state spaces.
+func StationarySparse(q *CSR, opts IterOptions) ([]float64, error) {
+	pi, err := StationaryGaussSeidel(q, opts)
+	if err == nil {
+		return pi, nil
+	}
+	if pi2, err2 := StationaryPower(q, opts); err2 == nil {
+		return pi2, nil
+	}
+	return nil, err
+}
+
+// stationaryResidual returns max_j |(πQ)_j|, the unbalance of the candidate
+// distribution.
+func stationaryResidual(q *CSR, pi []float64) float64 {
+	res := make([]float64, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		v := pi[i]
+		if v == 0 {
+			continue
+		}
+		for k := q.RowPtr[i]; k < q.RowPtr[i+1]; k++ {
+			res[q.Col[k]] += v * q.Val[k]
+		}
+	}
+	return NormInf(res)
+}
+
+// rateScale returns the largest exit rate of the generator, used to make the
+// convergence tolerance relative to the chain's time scale.
+func rateScale(q *CSR) float64 {
+	var mx float64
+	for i := 0; i < q.Rows; i++ {
+		for k := q.RowPtr[i]; k < q.RowPtr[i+1]; k++ {
+			if q.Col[k] == i {
+				if d := -q.Val[k]; d > mx {
+					mx = d
+				}
+			}
+		}
+	}
+	if mx == 0 {
+		return 1
+	}
+	return mx
+}

@@ -1,0 +1,74 @@
+package markov
+
+import (
+	"fmt"
+
+	"socbuf/internal/linalg"
+)
+
+// SparseThreshold is the state count at which StationaryAuto switches from
+// the dense LU solve to the sparse iterative solver. Below it the O(n³)
+// factorisation is cheap and exact; above it the generator's O(n) transitions
+// per state make CSR + Gauss–Seidel both smaller and faster.
+const SparseThreshold = 256
+
+// CSR converts the generator to compressed sparse row form (diagonal
+// included).
+func (g *Generator) CSR() *linalg.CSR {
+	n := g.N()
+	b := linalg.NewSparseBuilder(n, n)
+	for i := 0; i < n; i++ {
+		row := g.Q.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// StationaryIterative computes the stationary distribution with the sparse
+// Gauss–Seidel solver (power-iteration fallback), validating the result the
+// same way Stationary does. tol ≤ 0 picks the solver default.
+func (g *Generator) StationaryIterative(tol float64) ([]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	pi, err := linalg.StationarySparse(g.CSR(), linalg.IterOptions{Tol: tol})
+	if err != nil {
+		return nil, fmt.Errorf("markov: sparse stationary solve: %w", err)
+	}
+	return checkDistribution(pi)
+}
+
+// StationaryAuto computes the stationary distribution, choosing the dense LU
+// solve for chains below SparseThreshold states and the sparse iterative
+// solver above it. Both paths agree to well below 1e-8 on irreducible chains.
+func (g *Generator) StationaryAuto() ([]float64, error) {
+	if g.N() < SparseThreshold {
+		return g.Stationary()
+	}
+	return g.StationaryIterative(0)
+}
+
+// checkDistribution enforces the non-negativity and unit-mass invariants on a
+// candidate stationary vector, clamping roundoff-level negatives.
+func checkDistribution(pi []float64) ([]float64, error) {
+	var sum float64
+	for i, v := range pi {
+		if v < -1e-8 {
+			return nil, fmt.Errorf("markov: stationary solution has negative mass %v at state %d (reducible chain?)", v, i)
+		}
+		if v < 0 {
+			pi[i] = 0
+			v = 0
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("markov: stationary mass %v", sum)
+	}
+	linalg.Scale(1/sum, pi)
+	return pi, nil
+}

@@ -1,0 +1,113 @@
+// Package parallel provides the deterministic worker pool behind the sweep
+// engine. Every fan-out in the pipeline — budget sweeps, per-seed
+// evaluations, experiment batches — funnels through Map, which guarantees:
+//
+//   - order-stable results: output slot i holds fn(i)'s result no matter
+//     which worker ran it or when it finished, so aggregation downstream is
+//     deterministic and independent of the worker count;
+//   - per-point error collection: one failing point does not abort the
+//     others; the joined error reports every failing index.
+//
+// The functions themselves must be safe to call concurrently; everything the
+// pipeline fans out over (core.Run, sim.New+Run) only reads its shared
+// inputs.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// PointError records the failure of one point of a parallel sweep.
+type PointError struct {
+	Index int
+	Err   error
+}
+
+func (e *PointError) Error() string { return fmt.Sprintf("point %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *PointError) Unwrap() error { return e.Err }
+
+// Workers normalises a worker-count setting: n > 0 is used as given, n <= 0
+// means GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) on up to workers goroutines (GOMAXPROCS when workers
+// <= 0) and returns the results in index order. Failed points leave the zero
+// value in their slot; the returned error is nil when every point succeeded,
+// otherwise it joins one *PointError per failure, in index order. Results of
+// successful points are always returned, so callers can salvage partial
+// sweeps.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, &PointError{Index: i, Err: err})
+		}
+	}
+	return results, errors.Join(joined...)
+}
+
+// Points extracts every per-point failure from an error returned by Map (or
+// ForEach), in index order. It returns nil for a nil error and wraps a plain
+// error in a single index-(-1) entry, so callers can treat any failure
+// uniformly.
+func Points(err error) []*PointError {
+	if err == nil {
+		return nil
+	}
+	if pe, ok := err.(*PointError); ok {
+		return []*PointError{pe}
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []*PointError
+		for _, sub := range joined.Unwrap() {
+			out = append(out, Points(sub)...)
+		}
+		return out
+	}
+	return []*PointError{{Index: -1, Err: err}}
+}
+
+// ForEach is Map for side-effecting points with no result value.
+func ForEach(n, workers int, fn func(i int) error) error {
+	_, err := Map(n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,130 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderStable(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	var want []int
+	for i := 0; i < 100; i++ {
+		want = append(want, i*i)
+	}
+	for _, workers := range []int{1, 4, 8, 100} {
+		got, err := Map(100, workers, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapZeroPoints(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { t.Fatal("fn called"); return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	fn := func(i int) (int, error) {
+		if i%3 == 0 {
+			return 0, fmt.Errorf("at %d: %w", i, boom)
+		}
+		return i, nil
+	}
+	got, err := Map(10, 4, fn)
+	if err == nil {
+		t.Fatal("failures not reported")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("joined error does not wrap the cause: %v", err)
+	}
+	// Successful points survive alongside the failures.
+	for i, v := range got {
+		if i%3 == 0 {
+			if v != 0 {
+				t.Fatalf("failed slot %d holds %d, want zero value", i, v)
+			}
+		} else if v != i {
+			t.Fatalf("successful slot %d lost its result: %d", i, v)
+		}
+	}
+	pts := Points(err)
+	if len(pts) != 4 { // 0, 3, 6, 9
+		t.Fatalf("Points found %d failures, want 4: %v", len(pts), err)
+	}
+	for k, pe := range pts {
+		if pe.Index != 3*k {
+			t.Fatalf("failure %d at index %d, want %d (index order)", k, pe.Index, 3*k)
+		}
+		if !errors.Is(pe, boom) {
+			t.Fatalf("point error does not unwrap to the cause: %v", pe)
+		}
+	}
+}
+
+func TestPointsOnForeignError(t *testing.T) {
+	if Points(nil) != nil {
+		t.Fatal("Points(nil) != nil")
+	}
+	pts := Points(errors.New("plain"))
+	if len(pts) != 1 || pts[0].Index != -1 {
+		t.Fatalf("plain error not wrapped: %v", pts)
+	}
+}
+
+// TestMapStress hammers the pool with many tiny points under the race
+// detector: every point must run exactly once and land in its own slot.
+func TestMapStress(t *testing.T) {
+	const n = 5000
+	var calls atomic.Int64
+	got, err := Map(n, 16, func(i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := calls.Load(); c != n {
+		t.Fatalf("fn ran %d times, want %d", c, n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(10, 3, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if err := ForEach(3, 2, func(i int) error { return fmt.Errorf("p%d", i) }); err == nil {
+		t.Fatal("ForEach swallowed errors")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker count overridden")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("defaulted worker count not positive")
+	}
+}
