@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt
+.PHONY: build test race bench lint fmt scenario-smoke
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,10 @@ lint:
 
 fmt:
 	gofmt -w .
+
+# Tiny end-to-end pass through the scenario engine: one preset + one
+# generated topology, 1 seed, short horizon. Catches generator or traffic
+# wiring regressions in seconds; CI runs it on every push.
+scenario-smoke:
+	$(GO) run ./cmd/experiments scenario-sweep \
+		-scenarios twobus,chain6-bursty -budget 48 -iters 2 -seeds 1 -horizon 600 -parallel 2

@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation:
+// evaluation, and sweeps the scenario registry:
 //
 //	experiments -fig3            Figure 3 (per-processor loss, three policies)
 //	experiments -table1          Table 1 (budget sweep 160/320/640)
@@ -7,6 +7,15 @@
 //	experiments -headline        §3 headline ratios
 //	experiments -sweep           parallel budget sweep (see -budgets)
 //	experiments -all             everything (the EXPERIMENTS.md run)
+//	experiments -list-scenarios  print the scenario registry
+//
+//	experiments scenario-sweep [-scenarios a,b] [-budget N] [-iters N]
+//	                           [-seeds 1,2] [-horizon T] [-parallel N] [-quick]
+//
+// scenario-sweep runs the full methodology on every named registry scenario
+// (all of them when -scenarios is empty) in parallel and prints one report
+// row per scenario; -budget overrides every scenario's budget (the CI smoke
+// run uses it to stay tiny).
 //
 // -quick reduces iterations/seeds/horizon for a fast smoke pass. -parallel N
 // bounds the sweep engine's worker pool (default GOMAXPROCS); results are
@@ -21,9 +30,16 @@ import (
 	"socbuf/internal/arch"
 	"socbuf/internal/experiments"
 	"socbuf/internal/report"
+	"socbuf/internal/scenario"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scenario-sweep" {
+		if err := scenarioSweepCmd(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		fig3     = flag.Bool("fig3", false, "regenerate Figure 3")
 		table1   = flag.Bool("table1", false, "regenerate Table 1")
@@ -35,8 +51,15 @@ func main() {
 		budget   = flag.Int("budget", 160, "buffer budget for Figure 3 / headline")
 		budgets  = flag.String("budgets", "160,320,640", "comma-separated budgets for -sweep")
 		parallel = flag.Int("parallel", 0, "worker goroutines for sweeps (0 = GOMAXPROCS, 1 = serial)")
+		list     = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
 	)
 	flag.Parse()
+	if *list {
+		if err := experiments.WriteScenarioList(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if !*fig3 && !*table1 && !*split && !*headline && !*sweep && !*all {
 		*all = true
 	}
@@ -93,6 +116,76 @@ func runSweep(budgets []int, opt experiments.Options) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
+}
+
+// scenarioSweepCmd is the scenario-sweep subcommand: fan the methodology
+// over registry scenarios and print a per-scenario report table.
+func scenarioSweepCmd(args []string) error {
+	fs := flag.NewFlagSet("scenario-sweep", flag.ExitOnError)
+	var (
+		names    = fs.String("scenarios", "", "comma-separated scenario names (empty = whole registry)")
+		budget   = fs.Int("budget", 0, "override every scenario's budget (0 = scenario's own)")
+		iters    = fs.Int("iters", 0, "override methodology iterations (0 = scenario/default)")
+		seeds    = fs.String("seeds", "", "comma-separated evaluation seeds (empty = scenario/default)")
+		horizon  = fs.Float64("horizon", 0, "override sim horizon (0 = scenario/default)")
+		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		quick    = fs.Bool("quick", false, "smaller iterations/seeds/horizon")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scs, err := scenario.Resolve(experiments.ParseNames(*names))
+	if err != nil {
+		return err
+	}
+
+	opt := experiments.Options{Workers: *parallel}
+	if *quick {
+		opt.Iterations, opt.Seeds, opt.Horizon = 3, []int64{1, 2}, 1200
+	}
+	var sd []int64
+	if *seeds != "" {
+		if sd, err = experiments.ParseSeeds(*seeds); err != nil {
+			return err
+		}
+	}
+	// Explicit overrides beat both -quick and the scenarios' own values.
+	for i := range scs {
+		if *budget > 0 {
+			scs[i].Budget = *budget
+		}
+		if *iters > 0 {
+			scs[i].Iterations = *iters
+		}
+		if *horizon > 0 {
+			scs[i].Horizon = *horizon
+		}
+		if sd != nil {
+			scs[i].Seeds = sd
+		}
+		if *quick {
+			if *iters == 0 {
+				scs[i].Iterations = 0 // let opt.Iterations apply
+			}
+			if *seeds == "" {
+				scs[i].Seeds = nil
+			}
+			if *horizon == 0 {
+				scs[i].Horizon = 0
+			}
+		}
+	}
+
+	res, err := experiments.ScenarioSweep(scs, opt)
+	if res == nil {
+		return err
+	}
+	fmt.Printf("Scenario sweep — %d scenarios\n", len(scs))
+	if werr := res.WriteTable(os.Stdout); werr != nil {
+		return werr
+	}
+	fmt.Println()
+	return err
 }
 
 func runFig3(budget int, opt experiments.Options) error {

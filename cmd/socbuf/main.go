@@ -1,13 +1,19 @@
 // Command socbuf runs the buffer-insertion and sizing methodology on a named
-// preset architecture and prints the resulting allocation and loss
-// comparison.
+// preset architecture, a JSON architecture, or a registered scenario, and
+// prints the resulting allocation and loss comparison.
 //
 //	socbuf -arch netproc -budget 160 -iters 10
 //	socbuf -arch netproc -sweep 160,320,640 -parallel 8
+//	socbuf -scenario chain6-bursty
+//	socbuf -list-scenarios
 //
 // -sweep runs the methodology at each listed budget through the parallel
 // sweep engine instead of a single run; -parallel bounds its worker pool
 // (0 = GOMAXPROCS). Results are identical for every worker count.
+//
+// -scenario runs one registry scenario (its generated topology, traffic
+// model and budget); explicitly-set -budget/-iters/-horizon flags override
+// the scenario's own values. -list-scenarios prints the registry.
 package main
 
 import (
@@ -19,12 +25,15 @@ import (
 	"socbuf/internal/core"
 	"socbuf/internal/experiments"
 	"socbuf/internal/report"
+	"socbuf/internal/scenario"
 )
 
 func main() {
 	var (
 		name     = flag.String("arch", "netproc", "preset: figure1 | twobus | netproc")
 		file     = flag.String("file", "", "load a JSON architecture instead of a preset")
+		scen     = flag.String("scenario", "", "run a registered scenario instead of a preset (see -list-scenarios)")
+		list     = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
 		budget   = flag.Int("budget", 160, "total buffer budget in units")
 		iters    = flag.Int("iters", 10, "methodology iterations")
 		horiz    = flag.Float64("horizon", 2000, "evaluation sim horizon")
@@ -34,18 +43,34 @@ func main() {
 	)
 	flag.Parse()
 
+	if *list {
+		if err := experiments.WriteScenarioList(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scen != "" {
+		if *sweep != "" || *file != "" {
+			fatal(fmt.Errorf("-scenario cannot be combined with -sweep or -file"))
+		}
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if err := runScenario(*scen, set, *budget, *iters, *horiz, *refine, *parallel); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var a *arch.Architecture
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "socbuf:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		a, err = arch.ReadJSON(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "socbuf:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	} else {
 		switch *name {
@@ -63,8 +88,7 @@ func main() {
 
 	if *sweep != "" {
 		if err := runSweep(a, *sweep, *iters, *horiz, *parallel); err != nil {
-			fmt.Fprintln(os.Stderr, "socbuf:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		return
 	}
@@ -74,11 +98,52 @@ func main() {
 		Workers: *parallel, RefineStationary: *refine,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "socbuf:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	printResult(a.Name, *budget, res)
+}
 
-	fmt.Printf("architecture %s, budget %d, %d iterations\n", a.Name, *budget, len(res.Iterations))
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "socbuf:", err)
+	os.Exit(1)
+}
+
+// runScenario executes one registry scenario's methodology run. set marks
+// the flags the user passed explicitly: those override the scenario's own
+// budget/iterations/horizon.
+func runScenario(name string, set map[string]bool, budget, iters int, horizon float64, refine bool, workers int) error {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (have %v)", name, scenario.Names())
+	}
+	cfg, err := sc.CoreConfig()
+	if err != nil {
+		return err
+	}
+	if set["budget"] {
+		cfg.Budget = budget
+	}
+	if set["iters"] {
+		cfg.Iterations = iters
+	}
+	if set["horizon"] {
+		cfg.Horizon = horizon
+	}
+	cfg.Workers = workers
+	cfg.RefineStationary = refine
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %s — %s, traffic %s\n", sc.Name, sc.Topology, sc.Traffic)
+	printResult(res.Arch.Name, cfg.Budget, res)
+	return nil
+}
+
+// printResult renders the single-run summary and allocation table.
+func printResult(archName string, budget int, res *core.Result) {
+	fmt.Printf("architecture %s, budget %d, %d iterations\n", archName, budget, len(res.Iterations))
 	fmt.Printf("subsystems after buffer insertion: %d (all linear)\n", len(res.Subsystems))
 	fmt.Printf("baseline (uniform) loss: %d\n", res.BaselineLoss)
 	fmt.Printf("best sized loss:         %d  (%.1f%% reduction, iteration %d)\n",
@@ -92,8 +157,7 @@ func main() {
 		rows = append(rows, []string{id, fmt.Sprint(res.BaselineAlloc[id]), fmt.Sprint(res.Best.Alloc[id])})
 	}
 	if err := report.Table(os.Stdout, headers, rows); err != nil {
-		fmt.Fprintln(os.Stderr, "socbuf:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }
 

@@ -22,9 +22,13 @@
 //     behind every sweep fan-out;
 //   - internal/core, internal/policy      — the methodology loop and the
 //     sizing policies the paper compares;
+//   - internal/scenario                   — the scenario engine: seeded
+//     chain/star/tree/mesh topology generators, pluggable traffic models
+//     (Poisson / rate-preserving ON-OFF), and the registry of named
+//     scenarios the sweep engines fan out over;
 //   - internal/experiments                — regeneration of Figure 3,
 //     Table 1, the §2 demo and the §3 headline ratios, plus the parallel
-//     budget-sweep engine.
+//     budget- and scenario-sweep engines.
 //
 // Stationary distributions of policy-induced chains are solved through two
 // interchangeable paths: an exact dense LU solve for small state spaces and
@@ -39,4 +43,4 @@
 package socbuf
 
 // Version identifies the reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"

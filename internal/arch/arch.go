@@ -104,6 +104,22 @@ func (a *Architecture) BridgeByID(id string) (*Bridge, bool) {
 	return nil, false
 }
 
+// Clone deep-copies the architecture, so mutations of the copy (notably
+// InsertBridgeBuffers) leave the original untouched.
+func (a *Architecture) Clone() *Architecture {
+	out := &Architecture{Name: a.Name}
+	out.Buses = append([]Bus(nil), a.Buses...)
+	out.Bridges = append([]Bridge(nil), a.Bridges...)
+	out.Flows = append([]Flow(nil), a.Flows...)
+	for _, p := range a.Processors {
+		out.Processors = append(out.Processors, Processor{
+			ID:    p.ID,
+			Buses: append([]string(nil), p.Buses...),
+		})
+	}
+	return out
+}
+
 // InsertBridgeBuffers marks every bridge as buffered. This is the paper's
 // "buffer insertion for bridges": after it, Split (internal/graph) decomposes
 // the architecture into one linear subsystem per bus.

@@ -23,7 +23,17 @@ import (
 
 	"socbuf/internal/arch"
 	"socbuf/internal/ctmdp"
+	"socbuf/internal/sim"
+	"socbuf/internal/trace"
 )
+
+// SourceFactory builds the per-flow arrival processes of one evaluation
+// simulation. The methodology invokes it once per seed with the buffered
+// clone it works on, and passes the result to sim.Config.Sources; flows
+// without an entry keep the paper's Poisson model. Implementations must
+// return fresh Source instances on every call: sources may carry mutable
+// state (trace.OnOff does), and seeds simulate concurrently.
+type SourceFactory func(a *arch.Architecture) (map[sim.FlowKey]trace.Source, error)
 
 // Config parameterises a methodology run. Zero values select the defaults
 // noted per field.
@@ -68,6 +78,12 @@ type Config struct {
 	// CTMDP arbitration policy instead of longest-queue. Default true
 	// (disable with DisableCTMDPArbiter).
 	DisableCTMDPArbiter bool
+	// Traffic optionally overrides the evaluation simulations' arrival
+	// processes (bursty/OnOff robustness runs). The CTMDP models keep their
+	// Poisson arrival assumption — the simulator is the ground truth that
+	// measures how the sized system behaves under the alternative traffic.
+	// Nil keeps Poisson flows everywhere.
+	Traffic SourceFactory
 	// LossWeights optionally weighs processors' losses in the objective
 	// ("allowing some losses to be more important than the others", §3).
 	// Keyed by processor ID; missing entries weigh 1.
@@ -144,20 +160,4 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("core: boundary iterations %d < 1", c.BoundaryIters)
 	}
 	return c, nil
-}
-
-// cloneArch deep-copies the architecture so the caller's copy keeps its
-// bridge-buffering state.
-func cloneArch(a *arch.Architecture) *arch.Architecture {
-	out := &arch.Architecture{Name: a.Name}
-	out.Buses = append([]arch.Bus(nil), a.Buses...)
-	out.Bridges = append([]arch.Bridge(nil), a.Bridges...)
-	out.Flows = append([]arch.Flow(nil), a.Flows...)
-	for _, p := range a.Processors {
-		out.Processors = append(out.Processors, arch.Processor{
-			ID:    p.ID,
-			Buses: append([]string(nil), p.Buses...),
-		})
-	}
-	return out
 }

@@ -9,6 +9,7 @@ import (
 	"socbuf/internal/graph"
 	"socbuf/internal/parallel"
 	"socbuf/internal/sim"
+	"socbuf/internal/trace"
 )
 
 // Iteration records one pass of the size→solve→resimulate loop.
@@ -22,6 +23,9 @@ type Iteration struct {
 	LossByProc map[string]int64
 	// ModelLoss is the LP objective (weighted model loss rate).
 	ModelLoss float64
+	// Solution is the joint solution whose translation produced Alloc.
+	// Callers can rebuild this iteration's arbitration with Arbiters.
+	Solution *ctmdp.JointSolution
 	// CapBinding reports whether the joint occupancy cap bound.
 	CapBinding bool
 	// RandomisedStates counts states with randomised grants across all
@@ -66,7 +70,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := cloneArch(cfg.Arch)
+	a := cfg.Arch.Clone()
 	a.InsertBridgeBuffers() // the paper's buffer insertion for bridges
 	if err := a.Validate(); err != nil {
 		return nil, err
@@ -163,6 +167,7 @@ func Run(cfg Config) (*Result, error) {
 			SimLoss:          loss,
 			LossByProc:       byProc,
 			ModelLoss:        sol.TotalLossRate,
+			Solution:         sol,
 			CapBinding:       sol.CapBinding,
 			RandomisedStates: randomised,
 		})
@@ -226,6 +231,15 @@ func solveWithBoundary(a *arch.Architecture, alloc arch.Allocation, bnd *boundar
 	return sol, models, nil
 }
 
+// Arbiters builds fresh per-bus CTMDP arbiters for one simulation of alloc
+// under the given joint solution (an Iteration's Solution). Arbiter
+// instances carry per-run scratch state, so callers must build a new set
+// for every concurrent simulation — exactly what the methodology's own
+// evaluations do.
+func Arbiters(a *arch.Architecture, sol *ctmdp.JointSolution, alloc arch.Allocation) (map[string]sim.Arbiter, error) {
+	return buildArbiters(a, sol, alloc)
+}
+
 // buildArbiters wires each bus's solved policy to the simulator.
 func buildArbiters(a *arch.Architecture, sol *ctmdp.JointSolution, alloc arch.Allocation) (map[string]sim.Arbiter, error) {
 	clients, err := a.BusClients()
@@ -251,13 +265,22 @@ func buildArbiters(a *arch.Architecture, sol *ctmdp.JointSolution, alloc arch.Al
 // makeArbiters (nil for the longest-queue default) is invoked once per seed:
 // arbiter implementations carry per-run scratch state (policyArbiter's level
 // buffer, RoundRobin's cursor), so concurrent simulations must not share
-// instances.
+// instances. cfg.Traffic, when set, is likewise invoked once per seed so
+// every simulation gets fresh Source instances (trace.OnOff is stateful).
 func evaluate(a *arch.Architecture, alloc arch.Allocation, makeArbiters func() (map[string]sim.Arbiter, error), cfg Config) (int64, map[string]int64, error) {
 	perSeed, err := parallel.Map(len(cfg.Seeds), cfg.Workers, func(i int) (*sim.Results, error) {
 		var arbiters map[string]sim.Arbiter
 		if makeArbiters != nil {
 			var err error
 			arbiters, err = makeArbiters()
+			if err != nil {
+				return nil, err
+			}
+		}
+		var sources map[sim.FlowKey]trace.Source
+		if cfg.Traffic != nil {
+			var err error
+			sources, err = cfg.Traffic(a)
 			if err != nil {
 				return nil, err
 			}
@@ -269,6 +292,7 @@ func evaluate(a *arch.Architecture, alloc arch.Allocation, makeArbiters func() (
 			WarmUp:   cfg.WarmUp,
 			Seed:     cfg.Seeds[i],
 			Arbiters: arbiters,
+			Sources:  sources,
 		})
 		if err != nil {
 			return nil, err

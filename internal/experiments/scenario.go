@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"socbuf/internal/core"
+	"socbuf/internal/parallel"
+	"socbuf/internal/report"
+	"socbuf/internal/scenario"
+	"socbuf/internal/sim"
+)
+
+// ScenarioPoint is one scenario's outcome row.
+type ScenarioPoint struct {
+	Name    string
+	Arch    string // architecture name
+	Buses   int
+	Buffers int // buffer count after insertion (what Budget divides over)
+	Traffic string
+	Budget  int
+	// Pre and Post are total simulated losses before/after CTMDP sizing,
+	// summed over the evaluation seeds.
+	Pre, Post int64
+	// Improvement is 1 − post/pre (0 when pre is 0).
+	Improvement float64
+	// LossFrac and Latency come from a probe simulation of the best
+	// allocation on the first seed: the fraction of generated packets lost,
+	// and the Little's-law mean packet sojourn (Σ mean buffer occupancy /
+	// delivery throughput).
+	LossFrac float64
+	Latency  float64
+}
+
+// ScenarioError records one failed sweep point.
+type ScenarioError struct {
+	Name string
+	Err  error
+}
+
+// ScenarioSweepResult holds a parallel sweep over scenarios. Points appear
+// in input order; the aggregation is byte-identical for any worker count.
+type ScenarioSweepResult struct {
+	Points []ScenarioPoint
+	Failed []ScenarioError
+}
+
+// Err joins the per-scenario failures (nil when every point succeeded).
+func (r *ScenarioSweepResult) Err() error {
+	errs := make([]error, len(r.Failed))
+	for i, f := range r.Failed {
+		errs[i] = fmt.Errorf("scenario %s: %w", f.Name, f.Err)
+	}
+	return errors.Join(errs...)
+}
+
+// WriteTable renders the sweep — one row per successful scenario, one
+// trailing line per failure — in the shared report format.
+func (r *ScenarioSweepResult) WriteTable(w io.Writer) error {
+	headers := []string{"SCENARIO", "arch", "buses", "buffers", "traffic", "budget",
+		"uniform loss", "sized loss", "improvement", "loss frac", "latency"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Name, p.Arch, fmt.Sprint(p.Buses), fmt.Sprint(p.Buffers), p.Traffic,
+			fmt.Sprint(p.Budget), fmt.Sprint(p.Pre), fmt.Sprint(p.Post),
+			fmt.Sprintf("%.1f%%", p.Improvement*100),
+			fmt.Sprintf("%.4f", p.LossFrac),
+			fmt.Sprintf("%.3f", p.Latency),
+		})
+	}
+	if err := report.Table(w, headers, rows); err != nil {
+		return err
+	}
+	for _, f := range r.Failed {
+		if _, err := fmt.Fprintf(w, "  FAILED scenario %s: %v\n", f.Name, f.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteScenarioList renders the scenario registry as a table — the shared
+// body of both CLIs' -list-scenarios flag.
+func WriteScenarioList(w io.Writer) error {
+	headers := []string{"NAME", "topology", "traffic", "budget", "description"}
+	var rows [][]string
+	for _, s := range scenario.All() {
+		rows = append(rows, []string{
+			s.Name, s.Topology.String(), s.Traffic.String(), fmt.Sprint(s.Budget), s.Description,
+		})
+	}
+	return report.Table(w, headers, rows)
+}
+
+// ParseSeeds parses a comma-separated seed list like "1,2,3", ignoring
+// empty segments. The scenario CLIs share this parser.
+func ParseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad seed %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds in %q", s)
+	}
+	return out, nil
+}
+
+// ParseNames splits a comma-separated scenario-name list, ignoring empty
+// segments; an empty list means "the whole registry" to ScenarioSweep's
+// callers.
+func ParseNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ScenarioSweep runs the full methodology on every scenario, fanning the
+// points across opt.Workers goroutines. A scenario's own solver knobs win;
+// its zero fields inherit opt (so -quick trims every scenario uniformly).
+// Failed scenarios are collected per point rather than aborting the sweep;
+// the returned error is r.Err().
+func ScenarioSweep(scs []scenario.Scenario, opt Options) (*ScenarioSweepResult, error) {
+	opt = opt.withDefaults()
+	if len(scs) == 0 {
+		return nil, errors.New("experiments: empty scenario sweep")
+	}
+	points, err := parallel.Map(len(scs), opt.Workers, func(i int) (ScenarioPoint, error) {
+		return runScenario(scs[i], opt)
+	})
+
+	out := &ScenarioSweepResult{}
+	failedAt := map[int]error{}
+	for _, pe := range parallel.Points(err) {
+		failedAt[pe.Index] = pe.Err
+	}
+	for i, p := range points {
+		if fe, ok := failedAt[i]; ok {
+			out.Failed = append(out.Failed, ScenarioError{Name: scs[i].Name, Err: fe})
+			continue
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, out.Err()
+}
+
+// runScenario executes one point: methodology run plus a probe simulation of
+// the winning allocation for the loss-fraction and latency estimates.
+// Points run their seeds serially (Workers: 1) — the outer fan-out already
+// saturates the pool.
+func runScenario(sc scenario.Scenario, opt Options) (ScenarioPoint, error) {
+	cfg, err := sc.CoreConfig()
+	if err != nil {
+		return ScenarioPoint{}, err
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = opt.Iterations
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = opt.Seeds
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = opt.Horizon
+	}
+	if cfg.WarmUp == 0 {
+		cfg.WarmUp = opt.WarmUp
+	}
+	cfg.Workers = 1
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return ScenarioPoint{}, err
+	}
+
+	// The probe measures the same system the sized-loss column did: the best
+	// allocation under its own CTMDP arbitration and the scenario's traffic.
+	probeCfg := sim.Config{
+		Arch:    res.Arch,
+		Alloc:   res.Best.Alloc,
+		Horizon: cfg.Horizon,
+		WarmUp:  cfg.WarmUp,
+		Seed:    cfg.Seeds[0],
+	}
+	if !cfg.DisableCTMDPArbiter {
+		probeCfg.Arbiters, err = core.Arbiters(res.Arch, res.Best.Solution, res.Best.Alloc)
+		if err != nil {
+			return ScenarioPoint{}, err
+		}
+	}
+	if cfg.Traffic != nil {
+		probeCfg.Sources, err = cfg.Traffic(res.Arch)
+		if err != nil {
+			return ScenarioPoint{}, err
+		}
+	}
+	probe, err := sim.New(probeCfg)
+	if err != nil {
+		return ScenarioPoint{}, err
+	}
+	pr, err := probe.Run()
+	if err != nil {
+		return ScenarioPoint{}, err
+	}
+
+	p := ScenarioPoint{
+		Name:        sc.Name,
+		Arch:        res.Arch.Name,
+		Buses:       len(res.Arch.Buses),
+		Buffers:     len(res.Arch.BufferIDs()),
+		Traffic:     sc.Traffic.String(),
+		Budget:      sc.Budget,
+		Pre:         res.BaselineLoss,
+		Post:        res.Best.SimLoss,
+		Improvement: res.Improvement(),
+		LossFrac:    pr.LossFraction(),
+	}
+	if window := cfg.Horizon - cfg.WarmUp; window > 0 && pr.TotalDelivered() > 0 {
+		// Sum in sorted buffer order: float addition order must not depend on
+		// map iteration, or identical sweeps drift in the last ULP.
+		var occ float64
+		for _, id := range report.SortedKeys(pr.MeanOccupancy) {
+			occ += pr.MeanOccupancy[id]
+		}
+		throughput := float64(pr.TotalDelivered()) / window
+		p.Latency = occ / throughput
+	}
+	return p, nil
+}

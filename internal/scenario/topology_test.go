@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/graph"
+)
+
+// generatedGrid enumerates a spread of generator specs: every kind at a few
+// sizes, fan-outs, utilisations, skews and seeds.
+func generatedGrid() []Topology {
+	var specs []Topology
+	for _, kind := range []string{KindChain, KindStar, KindTree, KindMesh} {
+		for _, buses := range []int{2, 3, 6, 9} {
+			for _, seed := range []int64{1, 42} {
+				specs = append(specs, Topology{
+					Kind: kind, Buses: buses, FanOut: 1 + int(seed)%3,
+					Utilisation: 0.7 + 0.05*float64(buses%3),
+					Skew:        1 + float64(seed%4),
+					Seed:        seed,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+func TestGeneratedTopologiesValidateAndSplitLinear(t *testing.T) {
+	for _, spec := range generatedGrid() {
+		a, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: invalid architecture: %v", spec, err)
+		}
+		// Build must leave bridges un-buffered (the methodology inserts them).
+		for _, br := range a.Bridges {
+			if br.Buffered {
+				t.Fatalf("%s: bridge %q pre-buffered", spec, br.ID)
+			}
+		}
+		b := a.Clone()
+		b.InsertBridgeBuffers()
+		subs, err := graph.Split(b)
+		if err != nil {
+			t.Fatalf("%s: split: %v", spec, err)
+		}
+		if err := graph.VerifyPartition(b, subs); err != nil {
+			t.Fatalf("%s: partition: %v", spec, err)
+		}
+		if len(subs) != spec.Buses {
+			t.Fatalf("%s: %d subsystems, want one per bus (%d)", spec, len(subs), spec.Buses)
+		}
+		for _, s := range subs {
+			if !s.Linear() {
+				t.Fatalf("%s: nonlinear subsystem %v after insertion", spec, s.Buses)
+			}
+		}
+	}
+}
+
+func TestGeneratedTopologiesAreDeterministic(t *testing.T) {
+	for _, spec := range generatedGrid()[:8] {
+		a1, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("%s: two builds differ", spec)
+		}
+	}
+}
+
+func TestGeneratedTopologyJSONRoundTrip(t *testing.T) {
+	for _, spec := range generatedGrid() {
+		a, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := a.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", spec, err)
+		}
+		back, err := arch.ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", spec, err)
+		}
+		if !reflect.DeepEqual(a, back) {
+			t.Fatalf("%s: JSON round trip changed the architecture", spec)
+		}
+	}
+}
+
+func TestGeneratedTopologyAllocationsValidate(t *testing.T) {
+	for _, spec := range generatedGrid()[:12] {
+		a, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := a.Clone()
+		b.InsertBridgeBuffers()
+		budget := 2 * len(b.BufferIDs())
+		uni, err := arch.UniformAllocation(b, budget)
+		if err != nil {
+			t.Fatalf("%s: uniform: %v", spec, err)
+		}
+		if err := uni.Validate(b, budget); err != nil {
+			t.Fatalf("%s: uniform allocation invalid: %v", spec, err)
+		}
+		prop, err := arch.ProportionalAllocation(b, budget)
+		if err != nil {
+			t.Fatalf("%s: proportional: %v", spec, err)
+		}
+		if err := prop.Validate(b, budget); err != nil {
+			t.Fatalf("%s: proportional allocation invalid: %v", spec, err)
+		}
+		if uni.Total() != budget {
+			t.Fatalf("%s: uniform total %d, want %d", spec, uni.Total(), budget)
+		}
+	}
+}
+
+func TestGeneratedTopologyUtilisationTarget(t *testing.T) {
+	spec := Topology{Kind: KindChain, Buses: 4, FanOut: 2, Utilisation: 0.85, Skew: 2, Seed: 3}
+	a, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := a.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]float64{}
+	for _, r := range routes {
+		for _, h := range r.Hops {
+			load[h.Bus] += r.Flow.Rate
+		}
+	}
+	for _, b := range a.Buses {
+		if load[b.ID] == 0 {
+			continue
+		}
+		rho := load[b.ID] / b.ServiceRate
+		if rho < 0.84 || rho > 0.86 {
+			t.Fatalf("bus %q utilisation %.3f, want ≈ 0.85", b.ID, rho)
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	bad := []Topology{
+		{Kind: "ring", Buses: 4, FanOut: 1},
+		{Kind: KindPreset, Preset: "nope"},
+		{Kind: KindChain, Buses: 1, FanOut: 1},
+		{Kind: KindChain, Buses: MaxGeneratedBuses + 1, FanOut: 1},
+		{Kind: KindChain, Buses: 4, FanOut: 0},
+		{Kind: KindChain, Buses: 4, FanOut: -1},
+		{Kind: KindChain, Buses: 4, FanOut: 1, Utilisation: 1.2},
+		{Kind: KindChain, Buses: 4, FanOut: 1, Skew: 0.5},
+	}
+	for _, spec := range bad {
+		if _, err := spec.Build(); err == nil {
+			t.Fatalf("%+v: expected error", spec)
+		}
+	}
+	for _, preset := range []string{"figure1", "twobus", "netproc"} {
+		if _, err := (Topology{Kind: KindPreset, Preset: preset}).Build(); err != nil {
+			t.Fatalf("preset %s: %v", preset, err)
+		}
+	}
+}

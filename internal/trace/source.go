@@ -3,9 +3,13 @@
 // Markov-modulated Poisson process used in robustness ablations) and
 // deterministic replay for tests.
 //
-// A Source produces successive inter-arrival times. Sources are pure
-// functions of the *rand.Rand handed to them, so a seeded simulation is
-// fully reproducible.
+// A Source produces successive inter-arrival times. Sources may carry
+// internal state between Next calls — OnOff tracks its modulating chain's
+// phase, Replay its position — so a Source instance must drive exactly one
+// simulation at a time and must not be shared across concurrent runs (the
+// methodology's core.SourceFactory builds fresh instances per seed for
+// this reason). Determinism still holds: a fresh Source and a *rand.Rand
+// with a fixed seed reproduce the same gap sequence on every run.
 package trace
 
 import (
@@ -18,8 +22,12 @@ import (
 var ErrExhausted = errors.New("trace: replay source exhausted")
 
 // Source emits successive inter-arrival times (strictly positive).
+//
+// Implementations may be stateful (see the package comment): callers that
+// run simulations concurrently must give each run its own instance.
 type Source interface {
-	// Next returns the time until the next arrival.
+	// Next returns the time until the next arrival. All randomness must come
+	// from rng so equal seeds reproduce equal gap sequences.
 	Next(rng *rand.Rand) (float64, error)
 	// Rate returns the long-run average arrival rate.
 	Rate() float64
@@ -50,6 +58,10 @@ func (p *Poisson) Rate() float64 { return p.Lambda }
 // rate LambdaOn; while OFF it emits nothing. Sojourn times in each state are
 // exponential. Burstiness grows as the ON rate concentrates the same average
 // load into shorter windows.
+//
+// OnOff is stateful: the modulating chain's phase (on, residual) persists
+// between Next calls. One instance drives one simulation; concurrent runs
+// need fresh instances.
 type OnOff struct {
 	LambdaOn float64 // emission rate while ON
 	OnRate   float64 // OFF→ON transition rate

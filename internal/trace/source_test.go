@@ -160,3 +160,93 @@ func TestPoissonMeanProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Two identically-seeded OnOff runs must produce identical gap sequences:
+// the source's internal chain state is itself a deterministic function of
+// the rng draws, so determinism survives the statefulness.
+func TestOnOffDeterministicGapSequence(t *testing.T) {
+	gaps := func(seed int64) []float64 {
+		s, err := NewOnOff(5, 0.5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]float64, 0, 5000)
+		for i := 0; i < 5000; i++ {
+			g, err := s.Next(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, g)
+		}
+		return out
+	}
+	a, b := gaps(42), gaps(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must give a different sequence (sanity that the test
+	// would catch a source ignoring its rng).
+	c := gaps(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical gap sequences")
+	}
+}
+
+// A shared OnOff instance diverges from two fresh ones: the second user
+// inherits the first's chain phase. This pins down why SourceFactory must
+// build per-run instances.
+func TestOnOffStatePersistsAcrossRuns(t *testing.T) {
+	fresh := func() []float64 {
+		s, err := NewOnOff(5, 0.5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		out := make([]float64, 0, 100)
+		for i := 0; i < 100; i++ {
+			g, err := s.Next(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, g)
+		}
+		return out
+	}
+	first := fresh()
+
+	shared, err := NewOnOff(5, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		if _, err := shared.Next(warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	diverged := false
+	for i := 0; i < 100; i++ {
+		g, err := shared.Next(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != first[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("a warmed-up shared source replayed the fresh sequence — statefulness contract changed?")
+	}
+}
