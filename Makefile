@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt scenario-smoke
+# bench-compare inputs: previous and current bench outputs (see PERFORMANCE.md).
+OLD ?= previous-results.txt
+NEW ?= bench-results.txt
+
+.PHONY: build test race bench bench-compare lint fmt scenario-smoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +19,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Compare two bench runs and fail on >10% BenchmarkSweep32 regression — the
+# same gate the nightly workflow applies. Produce the inputs with e.g.
+#   make bench > bench-results.txt
+#   make bench-compare OLD=previous-results.txt NEW=bench-results.txt
+bench-compare:
+	$(GO) run ./cmd/benchdiff -gate 'BenchmarkSweep32' -max-regress 10 $(OLD) $(NEW)
 
 lint:
 	@unformatted=$$(gofmt -l .); \

@@ -11,11 +11,14 @@ package socbuf_test
 
 import (
 	"testing"
+	"time"
 
 	"socbuf/internal/arch"
 	"socbuf/internal/core"
 	"socbuf/internal/ctmdp"
 	"socbuf/internal/experiments"
+	"socbuf/internal/scenario"
+	"socbuf/internal/solvecache"
 )
 
 // benchOpt keeps one benchmark iteration around a second.
@@ -191,6 +194,111 @@ func BenchmarkSweep32(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSweepColdVsCached is the solve-cache acceptance benchmark
+// (PERFORMANCE.md records its measured numbers): a budget sweep of the full
+// methodology over a generated scenario family (the chain6 topology), run
+// cold and then with the planned, prewarmed, fleet-shared cache. Budget
+// points share their entire boundary-lambda trajectory — capacities never
+// enter the cap-free programs — so the cached variant cold-solves each
+// sub-model stage once and answers the rest from the cache; the acceptance
+// bar is ≥ 2× over cold. Both variants run serially (Workers: 1) so the
+// ratio measures solve reuse, not scheduling.
+func BenchmarkSweepColdVsCached(b *testing.B) {
+	sc, ok := scenario.Get("chain6")
+	if !ok {
+		b.Fatal("scenario chain6 not registered")
+	}
+	newArch := func() *arch.Architecture {
+		a, err := sc.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	budgets := make([]int, 8)
+	for i := range budgets {
+		budgets[i] = sc.Budget + 8*i
+	}
+	opt := experiments.Options{Iterations: 3, Seeds: []int64{1}, Horizon: 300, WarmUp: 50, Workers: 1}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.BudgetSweep(newArch, budgets, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Budgets) != len(budgets) {
+				b.Fatalf("sweep lost points: %d/%d", len(res.Budgets), len(budgets))
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh cache per iteration: the measurement includes planning,
+			// prewarming and every cold solve the cache still has to do.
+			opt := opt
+			opt.Cache = solvecache.New()
+			res, _, err := experiments.CachedBudgetSweep(newArch, budgets, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Budgets) != len(budgets) {
+				b.Fatalf("sweep lost points: %d/%d", len(res.Budgets), len(budgets))
+			}
+			s := opt.Cache.Stats()
+			b.ReportMetric(float64(s.Hits+s.WarmStarts), "reused")
+			b.ReportMetric(float64(s.Misses), "cold-solves")
+		}
+	})
+}
+
+// TestCachedSweepBeatsCold is the machine check of the solve-cache
+// acceptance bar (BenchmarkSweepColdVsCached is the measurement; this test
+// is the gate `go test` actually enforces): a cached generated-family sweep
+// must be decisively faster than cold. The measured ratio is ~2.9× on a
+// 1-core container, so gating at 1.3× leaves wide headroom for CI noise and
+// -race overhead while still catching a cache that stopped reusing.
+func TestCachedSweepBeatsCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc, ok := scenario.Get("chain6")
+	if !ok {
+		t.Fatal("scenario chain6 not registered")
+	}
+	newArch := func() *arch.Architecture {
+		a, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	budgets := []int{sc.Budget, sc.Budget + 8, sc.Budget + 16, sc.Budget + 24}
+	opt := experiments.Options{Iterations: 2, Seeds: []int64{1}, Horizon: 200, WarmUp: 50, Workers: 1}
+
+	start := time.Now()
+	if _, err := experiments.BudgetSweep(newArch, budgets, opt); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+
+	opt.Cache = solvecache.New()
+	start = time.Now()
+	if _, _, err := experiments.CachedBudgetSweep(newArch, budgets, opt); err != nil {
+		t.Fatal(err)
+	}
+	cached := time.Since(start)
+
+	s := opt.Cache.Stats()
+	if reused := s.Hits + s.WarmStarts; reused == 0 {
+		t.Fatalf("cache reused nothing: %+v", s)
+	}
+	if ratio := float64(cold) / float64(cached); ratio < 1.3 {
+		t.Errorf("cached sweep only %.2fx faster than cold (cold %v, cached %v, stats %+v); acceptance bar is 2x, gate 1.3x",
+			ratio, cold, cached, s)
 	}
 }
 

@@ -1,0 +1,149 @@
+// Command benchdiff compares two `go test -bench` outputs and optionally
+// fails on regressions — the regression gate of the nightly bench workflow
+// (PERFORMANCE.md describes the workflow end to end).
+//
+//	benchdiff old.txt new.txt
+//	benchdiff -gate 'BenchmarkSweep32' -max-regress 10 old.txt new.txt
+//
+// Each benchmark present in both files is reported with its old/new ns/op
+// and the delta. With -gate, benchmarks whose name matches the regexp and
+// whose ns/op regressed by more than -max-regress percent fail the run
+// (exit 1). Benchmarks missing from either file are reported but never
+// gated, so renaming or adding benchmarks cannot break the nightly job.
+//
+// benchdiff deliberately sticks to the stdlib (no benchstat dependency); the
+// workflow runs benchstat separately for the human-readable statistics and
+// benchdiff for the machine gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"socbuf/internal/report"
+)
+
+// nsPerOp maps benchmark name to its (last seen) ns/op in one output file.
+type nsPerOp map[string]float64
+
+// procSuffix strips the trailing -<GOMAXPROCS> go test appends to benchmark
+// names, so runs from machines with different core counts still align.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark results from one `go test -bench` output file.
+func parse(path string) (nsPerOp, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := nsPerOp{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Layout: Name iterations value unit [value unit ...]; ns/op is the
+		// first value/unit pair by convention.
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			out[procSuffix.ReplaceAllString(fields[0], "")] = v
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		gate       = flag.String("gate", "", "regexp of benchmark names that fail the run on regression")
+		maxRegress = flag.Float64("max-regress", 10, "maximum allowed ns/op regression percent for gated benchmarks")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gate RE] [-max-regress PCT] old.txt new.txt")
+		os.Exit(2)
+	}
+	var gateRE *regexp.Regexp
+	if *gate != "" {
+		var err error
+		if gateRE, err = regexp.Compile(*gate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	old, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := parse(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var rows [][]string
+	failed := false
+	for _, name := range names {
+		prev, ok := old[name]
+		if !ok {
+			rows = append(rows, []string{name, "-", fmt.Sprintf("%.0f", cur[name]), "new", ""})
+			continue
+		}
+		delta := (cur[name] - prev) / prev * 100
+		verdict := ""
+		if gateRE != nil && gateRE.MatchString(name) {
+			verdict = "ok"
+			if delta > *maxRegress {
+				verdict = "FAIL"
+				failed = true
+			}
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.0f", prev),
+			fmt.Sprintf("%.0f", cur[name]),
+			fmt.Sprintf("%+.1f%%", delta),
+			verdict,
+		})
+	}
+	gone := make([]string, 0)
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		rows = append(rows, []string{name, fmt.Sprintf("%.0f", old[name]), "-", "gone", ""})
+	}
+	if err := report.Table(os.Stdout, []string{"BENCHMARK", "old ns/op", "new ns/op", "delta", "gate"}, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: gated benchmarks regressed more than %.1f%%\n", *maxRegress)
+		os.Exit(1)
+	}
+}

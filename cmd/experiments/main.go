@@ -20,6 +20,13 @@
 // -quick reduces iterations/seeds/horizon for a fast smoke pass. -parallel N
 // bounds the sweep engine's worker pool (default GOMAXPROCS); results are
 // identical for every worker count.
+//
+// -cache shares one solve cache (internal/solvecache) across everything the
+// invocation runs, deduplicating identical per-bus sub-model solves
+// fleet-wide; -sweep additionally plans the points up front and prewarms one
+// solve per structural class. -cache-stats implies -cache and prints the
+// hit/miss/warm-start counters at the end. Both flags also exist on
+// scenario-sweep. See PERFORMANCE.md for measured effect.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"socbuf/internal/experiments"
 	"socbuf/internal/report"
 	"socbuf/internal/scenario"
+	"socbuf/internal/solvecache"
 )
 
 func main() {
@@ -41,17 +49,19 @@ func main() {
 		return
 	}
 	var (
-		fig3     = flag.Bool("fig3", false, "regenerate Figure 3")
-		table1   = flag.Bool("table1", false, "regenerate Table 1")
-		split    = flag.Bool("split", false, "run the §2 split-vs-nonlinear demo")
-		headline = flag.Bool("headline", false, "compute the §3 headline ratios")
-		sweep    = flag.Bool("sweep", false, "run a parallel budget sweep over -budgets")
-		all      = flag.Bool("all", false, "run everything")
-		quick    = flag.Bool("quick", false, "smaller iterations/seeds/horizon")
-		budget   = flag.Int("budget", 160, "buffer budget for Figure 3 / headline")
-		budgets  = flag.String("budgets", "160,320,640", "comma-separated budgets for -sweep")
-		parallel = flag.Int("parallel", 0, "worker goroutines for sweeps (0 = GOMAXPROCS, 1 = serial)")
-		list     = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
+		fig3       = flag.Bool("fig3", false, "regenerate Figure 3")
+		table1     = flag.Bool("table1", false, "regenerate Table 1")
+		split      = flag.Bool("split", false, "run the §2 split-vs-nonlinear demo")
+		headline   = flag.Bool("headline", false, "compute the §3 headline ratios")
+		sweep      = flag.Bool("sweep", false, "run a parallel budget sweep over -budgets")
+		all        = flag.Bool("all", false, "run everything")
+		quick      = flag.Bool("quick", false, "smaller iterations/seeds/horizon")
+		budget     = flag.Int("budget", 160, "buffer budget for Figure 3 / headline")
+		budgets    = flag.String("budgets", "160,320,640", "comma-separated budgets for -sweep")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for sweeps (0 = GOMAXPROCS, 1 = serial)")
+		list       = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
+		useCache   = flag.Bool("cache", false, "share a solve cache across all runs (sweeps prewarm it)")
+		cacheStats = flag.Bool("cache-stats", false, "print solve-cache counters at the end (implies -cache)")
 	)
 	flag.Parse()
 	if *list {
@@ -68,6 +78,16 @@ func main() {
 		opt = experiments.Options{Iterations: 3, Seeds: []int64{1, 2}, Horizon: 1200}
 	}
 	opt.Workers = *parallel
+	if *useCache || *cacheStats {
+		opt.Cache = solvecache.New()
+	}
+	defer func() {
+		if *cacheStats {
+			if err := experiments.WriteCacheStats(os.Stdout, opt.Cache.Stats()); err != nil {
+				fatal(err)
+			}
+		}
+	}()
 
 	if *all || *split {
 		if err := runSplit(); err != nil {
@@ -101,7 +121,7 @@ func main() {
 }
 
 func runSweep(budgets []int, opt experiments.Options) error {
-	res, err := experiments.BudgetSweep(arch.NetworkProcessor, budgets, opt)
+	res, err := experiments.SweepWithPlan(os.Stdout, arch.NetworkProcessor, budgets, opt)
 	if res == nil {
 		return err
 	}
@@ -123,13 +143,15 @@ func fatal(err error) {
 func scenarioSweepCmd(args []string) error {
 	fs := flag.NewFlagSet("scenario-sweep", flag.ExitOnError)
 	var (
-		names    = fs.String("scenarios", "", "comma-separated scenario names (empty = whole registry)")
-		budget   = fs.Int("budget", 0, "override every scenario's budget (0 = scenario's own)")
-		iters    = fs.Int("iters", 0, "override methodology iterations (0 = scenario/default)")
-		seeds    = fs.String("seeds", "", "comma-separated evaluation seeds (empty = scenario/default)")
-		horizon  = fs.Float64("horizon", 0, "override sim horizon (0 = scenario/default)")
-		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		quick    = fs.Bool("quick", false, "smaller iterations/seeds/horizon")
+		names      = fs.String("scenarios", "", "comma-separated scenario names (empty = whole registry)")
+		budget     = fs.Int("budget", 0, "override every scenario's budget (0 = scenario's own)")
+		iters      = fs.Int("iters", 0, "override methodology iterations (0 = scenario/default)")
+		seeds      = fs.String("seeds", "", "comma-separated evaluation seeds (empty = scenario/default)")
+		horizon    = fs.Float64("horizon", 0, "override sim horizon (0 = scenario/default)")
+		parallel   = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		quick      = fs.Bool("quick", false, "smaller iterations/seeds/horizon")
+		useCache   = fs.Bool("cache", false, "share a solve cache across all scenarios")
+		cacheStats = fs.Bool("cache-stats", false, "print solve-cache counters at the end (implies -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +162,9 @@ func scenarioSweepCmd(args []string) error {
 	}
 
 	opt := experiments.Options{Workers: *parallel}
+	if *useCache || *cacheStats {
+		opt.Cache = solvecache.New()
+	}
 	if *quick {
 		opt.Iterations, opt.Seeds, opt.Horizon = 3, []int64{1, 2}, 1200
 	}
@@ -185,6 +210,11 @@ func scenarioSweepCmd(args []string) error {
 		return werr
 	}
 	fmt.Println()
+	if *cacheStats {
+		if werr := experiments.WriteCacheStats(os.Stdout, opt.Cache.Stats()); werr != nil {
+			return werr
+		}
+	}
 	return err
 }
 

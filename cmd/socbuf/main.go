@@ -4,12 +4,19 @@
 //
 //	socbuf -arch netproc -budget 160 -iters 10
 //	socbuf -arch netproc -sweep 160,320,640 -parallel 8
+//	socbuf -arch netproc -sweep 160,320,640 -cache-stats
 //	socbuf -scenario chain6-bursty
 //	socbuf -list-scenarios
 //
 // -sweep runs the methodology at each listed budget through the parallel
 // sweep engine instead of a single run; -parallel bounds its worker pool
 // (0 = GOMAXPROCS). Results are identical for every worker count.
+//
+// -cache routes every solve through a shared solve cache
+// (internal/solvecache): sweeps additionally fingerprint all points up
+// front and prewarm one solve per structural class. -cache-stats implies
+// -cache and prints the hit/miss/warm-start counters afterwards (see
+// PERFORMANCE.md for how to read them).
 //
 // -scenario runs one registry scenario (its generated topology, traffic
 // model and budget); explicitly-set -budget/-iters/-horizon flags override
@@ -26,22 +33,30 @@ import (
 	"socbuf/internal/experiments"
 	"socbuf/internal/report"
 	"socbuf/internal/scenario"
+	"socbuf/internal/solvecache"
 )
 
 func main() {
 	var (
-		name     = flag.String("arch", "netproc", "preset: figure1 | twobus | netproc")
-		file     = flag.String("file", "", "load a JSON architecture instead of a preset")
-		scen     = flag.String("scenario", "", "run a registered scenario instead of a preset (see -list-scenarios)")
-		list     = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
-		budget   = flag.Int("budget", 160, "total buffer budget in units")
-		iters    = flag.Int("iters", 10, "methodology iterations")
-		horiz    = flag.Float64("horizon", 2000, "evaluation sim horizon")
-		sweep    = flag.String("sweep", "", "comma-separated budgets: sweep instead of a single run")
-		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		refine   = flag.Bool("refine", false, "refine stationary distributions from the policy-induced chains (dense/sparse auto-selected)")
+		name       = flag.String("arch", "netproc", "preset: figure1 | twobus | netproc")
+		file       = flag.String("file", "", "load a JSON architecture instead of a preset")
+		scen       = flag.String("scenario", "", "run a registered scenario instead of a preset (see -list-scenarios)")
+		list       = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
+		budget     = flag.Int("budget", 160, "total buffer budget in units")
+		iters      = flag.Int("iters", 10, "methodology iterations")
+		horiz      = flag.Float64("horizon", 2000, "evaluation sim horizon")
+		sweep      = flag.String("sweep", "", "comma-separated budgets: sweep instead of a single run")
+		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		refine     = flag.Bool("refine", false, "refine stationary distributions from the policy-induced chains (dense/sparse auto-selected)")
+		useCache   = flag.Bool("cache", false, "share a solve cache across all solves (sweeps prewarm it)")
+		cacheStats = flag.Bool("cache-stats", false, "print solve-cache hit/miss/warm-start counters (implies -cache)")
 	)
 	flag.Parse()
+	*useCache = *useCache || *cacheStats
+	var cache *solvecache.Cache
+	if *useCache {
+		cache = solvecache.New()
+	}
 
 	if *list {
 		if err := experiments.WriteScenarioList(os.Stdout); err != nil {
@@ -49,13 +64,23 @@ func main() {
 		}
 		return
 	}
+	// Registered after the solve-free early exits so -cache-stats only ever
+	// reports a cache that actually fielded solves.
+	defer func() {
+		if *cacheStats {
+			fmt.Println()
+			if err := experiments.WriteCacheStats(os.Stdout, cache.Stats()); err != nil {
+				fatal(err)
+			}
+		}
+	}()
 	if *scen != "" {
 		if *sweep != "" || *file != "" {
 			fatal(fmt.Errorf("-scenario cannot be combined with -sweep or -file"))
 		}
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if err := runScenario(*scen, set, *budget, *iters, *horiz, *refine, *parallel); err != nil {
+		if err := runScenario(*scen, set, *budget, *iters, *horiz, *refine, *parallel, cache); err != nil {
 			fatal(err)
 		}
 		return
@@ -87,7 +112,7 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if err := runSweep(a, *sweep, *iters, *horiz, *parallel); err != nil {
+		if err := runSweep(a, *sweep, *iters, *horiz, *parallel, cache); err != nil {
 			fatal(err)
 		}
 		return
@@ -95,7 +120,7 @@ func main() {
 
 	res, err := core.Run(core.Config{
 		Arch: a, Budget: *budget, Iterations: *iters, Horizon: *horiz,
-		Workers: *parallel, RefineStationary: *refine,
+		Workers: *parallel, RefineStationary: *refine, Cache: cache,
 	})
 	if err != nil {
 		fatal(err)
@@ -111,7 +136,7 @@ func fatal(err error) {
 // runScenario executes one registry scenario's methodology run. set marks
 // the flags the user passed explicitly: those override the scenario's own
 // budget/iterations/horizon.
-func runScenario(name string, set map[string]bool, budget, iters int, horizon float64, refine bool, workers int) error {
+func runScenario(name string, set map[string]bool, budget, iters int, horizon float64, refine bool, workers int, cache *solvecache.Cache) error {
 	sc, ok := scenario.Get(name)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (have %v)", name, scenario.Names())
@@ -131,6 +156,7 @@ func runScenario(name string, set map[string]bool, budget, iters int, horizon fl
 	}
 	cfg.Workers = workers
 	cfg.RefineStationary = refine
+	cfg.Cache = cache
 
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -162,14 +188,16 @@ func printResult(archName string, budget int, res *core.Result) {
 }
 
 // runSweep fans the methodology across the listed budgets with the parallel
-// sweep engine and prints one row per budget.
-func runSweep(a *arch.Architecture, list string, iters int, horizon float64, workers int) error {
+// sweep engine and prints one row per budget. With a cache, the sweep is
+// planned first: all points fingerprinted, one solve per structural class
+// prewarmed, then every point shares the cache.
+func runSweep(a *arch.Architecture, list string, iters int, horizon float64, workers int, cache *solvecache.Cache) error {
 	budgets, err := experiments.ParseBudgets(list)
 	if err != nil {
 		return err
 	}
-	res, err := experiments.BudgetSweep(func() *arch.Architecture { return a },
-		budgets, experiments.Options{Iterations: iters, Horizon: horizon, Workers: workers})
+	opt := experiments.Options{Iterations: iters, Horizon: horizon, Workers: workers, Cache: cache}
+	res, err := experiments.SweepWithPlan(os.Stdout, func() *arch.Architecture { return a }, budgets, opt)
 	if res == nil {
 		return err
 	}

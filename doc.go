@@ -18,6 +18,9 @@
 //     LPs, K-switching policies, and the measure→capacity translation;
 //   - internal/nonlinear                  — the un-split coupled quadratic
 //     system and the solvers that fail on it;
+//   - internal/solvecache                 — the content-addressed solve
+//     cache and warm-start engine the sweep fleet shares (DESIGN.md §4
+//     records the fingerprint contract);
 //   - internal/parallel                   — the deterministic worker pool
 //     behind every sweep fan-out;
 //   - internal/core, internal/policy      — the methodology loop and the
@@ -28,7 +31,8 @@
 //     scenarios the sweep engines fan out over;
 //   - internal/experiments                — regeneration of Figure 3,
 //     Table 1, the §2 demo and the §3 headline ratios, plus the parallel
-//     budget- and scenario-sweep engines.
+//     budget- and scenario-sweep engines and the sweep planner that
+//     fingerprints points up front and prewarms the cache.
 //
 // Stationary distributions of policy-induced chains are solved through two
 // interchangeable paths: an exact dense LU solve for small state spaces and
@@ -38,9 +42,11 @@
 // refinement when core.Config.RefineStationary is set (socbuf -refine).
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
-// modelling decisions, and EXPERIMENTS.md for paper-vs-measured results.
-// The benchmarks in bench_test.go regenerate every table and figure.
+// modelling decisions (§4: the solve-cache fingerprint contract),
+// EXPERIMENTS.md for paper-vs-measured results, and PERFORMANCE.md for the
+// benchmark methodology and the measured solve-cache numbers. The
+// benchmarks in bench_test.go regenerate every table and figure.
 package socbuf
 
 // Version identifies the reproduction release.
-const Version = "1.1.0"
+const Version = "1.2.0"

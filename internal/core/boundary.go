@@ -182,7 +182,9 @@ func buildModels(a *arch.Architecture, alloc arch.Allocation, bnd *boundary, cfg
 		}
 		cs, err := ctmdp.AggregateClients(cs, cfg.MaxClients)
 		if err != nil {
-			return nil, err
+			// AggregateClients sees only a client list; attach the bus so
+			// sweep-level error collection stays attributable.
+			return nil, fmt.Errorf("core: bus %q: %w", busID, err)
 		}
 		m, err := ctmdp.NewModel(busID, bus.ServiceRate, cs)
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"socbuf/internal/arch"
 	"socbuf/internal/ctmdp"
 	"socbuf/internal/sim"
+	"socbuf/internal/solvecache"
 	"socbuf/internal/trace"
 )
 
@@ -92,6 +93,15 @@ type Config struct {
 	// simulations. 0 (or negative) means GOMAXPROCS; 1 forces serial
 	// execution. Results are independent of the worker count.
 	Workers int
+	// Cache optionally reuses sub-model solutions across solves: every
+	// SolveJoint call inside the methodology loop goes through it, so
+	// identical per-bus sub-models (across methodology iterations, budget
+	// points and scenarios — wherever the same cache is shared) are solved
+	// once. Nil disables caching. The cache is safe to share across the
+	// worker pool; results stay deterministic for any worker count, but may
+	// differ from the uncached path at roundoff level (see the solvecache
+	// package comment).
+	Cache *solvecache.Cache
 	// RefineStationary recomputes each subsystem's stationary distribution
 	// from its policy-induced chain after every LP solve (dense LU below
 	// ctmdp.SparseStateThreshold reachable states, sparse-iterative above),

@@ -200,7 +200,8 @@ func solveWithBoundary(a *arch.Architecture, alloc arch.Allocation, bnd *boundar
 		if err != nil {
 			return nil, nil, err
 		}
-		sol, err = ctmdp.SolveJoint(models, ctmdp.JointConfig{
+		// cfg.Cache may be nil: SolveJoint on a nil cache is the cold solver.
+		sol, err = cfg.Cache.SolveJoint(models, ctmdp.JointConfig{
 			Sequential:       cfg.Sequential,
 			RefineStationary: cfg.RefineStationary,
 		})
@@ -215,7 +216,7 @@ func solveWithBoundary(a *arch.Architecture, alloc arch.Allocation, bnd *boundar
 		// Capped final solve with a retry ladder toward the free occupancy.
 		free := sol.OccupancyUsed
 		for _, f := range []float64{cfg.CapFactor, (cfg.CapFactor + 1) / 2, 0.97} {
-			capped, err := ctmdp.SolveJoint(models, ctmdp.JointConfig{
+			capped, err := cfg.Cache.SolveJoint(models, ctmdp.JointConfig{
 				OccupancyCap:     free * f,
 				RefineStationary: cfg.RefineStationary,
 			})

@@ -130,6 +130,45 @@ func (m *Model) NumStates() int { return m.numStates }
 // NumVars returns the number of (state, action) occupation variables.
 func (m *Model) NumVars() int { return len(m.vars) }
 
+// VarStateAction returns the (state, action) pair of occupation variable v;
+// action -1 is idle. The enumeration is deterministic for a given client
+// order, which is what lets solve caches align occupation measures across
+// structurally identical models.
+func (m *Model) VarStateAction(v int) (state, action int) {
+	sv := m.vars[v]
+	return sv.state, sv.action
+}
+
+// StateVars returns the occupation-variable indices of state s. The returned
+// slice is the model's own enumeration and must not be mutated.
+func (m *Model) StateVars(s int) []int { return m.varsByState[s] }
+
+// VarIndex returns the occupation-variable index of (state, action), or
+// false when that pair is infeasible in the enumeration.
+func (m *Model) VarIndex(state, action int) (int, bool) {
+	for _, v := range m.varsByState[state] {
+		if m.vars[v].action == action {
+			return v, true
+		}
+	}
+	return -1, false
+}
+
+// StateOf composes a state index from a per-client level vector (the inverse
+// of Level). The vector must have one entry per client, each within the
+// client's 0..Levels range.
+func (m *Model) StateOf(levels []int) (int, error) {
+	if len(levels) != len(m.Clients) {
+		return 0, fmt.Errorf("ctmdp: level vector has %d entries, model has %d clients", len(levels), len(m.Clients))
+	}
+	for c, l := range levels {
+		if l < 0 || l > m.Clients[c].Levels {
+			return 0, fmt.Errorf("ctmdp: level %d outside client %d's range [0,%d]", l, c, m.Clients[c].Levels)
+		}
+	}
+	return m.stateOf(levels), nil
+}
+
 // Level returns client c's level in state s.
 func (m *Model) Level(s, c int) int {
 	return (s / m.strides[c]) % (m.Clients[c].Levels + 1)

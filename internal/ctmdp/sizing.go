@@ -77,7 +77,7 @@ func Demands(sols []*ModelSolution, eps float64) ([]BufferDemand, error) {
 		return nil, fmt.Errorf("ctmdp: quantile eps %v outside (0,1)", eps)
 	}
 	var out []BufferDemand
-	seen := map[string]bool{}
+	seen := map[string]string{} // buffer ID -> bus that claimed it
 	for _, ms := range sols {
 		for c, cl := range ms.Model.Clients {
 			dist := ms.OccupancyDistribution(c)
@@ -123,10 +123,10 @@ func Demands(sols []*ModelSolution, eps float64) ([]BufferDemand, error) {
 				lamSum += l
 			}
 			for i, id := range members {
-				if seen[id] {
-					return nil, fmt.Errorf("ctmdp: buffer %q appears in two models", id)
+				if prev, ok := seen[id]; ok {
+					return nil, fmt.Errorf("ctmdp: bus %q: buffer %q already claimed by bus %q", ms.Model.Bus, id, prev)
 				}
-				seen[id] = true
+				seen[id] = ms.Model.Bus
 				share := 1.0 / float64(len(members))
 				if lamSum > 0 {
 					share = memberLambda[i] / lamSum

@@ -28,6 +28,24 @@ type JointConfig struct {
 	RefineStationary bool
 	// Stationary tunes the refinement solves; the zero value auto-selects.
 	Stationary StationaryOptions
+	// WarmX optionally seeds the joint LP with a known near-solution: one
+	// occupation measure per model, each aligned with that model's
+	// enumeration (nil entries disable the seed). The canonical use is
+	// re-solving the same models under a new OccupancyCap from their cached
+	// cap-free optimum: the balance system is unchanged, so the seed crashes
+	// straight past simplex phase 1 and the new cap row is repaired by dual
+	// steps (lp.Problem.Warm). A seed can never change the optimum reached
+	// — the LP layer falls back to the cold two-phase solve whenever the
+	// candidate does not certify — though on degenerate programs it may
+	// select a different optimal vertex of equal objective.
+	WarmX [][]float64
+	// WarmBasis is the strong form of WarmX: each model's final simplex
+	// basis from a previous solve of the same balance system (the Basis of
+	// a single-model JointSolution). Reconstructing the basis set restores
+	// that solve's reduced costs, so re-solving under a new OccupancyCap
+	// needs only a handful of dual pivots instead of a full two-phase solve.
+	// Ignored unless every model has a shape-matching entry.
+	WarmBasis [][]lp.BasicRef
 }
 
 // ModelSolution is the solved occupation measure of one subsystem plus the
@@ -58,6 +76,11 @@ type JointSolution struct {
 	CapBinding bool
 	// Iters counts simplex pivots.
 	Iters int
+	// Basis is the assembled LP's final simplex basis (layout-independent;
+	// see lp.Solution.Basis). For a single-model solve it is the currency of
+	// JointConfig.WarmBasis: hand it back to re-solve the same balance
+	// system under a different occupancy cap with a few dual pivots.
+	Basis []lp.BasicRef
 }
 
 // ErrInfeasible is returned when the assembled LP has no feasible point
@@ -139,6 +162,46 @@ func SolveJoint(models []*Model, cfg JointConfig) (*JointSolution, error) {
 		}
 	}
 
+	// Warm seeds: the concatenated per-model measures and bases, each
+	// accepted only when every model has a shape-matching entry (a partial
+	// seed would crash an inconsistent start and always fall back cold —
+	// wasted work). Rows were appended per model as numStates balance rows
+	// plus one normalisation row, which fixes the offsets; the cap row, when
+	// present, comes after every per-model block, as lp.Problem.WarmBasis
+	// requires of constraints the donor basis has not seen.
+	if len(cfg.WarmX) == len(models) {
+		warm := make([]float64, 0, total)
+		for i, m := range models {
+			if len(cfg.WarmX[i]) != m.NumVars() {
+				warm = nil
+				break
+			}
+			warm = append(warm, cfg.WarmX[i]...)
+		}
+		prob.Warm = warm
+	}
+	if len(cfg.WarmBasis) == len(models) {
+		var basis []lp.BasicRef
+		rowOff := 0
+		for i, m := range models {
+			rows := m.numStates + 1
+			if len(cfg.WarmBasis[i]) != rows {
+				basis = nil
+				break
+			}
+			for _, ref := range cfg.WarmBasis[i] {
+				if ref.Var >= 0 {
+					ref.Var += offsets[i]
+				} else {
+					ref.Row += rowOff
+				}
+				basis = append(basis, ref)
+			}
+			rowOff += rows
+		}
+		prob.WarmBasis = basis
+	}
+
 	// Linking occupancy row.
 	if cfg.OccupancyCap > 0 {
 		row := make([]float64, total)
@@ -164,7 +227,7 @@ func SolveJoint(models []*Model, cfg JointConfig) (*JointSolution, error) {
 		return nil, fmt.Errorf("ctmdp: unexpected LP status %v", sol.Status)
 	}
 
-	out := &JointSolution{TotalLossRate: sol.Objective, Iters: sol.Iters}
+	out := &JointSolution{TotalLossRate: sol.Objective, Iters: sol.Iters, Basis: sol.Basis}
 	var occUsed float64
 	for i, m := range models {
 		ms := &ModelSolution{Model: m, X: make([]float64, m.NumVars())}

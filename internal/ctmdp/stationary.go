@@ -41,6 +41,19 @@ type StationaryOptions struct {
 	Tol float64
 	// MaxIters bounds iterative sweeps; ≤ 0 picks the default.
 	MaxIters int
+	// Warm optionally seeds the iterative solvers with a prior stationary
+	// distribution over the FULL model state space (the shape StateProb and
+	// StationaryUnderPolicy use); it is restricted to the policy chain's
+	// reachable states internally. Nil, wrong-length or massless priors are
+	// ignored. A warm start never changes what the solve converges to — the
+	// residual tolerance is unchanged, and the solve-cache's correctness
+	// gate asserts warm and cold answers agree to 1e-8 — it only reduces the
+	// sweep count when the prior is close (e.g. the solution of the same
+	// sub-model before a capacity change). The dense-LU path ignores it
+	// (direct solves have no iteration to seed). Warm is deliberately NOT
+	// part of a solve-cache fingerprint: it cannot affect the converged
+	// answer beyond the agreement tolerance.
+	Warm []float64
 }
 
 // PolicyChain is the CTMC induced by a solved policy, restricted to the
@@ -176,7 +189,17 @@ func (ms *ModelSolution) StationaryUnderPolicy(opts StationaryOptions) ([]float6
 		}
 		pi, err = g.Stationary()
 	case MethodSparseIterative:
-		pi, err = linalg.StationarySparse(chain.Gen, linalg.IterOptions{Tol: opts.Tol, MaxIters: opts.MaxIters})
+		var init []float64
+		if len(opts.Warm) == ms.Model.numStates {
+			// Restrict the full-state prior to the chain's reachable states;
+			// IterOptions.initial renormalises and falls back to uniform if
+			// the restriction carries no mass.
+			init = make([]float64, n)
+			for k, s := range chain.States {
+				init[k] = opts.Warm[s]
+			}
+		}
+		pi, err = linalg.StationarySparse(chain.Gen, linalg.IterOptions{Tol: opts.Tol, MaxIters: opts.MaxIters, Init: init})
 	default:
 		return nil, fmt.Errorf("ctmdp: unknown stationary method %d", method)
 	}

@@ -17,6 +17,7 @@ import (
 	"socbuf/internal/parallel"
 	"socbuf/internal/policy"
 	"socbuf/internal/sim"
+	"socbuf/internal/solvecache"
 )
 
 // Options tunes experiment cost. Zero values pick the defaults used by the
@@ -31,6 +32,11 @@ type Options struct {
 	// Results are identical for every worker count — the sweep runner
 	// aggregates in point order.
 	Workers int
+	// Cache, when non-nil, is shared by every methodology run the experiment
+	// fans out, deduplicating identical per-bus sub-model solves fleet-wide
+	// (see internal/solvecache). Use PlanBudgetSweep/Prewarm to pre-populate
+	// it, and Cache.Stats for the hit/miss/warm-start counters.
+	Cache *solvecache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +87,7 @@ func Figure3(budget int, opt Options) (*Figure3Result, error) {
 		Horizon:    opt.Horizon,
 		WarmUp:     opt.WarmUp,
 		Workers:    opt.Workers,
+		Cache:      opt.Cache,
 	})
 	if err != nil {
 		return nil, err
@@ -204,6 +211,7 @@ func Table1(budgets []int, procs []string, opt Options) (*Table1Result, error) {
 			Horizon:    opt.Horizon,
 			WarmUp:     opt.WarmUp,
 			Workers:    1,
+			Cache:      opt.Cache,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: budget %d: %w", budgets[i], err)

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/ctmdp"
+	"socbuf/internal/parallel"
+	"socbuf/internal/report"
+	"socbuf/internal/solvecache"
+)
+
+// SweepPlan is the up-front fingerprint analysis of a budget sweep: every
+// point's initial sub-models are fingerprinted before any point runs, so the
+// sweep knows how much solve work is genuinely unique. Budget points share
+// their entire boundary-lambda trajectory (capacities never enter the
+// cap-free programs), so the structural count is the real number of cold
+// solves the fleet's first wave needs.
+type SweepPlan struct {
+	// Budgets lists the planned points (invalid points are dropped here and
+	// left to the sweep itself to report).
+	Budgets []int
+	// Skipped pairs each unplannable budget with its error.
+	Skipped []BudgetError
+	// Models is the total sub-model count across all points.
+	Models int
+	// UniqueExact counts distinct full fingerprints (capacities included).
+	UniqueExact int
+	// UniqueStructural counts distinct structural fingerprints — the number
+	// of cold solves needed to warm-start every point's first iteration.
+	UniqueStructural int
+
+	// representatives holds one model per structural class, in first-seen
+	// order, for Prewarm.
+	representatives []*ctmdp.Model
+}
+
+// PlanBudgetSweep fingerprints every point of a budget sweep up front:
+// each budget's buffered architecture, uniform allocation and initial
+// boundary sub-models, keyed exactly as the sweep's own solves will be.
+// newArch follows the BudgetSweep contract (nil = the network processor).
+func PlanBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) (*SweepPlan, error) {
+	if len(budgets) == 0 {
+		return nil, errors.New("experiments: empty budget sweep plan")
+	}
+	if newArch == nil {
+		newArch = arch.NetworkProcessor
+	}
+	opts := solvecache.SolveOptions{} // BudgetSweep solves with default options
+	plan := &SweepPlan{}
+	exact := map[solvecache.Key]bool{}
+	structural := map[solvecache.Key]bool{}
+	for _, b := range budgets {
+		models, err := initialModels(newArch(), b)
+		if err != nil {
+			plan.Skipped = append(plan.Skipped, BudgetError{Budget: b, Err: err})
+			continue
+		}
+		plan.Budgets = append(plan.Budgets, b)
+		plan.Models += len(models)
+		for _, m := range models {
+			exact[solvecache.Fingerprint(m, opts)] = true
+			sk := solvecache.StructuralFingerprint(m, opts)
+			if !structural[sk] {
+				structural[sk] = true
+				plan.representatives = append(plan.representatives, m)
+			}
+		}
+	}
+	plan.UniqueExact = len(exact)
+	plan.UniqueStructural = len(structural)
+	if len(plan.Budgets) == 0 {
+		return plan, fmt.Errorf("experiments: no plannable budgets: %w", plan.Skipped[0].Err)
+	}
+	return plan, nil
+}
+
+// initialModels rebuilds the sub-models a sweep point starts from: buffered
+// clone, uniform allocation, loss-free boundary — the same construction
+// core.Run performs before its first solve.
+func initialModels(a *arch.Architecture, budget int) ([]*ctmdp.Model, error) {
+	buffered := a.Clone()
+	buffered.InsertBridgeBuffers()
+	if err := buffered.Validate(); err != nil {
+		return nil, err
+	}
+	alloc, err := arch.UniformAllocation(buffered, budget)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildSubsystemModels(buffered, alloc, core.Config{Arch: buffered, Budget: budget})
+}
+
+// Prewarm cold-solves one representative per structural class into the
+// cache, fanning the solves across the worker pool. After Prewarm, every
+// point's first-iteration solves are warm starts at worst; the shared
+// boundary trajectory then keeps later iterations deduplicated as the first
+// worker to reach each new lambda vector populates it for the fleet.
+func (p *SweepPlan) Prewarm(c *solvecache.Cache, workers int) error {
+	if c == nil {
+		return errors.New("experiments: prewarm needs a cache")
+	}
+	return parallel.ForEach(len(p.representatives), workers, func(i int) error {
+		_, err := c.SolveJoint([]*ctmdp.Model{p.representatives[i]}, ctmdp.JointConfig{})
+		return err
+	})
+}
+
+// WriteSummary renders the plan in the shared report format.
+func (p *SweepPlan) WriteSummary(w io.Writer) error {
+	headers := []string{"POINTS", "sub-models", "unique", "structural"}
+	rows := [][]string{{
+		fmt.Sprint(len(p.Budgets)),
+		fmt.Sprint(p.Models),
+		fmt.Sprint(p.UniqueExact),
+		fmt.Sprint(p.UniqueStructural),
+	}}
+	if err := report.Table(w, headers, rows); err != nil {
+		return err
+	}
+	for _, s := range p.Skipped {
+		if _, err := fmt.Fprintf(w, "  SKIPPED budget %d: %v\n", s.Budget, s.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CachedBudgetSweep is the planned, cache-shared variant of BudgetSweep:
+// fingerprint all points, prewarm one solve per structural class, then run
+// the sweep with every point sharing opt.Cache (created when nil). The
+// result, plan and cache stats come back together for reporting.
+func CachedBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, *SweepPlan, error) {
+	if opt.Cache == nil {
+		opt.Cache = solvecache.New()
+	}
+	plan, err := PlanBudgetSweep(newArch, budgets, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := plan.Prewarm(opt.Cache, opt.Workers); err != nil {
+		return nil, plan, err
+	}
+	res, err := BudgetSweep(newArch, budgets, opt)
+	return res, plan, err
+}
+
+// SweepWithPlan is the dispatch both CLIs share: with opt.Cache set it
+// plans, prewarms and runs the cache-shared sweep, writing the plan summary
+// to w first; otherwise it runs the plain BudgetSweep. A nil w suppresses
+// the summary.
+func SweepWithPlan(w io.Writer, newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, error) {
+	if opt.Cache == nil {
+		return BudgetSweep(newArch, budgets, opt)
+	}
+	res, plan, err := CachedBudgetSweep(newArch, budgets, opt)
+	if plan != nil && w != nil {
+		if _, werr := fmt.Fprintln(w, "sweep plan:"); werr != nil {
+			return res, werr
+		}
+		if werr := plan.WriteSummary(w); werr != nil {
+			return res, werr
+		}
+		if _, werr := fmt.Fprintln(w); werr != nil {
+			return res, werr
+		}
+	}
+	return res, err
+}
+
+// WriteCacheStats renders a cache-counter snapshot in the shared report
+// format (the body of both CLIs' -cache-stats flag).
+func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
+	headers := []string{"HITS", "warm starts", "misses", "joint hits", "joint misses", "entries"}
+	rows := [][]string{{
+		fmt.Sprint(s.Hits),
+		fmt.Sprint(s.WarmStarts),
+		fmt.Sprint(s.Misses),
+		fmt.Sprint(s.JointHits),
+		fmt.Sprint(s.JointMisses),
+		fmt.Sprint(s.Entries + s.JointEntries),
+	}}
+	return report.Table(w, headers, rows)
+}

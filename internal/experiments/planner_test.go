@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/solvecache"
+)
+
+// TestPlanBudgetSweepDedup pins the planner's core observation: across
+// budget points only capacities change, so the structural class count equals
+// one sweep point's sub-model count while full fingerprints stay distinct
+// per budget.
+func TestPlanBudgetSweepDedup(t *testing.T) {
+	budgets := []int{120, 160, 200}
+	plan, err := PlanBudgetSweep(arch.NetworkProcessor, budgets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Budgets, budgets) {
+		t.Fatalf("planned budgets %v, want %v", plan.Budgets, budgets)
+	}
+	perPoint := plan.Models / len(budgets)
+	if perPoint == 0 || plan.Models%len(budgets) != 0 {
+		t.Fatalf("uneven sub-model count %d over %d points", plan.Models, len(budgets))
+	}
+	if plan.UniqueStructural != perPoint {
+		t.Errorf("structural classes = %d, want one per sub-model per point (%d)",
+			plan.UniqueStructural, perPoint)
+	}
+	if plan.UniqueExact != plan.Models {
+		t.Errorf("unique exact = %d, want all %d distinct (capacities differ per budget)",
+			plan.UniqueExact, plan.Models)
+	}
+
+	var sb strings.Builder
+	if err := plan.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "structural") {
+		t.Errorf("summary missing structural column:\n%s", sb.String())
+	}
+}
+
+// TestPlanBudgetSweepSkipsBadPoints: an unplannable budget is recorded, not
+// fatal, mirroring the sweep's own per-point failure isolation.
+func TestPlanBudgetSweepSkipsBadPoints(t *testing.T) {
+	plan, err := PlanBudgetSweep(arch.NetworkProcessor, []int{120, -1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Skipped) != 1 || plan.Skipped[0].Budget != -1 {
+		t.Fatalf("skipped = %+v, want exactly budget -1", plan.Skipped)
+	}
+	if !reflect.DeepEqual(plan.Budgets, []int{120}) {
+		t.Fatalf("planned budgets = %v", plan.Budgets)
+	}
+}
+
+// TestCachedBudgetSweepWorkerInvariance extends the repo's determinism
+// contract to the cache-shared sweep: with a prewarmed fleet-wide cache, the
+// results must still be identical for any worker count — cached payloads are
+// pure functions of their fingerprints, never of worker schedule.
+func TestCachedBudgetSweepWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	budgets := []int{120, 160}
+	var baseline *BudgetSweepResult
+	for _, workers := range []int{1, 4, 8} {
+		opt := sweepFast
+		opt.Workers = workers
+		res, plan, err := CachedBudgetSweep(arch.NetworkProcessor, budgets, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if plan.UniqueStructural == 0 {
+			t.Fatalf("workers=%d: empty plan", workers)
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if !reflect.DeepEqual(baseline, res) {
+			t.Fatalf("workers=%d diverged from serial cached run:\nserial: %+v\ngot:    %+v",
+				workers, baseline, res)
+		}
+	}
+}
+
+// TestCachedBudgetSweepReuse: the shared cache must actually dedupe — across
+// two budget points the prewarm plus first point leave the second point's
+// free solves answered from the cache, and a repeated sweep over the same
+// cache is all hits.
+func TestCachedBudgetSweepReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := sweepFast
+	opt.Cache = solvecache.New()
+	budgets := []int{120, 160}
+	res, _, err := CachedBudgetSweep(arch.NetworkProcessor, budgets, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opt.Cache.Stats()
+	if s.WarmStarts == 0 {
+		t.Errorf("capacity-only budget points produced no warm starts: %+v", s)
+	}
+	if s.Hits == 0 {
+		t.Errorf("shared boundary trajectory produced no exact hits: %+v", s)
+	}
+
+	again, err := BudgetSweep(arch.NetworkProcessor, budgets, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatal("re-sweeping over a warm cache changed the results")
+	}
+	s2 := opt.Cache.Stats()
+	if s2.Misses != s.Misses {
+		t.Errorf("re-sweep performed %d new cold solves", s2.Misses-s.Misses)
+	}
+	if s2.JointMisses != s.JointMisses {
+		t.Errorf("re-sweep performed %d new cold joint solves", s2.JointMisses-s.JointMisses)
+	}
+}

@@ -114,6 +114,7 @@ func BudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) 
 			Horizon:    opt.Horizon,
 			WarmUp:     opt.WarmUp,
 			Workers:    1,
+			Cache:      opt.Cache,
 		})
 	})
 

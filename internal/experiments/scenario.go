@@ -181,6 +181,7 @@ func runScenario(sc scenario.Scenario, opt Options) (ScenarioPoint, error) {
 		cfg.WarmUp = opt.WarmUp
 	}
 	cfg.Workers = 1
+	cfg.Cache = opt.Cache
 
 	res, err := core.Run(cfg)
 	if err != nil {

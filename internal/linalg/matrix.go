@@ -1,12 +1,25 @@
-// Package linalg provides the small dense linear-algebra kernel used by the
-// CTMDP solver, the Markov-chain stationary solver and the nonlinear
-// (quadratic) coupled-system solver.
+// Package linalg provides the linear-algebra kernel used by the CTMDP
+// solver, the Markov-chain stationary solvers and the nonlinear (quadratic)
+// coupled-system solver. It has two halves:
+//
+//   - dense: row-major matrices, LU decomposition with partial pivoting,
+//     linear solves, and a handful of vector helpers — the exact path for
+//     small systems (policy chains below ctmdp.SparseStateThreshold);
+//   - sparse: CSR matrices (SparseBuilder, CSR) and the iterative
+//     stationary solvers of CTMC generators — StationaryGaussSeidel with
+//     StationaryPower as the unconditionally stable fallback, combined in
+//     StationarySparse. O(nnz) per sweep, which is what scales: the
+//     pipeline's chains have a handful of transitions per state.
+//
+// The iterative solvers accept a warm-start prior (IterOptions.Init), the
+// hook the solve cache uses to seed a re-solve from a neighbouring cached
+// solution. A prior is only a hint: the residual tolerance is unchanged, so
+// warm and cold answers agree to the pipeline's 1e-8 gate, and unusable
+// priors silently fall back to the uniform start.
 //
 // The package deliberately implements only what the buffer-sizing pipeline
-// needs: dense row-major matrices, LU decomposition with partial pivoting,
-// linear solves, and a handful of vector helpers. Everything is float64 and
-// allocation patterns are predictable so the CTMDP inner loop can reuse
-// buffers.
+// needs. Everything is float64 and allocation patterns are predictable so
+// the CTMDP inner loop can reuse buffers.
 package linalg
 
 import (

@@ -18,6 +18,42 @@ type IterOptions struct {
 	Tol float64
 	// MaxIters bounds solver sweeps. Default 20000.
 	MaxIters int
+	// Init optionally warm-starts the iteration from a prior distribution
+	// instead of the uniform one. It must have one entry per state; it is
+	// copied and renormalised, so the caller's slice is never written. A
+	// wrong-length, non-finite or massless prior silently falls back to the
+	// uniform start — a warm start is a hint, never a correctness input. The
+	// converged answer satisfies the same residual tolerance either way (the
+	// solve-cache's warm/cold gate pins agreement to 1e-8); only the sweep
+	// count changes.
+	Init []float64
+}
+
+// initial returns the starting distribution: the validated, renormalised
+// warm-start prior when one is usable, else uniform.
+func (o IterOptions) initial(n int) []float64 {
+	pi := make([]float64, n)
+	if len(o.Init) == n {
+		var mass float64
+		ok := true
+		for _, v := range o.Init {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				ok = false
+				break
+			}
+			mass += v
+		}
+		if ok && mass > 0 && !math.IsInf(mass, 0) {
+			for i, v := range o.Init {
+				pi[i] = v / mass
+			}
+			return pi
+		}
+	}
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	return pi
 }
 
 func (o IterOptions) withDefaults() IterOptions {
@@ -67,10 +103,7 @@ func StationaryGaussSeidel(q *CSR, opts IterOptions) ([]float64, error) {
 		}
 	}
 
-	pi := make([]float64, n)
-	for i := range pi {
-		pi[i] = 1 / float64(n)
-	}
+	pi := opts.initial(n)
 	scale := rateScale(q)
 	for it := 0; it < opts.MaxIters; it++ {
 		for i := 0; i < n; i++ {
@@ -116,11 +149,8 @@ func StationaryPower(q *CSR, opts IterOptions) ([]float64, error) {
 	rate := 1.05 * maxDiag
 	qt := q.T()
 
-	pi := make([]float64, n)
+	pi := opts.initial(n)
 	next := make([]float64, n)
-	for i := range pi {
-		pi[i] = 1 / float64(n)
-	}
 	scale := rateScale(q)
 	for it := 0; it < opts.MaxIters; it++ {
 		// next = π·P = π + (π·Q)/Λ, computed via the transpose:

@@ -1,0 +1,99 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// warmChain builds a small irreducible generator (a skewed ring) for the
+// warm-start tests.
+func warmChain(n int) *CSR {
+	b := NewSparseBuilder(n, n)
+	for i := 0; i < n; i++ {
+		fwd := 1.0 + float64(i%3)
+		back := 0.5
+		b.Add(i, (i+1)%n, fwd)
+		b.Add(i, (i+n-1)%n, back)
+		b.Add(i, i, -(fwd + back))
+	}
+	return b.Build()
+}
+
+// TestStationaryInitAgreement: seeding the iterative solvers with any prior
+// — the answer itself, a perturbation, junk that must be rejected — cannot
+// change what they converge to, only how fast. Cold and warm answers agree
+// to 1e-8.
+func TestStationaryInitAgreement(t *testing.T) {
+	q := warmChain(64)
+	for _, solver := range []struct {
+		name string
+		f    func(*CSR, IterOptions) ([]float64, error)
+	}{
+		{"gauss-seidel", StationaryGaussSeidel},
+		{"power", StationaryPower},
+	} {
+		cold, err := solver.f(q, IterOptions{})
+		if err != nil {
+			t.Fatalf("%s: cold: %v", solver.name, err)
+		}
+		perturbed := make([]float64, len(cold))
+		for i, p := range cold {
+			perturbed[i] = p * (1 + 0.01*float64(i%5))
+		}
+		inits := map[string][]float64{
+			"exact":        cold,
+			"perturbed":    perturbed,
+			"wrong-length": {1},
+			"negative":     append([]float64{-1}, cold[1:]...),
+			"massless":     make([]float64, len(cold)),
+		}
+		for name, init := range inits {
+			warm, err := solver.f(q, IterOptions{Init: init})
+			if err != nil {
+				t.Fatalf("%s/%s: warm: %v", solver.name, name, err)
+			}
+			for i := range cold {
+				if d := math.Abs(warm[i] - cold[i]); d > 1e-8 {
+					t.Fatalf("%s/%s: warm diverges from cold by %g at %d", solver.name, name, d, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStationaryInitNotMutated: the caller's prior is copied, never written.
+func TestStationaryInitNotMutated(t *testing.T) {
+	q := warmChain(16)
+	init := make([]float64, 16)
+	for i := range init {
+		init[i] = float64(i + 1)
+	}
+	snapshot := append([]float64(nil), init...)
+	if _, err := StationaryGaussSeidel(q, IterOptions{Init: init}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range init {
+		if init[i] != snapshot[i] {
+			t.Fatalf("Init mutated at %d: %v != %v", i, init[i], snapshot[i])
+		}
+	}
+}
+
+// TestStationaryInitConvergesFaster: with a tight iteration budget that the
+// uniform start cannot meet, the exact prior still converges — the
+// operational payoff of a warm start.
+func TestStationaryInitConvergesFaster(t *testing.T) {
+	q := warmChain(256)
+	cold, err := StationaryGaussSeidel(q, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := IterOptions{MaxIters: 2}
+	if _, err := StationaryGaussSeidel(q, budget); err == nil {
+		t.Skip("chain converges from uniform within 2 sweeps; budget too loose to discriminate")
+	}
+	budget.Init = cold
+	if _, err := StationaryGaussSeidel(q, budget); err != nil {
+		t.Fatalf("exact prior did not converge within the tight budget: %v", err)
+	}
+}

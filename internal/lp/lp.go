@@ -60,6 +60,40 @@ type Problem struct {
 	// Constraints holds the rows. Every row's Coeffs must have the same
 	// length as Objective.
 	Constraints []Constraint
+	// Warm optionally seeds the solve with a candidate vertex — typically
+	// the optimum of a closely related program, e.g. the same system before
+	// one more inequality was added. Solve crashes a starting basis from the
+	// candidate (see WarmBasis for the preferred, basis-exact form): phase 1
+	// is skipped outright, and rows the candidate violates (newly added
+	// inequalities) are repaired by dual simplex steps. The warm path is
+	// best-effort — any inconsistency falls back to the ordinary two-phase
+	// solve — so Warm can only change how fast the optimum is found, never
+	// which optimum value is reported (degenerate programs may return a
+	// different optimal vertex of equal objective).
+	Warm []float64
+	// WarmBasis carries a related solve's final basis (Solution.Basis) and
+	// is the strong form of warm start: reconstructing the basis SET — not
+	// just the candidate's support — reproduces that solve's reduced costs,
+	// which for an optimal basis are non-negative, making the dual-simplex
+	// repair of added constraints certify. Rows of this problem beyond
+	// len(WarmBasis) (constraints appended since the donor solve; they must
+	// be appended LAST) start on their own auxiliary basis. The donor
+	// problem's rows must match this problem's leading rows one for one.
+	WarmBasis []BasicRef
+}
+
+// BasicRef names the variable basic in one constraint row in a
+// layout-independent way, so a basis can be carried from one problem to a
+// related one whose auxiliary columns land at different indices: structural
+// variables by their index, auxiliary (slack/surplus/artificial) columns by
+// the constraint row that owns them.
+type BasicRef struct {
+	// Var is the structural variable index, or -1 for an auxiliary column.
+	Var int
+	// Row is the owning constraint row of the auxiliary column (Var == -1).
+	Row int
+	// Art selects the row's artificial rather than its slack/surplus.
+	Art bool
 }
 
 // NewProblem returns an empty problem over n variables.
@@ -111,6 +145,13 @@ type Solution struct {
 	X         []float64 // optimal point (valid only when Status == Optimal)
 	Objective float64   // cᵀx at the optimum
 	Iters     int       // simplex pivots performed across both phases
+	// Warmed reports that the warm-start path produced this solution (the
+	// crash basis held and phase 1 was skipped).
+	Warmed bool
+	// Basis is the final simplex basis in layout-independent form, one entry
+	// per constraint row — feed it to a related Problem's WarmBasis to
+	// warm-start the next solve. Populated only for Optimal solutions.
+	Basis []BasicRef
 }
 
 // ErrNoVariables is returned for a problem with an empty objective.

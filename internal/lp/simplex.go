@@ -3,12 +3,14 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 const (
 	pivotEps  = 1e-9 // entries smaller than this are treated as zero pivots
 	feasEps   = 1e-7 // phase-1 objective above this means infeasible
 	reduceEps = 1e-9 // reduced-cost tolerance for optimality
+	crashEps  = 1e-7 // minimum pivot magnitude accepted while crashing a warm basis
 )
 
 // tableau is the dense simplex working state. Layout:
@@ -21,18 +23,75 @@ type tableau struct {
 	basis []int       // basis[i] = variable index basic in row i
 }
 
-// Solve runs two-phase simplex on the problem. The limit on pivots is
-// proportional to the problem size; exceeding it returns ErrIterationLimit.
-func Solve(p *Problem) (*Solution, error) {
-	n := p.NumVars()
-	if n == 0 {
-		return nil, ErrNoVariables
-	}
-	m := len(p.Constraints)
+// layout records which auxiliary column each constraint row owns, for the
+// layout-independent basis encoding (BasicRef).
+type layout struct {
+	rowSlack []int // slack/surplus column of each row, -1 when none
+	rowArt   []int // artificial column of each row, -1 when none
+}
 
-	// Count auxiliary columns: one slack per LE, one surplus per GE, one
-	// artificial per GE and EQ row (and per LE row with negative RHS after
-	// normalisation — normalising first keeps this simple).
+// encodeBasis converts the tableau's basis into BasicRef form.
+func (t *tableau) encodeBasis(nVars int, lay layout) []BasicRef {
+	owner := map[int]BasicRef{}
+	for i, c := range lay.rowSlack {
+		if c >= 0 {
+			owner[c] = BasicRef{Var: -1, Row: i}
+		}
+	}
+	for i, c := range lay.rowArt {
+		if c >= 0 {
+			owner[c] = BasicRef{Var: -1, Row: i, Art: true}
+		}
+	}
+	refs := make([]BasicRef, t.m)
+	for i, b := range t.basis {
+		if b < nVars {
+			refs[i] = BasicRef{Var: b}
+		} else {
+			refs[i] = owner[b]
+		}
+	}
+	return refs
+}
+
+// decodeBasis resolves BasicRefs against this problem's layout, returning
+// the target basis columns or ok=false when any ref does not exist here.
+func decodeBasis(refs []BasicRef, nVars int, lay layout) ([]int, bool) {
+	cols := make([]int, len(refs))
+	for i, r := range refs {
+		switch {
+		case r.Var >= nVars:
+			return nil, false
+		case r.Var >= 0:
+			cols[i] = r.Var
+		case r.Row < 0 || r.Row >= len(lay.rowSlack):
+			return nil, false
+		case r.Art:
+			if lay.rowArt[r.Row] < 0 {
+				return nil, false
+			}
+			cols[i] = lay.rowArt[r.Row]
+		default:
+			if lay.rowSlack[r.Row] < 0 {
+				return nil, false
+			}
+			cols[i] = lay.rowSlack[r.Row]
+		}
+	}
+	return cols, true
+}
+
+// build assembles the raw tableau: normalised rows, slack/surplus columns,
+// artificials basic in GE/EQ rows. nVars is the count of structural
+// variables; artStart the first artificial column.
+func build(p *Problem) (t *tableau, artStart int, lay layout) {
+	n := p.NumVars()
+	m := len(p.Constraints)
+	lay = layout{rowSlack: make([]int, m), rowArt: make([]int, m)}
+	for i := range lay.rowSlack {
+		lay.rowSlack[i], lay.rowArt[i] = -1, -1
+	}
+
 	type rowSpec struct {
 		coeffs []float64
 		rhs    float64
@@ -73,7 +132,7 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 
 	total := n + nSlack + nArt
-	t := &tableau{m: m, n: total}
+	t = &tableau{m: m, n: total}
 	t.a = make([][]float64, m+1)
 	for i := range t.a {
 		t.a[i] = make([]float64, total+1)
@@ -82,7 +141,7 @@ func Solve(p *Problem) (*Solution, error) {
 
 	slackCol := n
 	artCol := n + nSlack
-	artStart := artCol
+	artStart = artCol
 	for i, r := range rows {
 		copy(t.a[i][:n], r.coeffs)
 		t.a[i][total] = r.rhs
@@ -90,78 +149,62 @@ func Solve(p *Problem) (*Solution, error) {
 		case LE:
 			t.a[i][slackCol] = 1
 			t.basis[i] = slackCol
+			lay.rowSlack[i] = slackCol
 			slackCol++
 		case GE:
 			t.a[i][slackCol] = -1
+			lay.rowSlack[i] = slackCol
 			slackCol++
 			t.a[i][artCol] = 1
 			t.basis[i] = artCol
+			lay.rowArt[i] = artCol
 			artCol++
 		case EQ:
 			t.a[i][artCol] = 1
 			t.basis[i] = artCol
+			lay.rowArt[i] = artCol
 			artCol++
 		}
 	}
+	return t, artStart, lay
+}
 
-	maxIters := 200 * (m + total + 10)
-	iters := 0
-
-	// Phase 1: minimise the sum of artificials.
-	if nArt > 0 {
-		obj := t.a[m]
-		for j := range obj {
-			obj[j] = 0
+// clearArtificials drives every still-basic artificial (at zero level) out
+// of the basis, zeroing rows that prove redundant. Returns pivots performed.
+// Callers must only invoke this when those rows' RHS are (numerically) zero.
+func (t *tableau) clearArtificials(artStart int) int {
+	pivots := 0
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < artStart {
+			continue
 		}
-		for j := artStart; j < total; j++ {
-			obj[j] = 1
-		}
-		// Price out the artificial basis (reduced costs must be expressed in
-		// terms of the current basis).
-		for i := 0; i < m; i++ {
-			if t.basis[i] >= artStart {
-				for j := 0; j <= total; j++ {
-					obj[j] -= t.a[i][j]
-				}
+		pivoted := false
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.a[i][j]) > pivotEps {
+				t.pivot(i, j)
+				pivots++
+				pivoted = true
+				break
 			}
 		}
-		it, err := t.iterate(maxIters, artStart)
-		iters += it
-		if err != nil {
-			return nil, fmt.Errorf("lp: phase 1: %w", err)
-		}
-		if -t.a[m][total] > feasEps {
-			return &Solution{Status: Infeasible, Iters: iters}, nil
-		}
-		// Drive any artificial still basic (at zero level) out of the basis.
-		for i := 0; i < m; i++ {
-			if t.basis[i] < artStart {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < artStart; j++ {
-				if math.Abs(t.a[i][j]) > pivotEps {
-					t.pivot(i, j)
-					iters++
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Redundant row: zero it so it can never constrain phase 2.
-				for j := 0; j <= total; j++ {
-					t.a[i][j] = 0
-				}
+		if !pivoted {
+			// Redundant row: zero it so it can never constrain phase 2.
+			for j := 0; j <= t.n; j++ {
+				t.a[i][j] = 0
 			}
 		}
 	}
+	return pivots
+}
 
-	// Phase 2: restore the true objective, priced out over the basis, and
-	// forbid artificial columns. A deterministic, negligible perturbation
-	// breaks total objective ties: problems whose actions all cost the same
-	// (dual-degenerate CTMDP instances) otherwise orbit forever even under
-	// Bland's rule with floating-point pivoting. The reported objective is
-	// recomputed from the unperturbed costs below.
+// phase2Objective installs the true objective, priced out over the current
+// basis. A deterministic, negligible perturbation breaks total objective
+// ties: problems whose actions all cost the same (dual-degenerate CTMDP
+// instances) otherwise orbit forever even under Bland's rule with
+// floating-point pivoting. The reported objective is recomputed from the
+// unperturbed costs at extraction.
+func (t *tableau) phase2Objective(p *Problem) {
+	n := p.NumVars()
 	objScale := 0.0
 	for j := 0; j < n; j++ {
 		if a := math.Abs(p.Objective[j]); a > objScale {
@@ -172,35 +215,31 @@ func Solve(p *Problem) (*Solution, error) {
 		objScale = 1
 	}
 	perturb := objScale * 1e-9 / float64(n)
-	obj := t.a[m]
+	obj := t.a[t.m]
 	for j := range obj {
 		obj[j] = 0
 	}
 	for j := 0; j < n; j++ {
 		obj[j] = p.Objective[j] + perturb*float64(j+1)
 	}
-	for i := 0; i < m; i++ {
+	for i := 0; i < t.m; i++ {
 		b := t.basis[i]
 		if b < n && math.Abs(obj[b]) > 0 {
 			c := obj[b]
-			for j := 0; j <= total; j++ {
+			for j := 0; j <= t.n; j++ {
 				obj[j] -= c * t.a[i][j]
 			}
 		}
 	}
-	it, err := t.iterate(maxIters, artStart)
-	iters += it
-	if err != nil {
-		if err == errUnbounded {
-			return &Solution{Status: Unbounded, Iters: iters}, nil
-		}
-		return nil, err
-	}
+}
 
+// extract reads the optimal point off the tableau.
+func (t *tableau) extract(p *Problem, iters int) *Solution {
+	n := p.NumVars()
 	x := make([]float64, n)
-	for i := 0; i < m; i++ {
+	for i := 0; i < t.m; i++ {
 		if b := t.basis[i]; b < n {
-			x[b] = t.a[i][total]
+			x[b] = t.a[i][t.n]
 		}
 	}
 	// Clamp tiny negatives introduced by roundoff.
@@ -213,14 +252,361 @@ func Solve(p *Problem) (*Solution, error) {
 	for j := 0; j < n; j++ {
 		objVal += p.Objective[j] * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Objective: objVal, Iters: iters}, nil
+	return &Solution{Status: Optimal, X: x, Objective: objVal, Iters: iters}
+}
+
+// Solve runs simplex on the problem: the warm-start path when a usable
+// p.WarmBasis or p.Warm seed is present (falling back silently if it is not
+// usable), else two-phase primal. The limit on pivots is proportional to the
+// problem size; exceeding it returns ErrIterationLimit.
+func Solve(p *Problem) (*Solution, error) {
+	if p.NumVars() == 0 {
+		return nil, ErrNoVariables
+	}
+	if len(p.WarmBasis) > 0 || len(p.Warm) == p.NumVars() {
+		if sol, ok := solveWarm(p); ok {
+			return sol, nil
+		}
+	}
+	return solveCold(p)
+}
+
+// solveCold is the ordinary two-phase primal simplex.
+func solveCold(p *Problem) (*Solution, error) {
+	t, artStart, lay := build(p)
+	total := t.n
+	nArt := total - artStart
+	maxIters := 200 * (t.m + total + 10)
+	iters := 0
+
+	// Phase 1: minimise the sum of artificials.
+	if nArt > 0 {
+		obj := t.a[t.m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for j := artStart; j < total; j++ {
+			obj[j] = 1
+		}
+		// Price out the artificial basis (reduced costs must be expressed in
+		// terms of the current basis).
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] >= artStart {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t.a[i][j]
+				}
+			}
+		}
+		it, err := t.iterate(maxIters, artStart)
+		iters += it
+		if err != nil {
+			return nil, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if -t.a[t.m][total] > feasEps {
+			return &Solution{Status: Infeasible, Iters: iters}, nil
+		}
+		iters += t.clearArtificials(artStart)
+	}
+
+	// Phase 2.
+	t.phase2Objective(p)
+	it, err := t.iterate(maxIters, artStart)
+	iters += it
+	if err != nil {
+		if err == errUnbounded {
+			return &Solution{Status: Unbounded, Iters: iters}, nil
+		}
+		return nil, err
+	}
+	sol := t.extract(p, iters)
+	sol.Basis = t.encodeBasis(p.NumVars(), lay)
+	return sol, nil
+}
+
+// solveWarm establishes a starting basis from the donor solve and solves
+// from there, skipping phase 1. The strong seed is p.WarmBasis — rebuilding
+// the donor's basis SET reproduces its reduced costs exactly (reduced costs
+// depend only on which columns are basic), so an optimal donor hands over a
+// dual-feasible start and any rows it violates (inequalities appended since,
+// e.g. a new occupancy cap) are repaired by a few dual simplex steps. The
+// weak seed is p.Warm alone: its support is crashed into the basis, which
+// skips phase 1 but carries no dual-feasibility promise — on degenerate
+// programs the support underdetermines the basis. Returns ok=false to send
+// the caller down the cold path whenever the start cannot be established;
+// the warm path therefore never changes the reported optimum, only the
+// pivot count (degenerate programs may surface a different optimal vertex
+// of equal objective).
+func solveWarm(p *Problem) (*Solution, bool) {
+	n := p.NumVars()
+	for _, v := range p.Warm {
+		if v < -1e-9 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false
+		}
+	}
+	t, artStart, lay := build(p)
+	maxIters := 200 * (t.m + t.n + 10)
+	iters := 0
+
+	if len(p.WarmBasis) > 0 {
+		// Strong seed: reconstruct the donor basis set.
+		if len(p.WarmBasis) > t.m {
+			return nil, false
+		}
+		target, ok := decodeBasis(p.WarmBasis, n, lay)
+		if !ok {
+			return nil, false
+		}
+		// The donor's basis matrix is nonsingular over the donor's own rows,
+		// so reconstruction is confined to them; appended rows keep their own
+		// auxiliary basic (the slack of a new inequality).
+		it, ok := t.crashBasis(target, len(p.WarmBasis))
+		iters += it
+		if !ok {
+			return nil, false
+		}
+		// No artificial may survive in the basis outside the donor's own
+		// (degenerate, zero-level) entries — an appended equality row would
+		// do that, and phase 1 could not be skipped for it.
+		inTarget := make(map[int]bool, len(target))
+		for _, c := range target {
+			inTarget[c] = true
+		}
+		for _, b := range t.basis {
+			if b >= artStart && !inTarget[b] {
+				return nil, false
+			}
+		}
+	} else {
+		// Weak seed: crash the candidate's support, largest values first
+		// (larger basics are better-conditioned pivots), then drive leftover
+		// artificials out so their columns can be banned outright.
+		type sup struct {
+			j int
+			v float64
+		}
+		var support []sup
+		for j := 0; j < n; j++ {
+			if p.Warm[j] > 1e-12 {
+				support = append(support, sup{j, p.Warm[j]})
+			}
+		}
+		sort.Slice(support, func(i, j int) bool {
+			if support[i].v != support[j].v {
+				return support[i].v > support[j].v
+			}
+			return support[i].j < support[j].j
+		})
+		if len(support) > t.m {
+			return nil, false // not a vertex of this system
+		}
+		for _, s := range support {
+			best, bestAbs := -1, crashEps
+			for i := 0; i < t.m; i++ {
+				if t.basis[i] < n {
+					continue // row already claimed by a structural column
+				}
+				if a := math.Abs(t.a[i][s.j]); a > bestAbs {
+					best, bestAbs = i, a
+				}
+			}
+			if best == -1 {
+				return nil, false // support is dependent; let phase 1 sort it out
+			}
+			t.pivot(best, s.j)
+			iters++
+		}
+		// Pivoting an artificial out keeps its row as an exact constraint
+		// (any basic-value wobble is repaired below); a row with no usable
+		// pivot is droppable only if it is the all-zero row — otherwise the
+		// support cannot express this system: cold path.
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] < artStart {
+				continue
+			}
+			best, bestAbs := -1, pivotEps
+			for j := 0; j < artStart; j++ {
+				if a := math.Abs(t.a[i][j]); a > bestAbs {
+					best, bestAbs = j, a
+				}
+			}
+			if best >= 0 {
+				t.pivot(i, best)
+				iters++
+				continue
+			}
+			if math.Abs(t.a[i][t.n]) > 1e-9 {
+				return nil, false // inconsistent dependent row
+			}
+			for j := 0; j <= t.n; j++ {
+				t.a[i][j] = 0 // redundant row: can never constrain phase 2
+			}
+		}
+	}
+
+	t.phase2Objective(p)
+
+	// Repair negative basics by dual simplex, which needs the reduced costs
+	// (near-)non-negative. A donor basis that was optimal certifies up to
+	// roundoff; anything else goes cold here, and the primal cleanup below
+	// mops up negativity inside the loosened tolerance.
+	if t.minRHS() < -1e-9 {
+		for j := 0; j < artStart; j++ {
+			if t.a[t.m][j] < -1e-7 {
+				return nil, false // not dual feasible: cold path
+			}
+		}
+		it, err := t.dualIterate(maxIters, artStart)
+		iters += it
+		switch err {
+		case nil:
+		case errInfeasible:
+			return &Solution{Status: Infeasible, Iters: iters, Warmed: true}, true
+		default:
+			return nil, false
+		}
+	}
+
+	// Primal cleanup from a feasible, near-optimal basis.
+	it, err := t.iterate(maxIters, artStart)
+	iters += it
+	if err == errUnbounded {
+		return &Solution{Status: Unbounded, Iters: iters, Warmed: true}, true
+	}
+	if err != nil {
+		return nil, false
+	}
+	sol := t.extract(p, iters)
+	sol.Warmed = true
+	sol.Basis = t.encodeBasis(n, lay)
+	return sol, true
+}
+
+// crashBasis pivots the target basis SET into place by multi-pass Gaussian
+// elimination over the first rowLimit rows: each pass claims target columns
+// into eligible rows still holding a non-target basic, pivoting on the
+// largest available entry. For a nonsingular target basis this terminates
+// with every target column basic; anything else reports ok=false.
+func (t *tableau) crashBasis(target []int, rowLimit int) (int, bool) {
+	inTarget := make([]bool, t.n)
+	for _, c := range target {
+		if c < 0 || c >= t.n || inTarget[c] {
+			return 0, false // malformed or duplicated target
+		}
+		inTarget[c] = true
+	}
+	var pending []int
+	done := make([]bool, t.n)
+	for _, b := range t.basis {
+		if inTarget[b] {
+			done[b] = true // already basic (e.g. a slack the donor kept basic)
+		}
+	}
+	for _, c := range target {
+		if !done[c] {
+			pending = append(pending, c)
+		}
+	}
+	pivots := 0
+	for len(pending) > 0 {
+		var stuck []int
+		progressed := false
+		for _, c := range pending {
+			best, bestAbs := -1, crashEps
+			for i := 0; i < rowLimit && i < t.m; i++ {
+				if inTarget[t.basis[i]] {
+					continue // row already holds a target basic
+				}
+				if a := math.Abs(t.a[i][c]); a > bestAbs {
+					best, bestAbs = i, a
+				}
+			}
+			if best == -1 {
+				stuck = append(stuck, c)
+				continue
+			}
+			t.pivot(best, c)
+			pivots++
+			progressed = true
+		}
+		if !progressed {
+			return pivots, false // dependent target set (or numerics): cold path
+		}
+		pending = stuck
+	}
+	return pivots, true
+}
+
+// minRHS returns the most negative basic value.
+func (t *tableau) minRHS() float64 {
+	mn := 0.0
+	for i := 0; i < t.m; i++ {
+		if v := t.a[i][t.n]; v < mn {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// dualIterate runs dual simplex pivots until primal feasibility (RHS ≥ 0) is
+// restored. Precondition: reduced costs are (near-)non-negative (dual
+// feasible); the ratio test preserves that. A negative row with no negative
+// entry certifies primal infeasibility (errInfeasible) when the violation is
+// decisive; a merely roundoff-sized violation returns errStall so the caller
+// can fall back to the cold path rather than mislabel a feasible program.
+func (t *tableau) dualIterate(maxIters, banFrom int) (int, error) {
+	obj := t.a[t.m]
+	iters := 0
+	for {
+		if iters >= maxIters {
+			return iters, ErrIterationLimit
+		}
+		// Leaving row: most negative basic value.
+		leave := -1
+		worst := -1e-9
+		for i := 0; i < t.m; i++ {
+			if v := t.a[i][t.n]; v < worst {
+				worst = v
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return iters, nil // primal feasible
+		}
+		// Entering column: dual ratio test over negative entries, lowest
+		// index on ties (Bland-style, for termination on degenerate duals).
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < t.n && j < banFrom; j++ {
+			aij := t.a[leave][j]
+			if aij >= -pivotEps {
+				continue
+			}
+			ratio := math.Max(obj[j], 0) / -aij
+			if ratio < bestRatio-1e-12 {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter == -1 {
+			if worst > -1e-6 {
+				return iters, errStall
+			}
+			return iters, errInfeasible
+		}
+		t.pivot(leave, enter)
+		iters++
+	}
 }
 
 type simplexErr string
 
 func (e simplexErr) Error() string { return string(e) }
 
-const errUnbounded = simplexErr("lp: unbounded")
+const (
+	errUnbounded  = simplexErr("lp: unbounded")
+	errInfeasible = simplexErr("lp: infeasible row")
+	errStall      = simplexErr("lp: warm start stalled")
+)
 
 // iterate runs simplex pivots until optimal, unbounded or the iteration cap.
 // Columns at index >= banFrom are never entered (used to keep artificials out

@@ -10,7 +10,11 @@
 //
 // The functions themselves must be safe to call concurrently; everything the
 // pipeline fans out over (core.Run, sim.New+Run) only reads its shared
-// inputs.
+// inputs. The one shared MUTABLE structure that may cross the pool is the
+// solve cache (internal/solvecache), which is safe by construction: its
+// payloads are pure functions of their fingerprints, so the pool's
+// scheduling can change which worker populates an entry but never what any
+// worker reads back — worker-count invariance holds with or without it.
 package parallel
 
 import (

@@ -1,0 +1,187 @@
+package solvecache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"socbuf/internal/ctmdp"
+)
+
+// Key is a content-addressed fingerprint of a solve's inputs. Two solves with
+// equal keys are the same mathematical problem and share one cached solution.
+type Key [sha256.Size]byte
+
+// String renders the key as hex (for logs and stats tables).
+func (k Key) String() string { return hex.EncodeToString(k[:8]) }
+
+// SolveOptions is the part of a ctmdp.JointConfig that changes what a
+// per-model solution IS (and therefore belongs in the fingerprint), as
+// opposed to how models are grouped into programs. See DESIGN.md §4 for the
+// full cache-key contract.
+type SolveOptions struct {
+	// Refine mirrors ctmdp.JointConfig.RefineStationary: refined and
+	// unrefined solutions are different payloads.
+	Refine bool
+	// Stationary's Method/Tol/MaxIters are fingerprinted; its Warm prior is
+	// NOT (a warm start cannot change the converged answer).
+	Stationary ctmdp.StationaryOptions
+}
+
+// optionsOf extracts the fingerprinted options from a joint config.
+func optionsOf(cfg ctmdp.JointConfig) SolveOptions {
+	return SolveOptions{Refine: cfg.RefineStationary, Stationary: cfg.Stationary}
+}
+
+// clientKey is the canonical per-client tuple. The structural part —
+// everything the occupation-measure LP and the policy-induced chain depend
+// on — comes first; UnitsPerLevel (the capacity quantum) affects only
+// occupancy-derived quantities, which is exactly the warm-start axis.
+type clientKey struct {
+	lambda, lossWeight, downstreamFullProb float64
+	levels                                 int
+	unitsPerLevel                          float64
+}
+
+func keyOf(c ctmdp.Client) clientKey {
+	return clientKey{
+		lambda:             c.Lambda,
+		lossWeight:         c.LossWeight,
+		downstreamFullProb: c.DownstreamFullProb,
+		levels:             c.Levels,
+		unitsPerLevel:      c.UnitsPerLevel,
+	}
+}
+
+// structuralLess orders clients by the solve-relevant tuple only.
+func structuralLess(a, b clientKey) bool {
+	switch {
+	case a.lambda != b.lambda:
+		return a.lambda < b.lambda
+	case a.levels != b.levels:
+		return a.levels < b.levels
+	case a.lossWeight != b.lossWeight:
+		return a.lossWeight < b.lossWeight
+	default:
+		return a.downstreamFullProb < b.downstreamFullProb
+	}
+}
+
+// less is the full canonical order: structural tuple first, UnitsPerLevel as
+// the tie-break. Clients that tie on the structural tuple have identical LP
+// columns, so any order among them yields the same program bit for bit —
+// which is what keeps warm-started reuse deterministic.
+func less(a, b clientKey) bool {
+	if structuralLess(a, b) {
+		return true
+	}
+	if structuralLess(b, a) {
+		return false
+	}
+	return a.unitsPerLevel < b.unitsPerLevel
+}
+
+// canonicalOrder returns the model's client indices sorted into canonical
+// order (stable, so equal tuples keep their relative model order).
+func canonicalOrder(m *ctmdp.Model) []int {
+	idx := make([]int, len(m.Clients))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return less(keyOf(m.Clients[idx[i]]), keyOf(m.Clients[idx[j]]))
+	})
+	return idx
+}
+
+// hasher accumulates the canonical byte serialisation.
+type hasher struct {
+	buf []byte
+}
+
+func (h *hasher) f64(v float64) {
+	h.buf = binary.LittleEndian.AppendUint64(h.buf, math.Float64bits(v))
+}
+
+func (h *hasher) i64(v int64) {
+	h.buf = binary.LittleEndian.AppendUint64(h.buf, uint64(v))
+}
+
+func (h *hasher) bool(v bool) {
+	if v {
+		h.buf = append(h.buf, 1)
+	} else {
+		h.buf = append(h.buf, 0)
+	}
+}
+
+func (h *hasher) sum() Key { return sha256.Sum256(h.buf) }
+
+// version tags the serialisation layout; bump on any change to what a
+// fingerprint covers so stale cross-process caches can never alias.
+const version = 1
+
+func (h *hasher) options(o SolveOptions) {
+	h.bool(o.Refine)
+	h.i64(int64(o.Stationary.Method))
+	h.f64(o.Stationary.Tol)
+	h.i64(int64(o.Stationary.MaxIters))
+}
+
+// fingerprint serialises the model in canonical client order. withUnits
+// selects the full key (capacities included) or the structural key
+// (capacities excluded — the warm-start equivalence class).
+func fingerprint(m *ctmdp.Model, opts SolveOptions, withUnits bool) Key {
+	h := &hasher{buf: make([]byte, 0, 64+24*len(m.Clients))}
+	h.i64(version)
+	h.bool(withUnits)
+	h.f64(m.ServiceRate)
+	h.i64(int64(len(m.Clients)))
+	for _, i := range canonicalOrder(m) {
+		k := keyOf(m.Clients[i])
+		h.f64(k.lambda)
+		h.i64(int64(k.levels))
+		h.f64(k.lossWeight)
+		h.f64(k.downstreamFullProb)
+		if withUnits {
+			h.f64(k.unitsPerLevel)
+		}
+	}
+	h.options(opts)
+	return h.sum()
+}
+
+// Fingerprint returns the full content-addressed key of one sub-model solve:
+// service rate, the canonically sorted per-client tuples (arrival rate,
+// levels, loss weight, downstream-full probability, units per level) and the
+// solve options. Client order, bus name, buffer IDs and aggregate membership
+// are deliberately excluded — see DESIGN.md §4 for the contract.
+func Fingerprint(m *ctmdp.Model, opts SolveOptions) Key {
+	return fingerprint(m, opts, true)
+}
+
+// StructuralFingerprint is Fingerprint with the capacity quanta
+// (UnitsPerLevel) excluded. Models sharing a structural fingerprint have
+// bit-identical occupation-measure LPs and policy chains — capacities enter
+// only occupancy-derived quantities — so a cached solution for one is an
+// exact warm start for the others.
+func StructuralFingerprint(m *ctmdp.Model, opts SolveOptions) Key {
+	return fingerprint(m, opts, false)
+}
+
+// JointFingerprint keys a capped joint solve: the ordered full fingerprints
+// of the blocks plus the linking occupancy cap. Unlike the decoupled case,
+// block order matters here (it fixes the joint program's variable layout).
+func JointFingerprint(models []*ctmdp.Model, cap float64, opts SolveOptions) Key {
+	h := &hasher{}
+	h.i64(version)
+	h.i64(int64(len(models)))
+	for _, m := range models {
+		k := Fingerprint(m, opts)
+		h.buf = append(h.buf, k[:]...)
+	}
+	h.f64(cap)
+	return h.sum()
+}

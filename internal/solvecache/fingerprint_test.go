@@ -1,0 +1,128 @@
+package solvecache
+
+import (
+	"testing"
+
+	"socbuf/internal/ctmdp"
+)
+
+// testClients returns a small heterogeneous client set.
+func testClients() []ctmdp.Client {
+	return []ctmdp.Client{
+		{BufferID: "a", Lambda: 1.5, Levels: 2, UnitsPerLevel: 3, LossWeight: 1, DownstreamFullProb: 0.1},
+		{BufferID: "b", Lambda: 0.7, Levels: 2, UnitsPerLevel: 5, LossWeight: 2, DownstreamFullProb: 0},
+		{BufferID: "c", Lambda: 2.2, Levels: 1, UnitsPerLevel: 4, LossWeight: 1, DownstreamFullProb: 0},
+	}
+}
+
+func mustModel(t *testing.T, bus string, rate float64, clients []ctmdp.Client) *ctmdp.Model {
+	t.Helper()
+	m, err := ctmdp.NewModel(bus, rate, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	cs := testClients()
+	m1 := mustModel(t, "bus1", 4, cs)
+	perm := []ctmdp.Client{cs[2], cs[0], cs[1]}
+	m2 := mustModel(t, "bus1", 4, perm)
+	var opts SolveOptions
+	if Fingerprint(m1, opts) != Fingerprint(m2, opts) {
+		t.Error("permuted-client-order models must share a full fingerprint")
+	}
+	if StructuralFingerprint(m1, opts) != StructuralFingerprint(m2, opts) {
+		t.Error("permuted-client-order models must share a structural fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	cs := testClients()
+	m1 := mustModel(t, "busA", 4, cs)
+	renamed := testClients()
+	for i := range renamed {
+		renamed[i].BufferID = "other" + renamed[i].BufferID
+	}
+	// Aggregate membership is solve-irrelevant bookkeeping too.
+	renamed[0].Members = []string{"x", "y"}
+	renamed[0].MemberLambda = []float64{1.0, 0.5}
+	m2 := mustModel(t, "busB", 4, renamed)
+	var opts SolveOptions
+	if Fingerprint(m1, opts) != Fingerprint(m2, opts) {
+		t.Error("bus name, buffer IDs and membership must not affect the fingerprint")
+	}
+}
+
+func TestFingerprintCapacityChange(t *testing.T) {
+	cs := testClients()
+	m1 := mustModel(t, "bus1", 4, cs)
+	resized := testClients()
+	resized[1].UnitsPerLevel = 9
+	m2 := mustModel(t, "bus1", 4, resized)
+	var opts SolveOptions
+	if Fingerprint(m1, opts) == Fingerprint(m2, opts) {
+		t.Error("changed capacity must change the full fingerprint")
+	}
+	if StructuralFingerprint(m1, opts) != StructuralFingerprint(m2, opts) {
+		t.Error("changed capacity must NOT change the structural fingerprint")
+	}
+}
+
+func TestFingerprintStructuralChange(t *testing.T) {
+	cs := testClients()
+	m1 := mustModel(t, "bus1", 4, cs)
+	var opts SolveOptions
+	for name, mutate := range map[string]func(*ctmdp.Client){
+		"lambda":     func(c *ctmdp.Client) { c.Lambda += 0.25 },
+		"levels":     func(c *ctmdp.Client) { c.Levels++ },
+		"lossWeight": func(c *ctmdp.Client) { c.LossWeight *= 2 },
+		"downstream": func(c *ctmdp.Client) { c.DownstreamFullProb = 0.5 },
+	} {
+		changed := testClients()
+		mutate(&changed[0])
+		m2 := mustModel(t, "bus1", 4, changed)
+		if Fingerprint(m1, opts) == Fingerprint(m2, opts) {
+			t.Errorf("%s change must alter the full fingerprint", name)
+		}
+		if StructuralFingerprint(m1, opts) == StructuralFingerprint(m2, opts) {
+			t.Errorf("%s change must alter the structural fingerprint", name)
+		}
+	}
+	m3 := mustModel(t, "bus1", 5, testClients())
+	if StructuralFingerprint(m1, opts) == StructuralFingerprint(m3, opts) {
+		t.Error("service-rate change must alter the structural fingerprint")
+	}
+}
+
+func TestFingerprintOptions(t *testing.T) {
+	m := mustModel(t, "bus1", 4, testClients())
+	base := Fingerprint(m, SolveOptions{})
+	refined := Fingerprint(m, SolveOptions{Refine: true})
+	if base == refined {
+		t.Error("refinement flag must be part of the fingerprint")
+	}
+	tuned := Fingerprint(m, SolveOptions{Refine: true, Stationary: ctmdp.StationaryOptions{Tol: 1e-10}})
+	if refined == tuned {
+		t.Error("stationary tolerance must be part of the fingerprint")
+	}
+	// A warm-start prior is a hint, never identity.
+	warmed := Fingerprint(m, SolveOptions{Refine: true, Stationary: ctmdp.StationaryOptions{Warm: []float64{1, 0}}})
+	if refined != warmed {
+		t.Error("warm-start priors must NOT be part of the fingerprint")
+	}
+}
+
+func TestJointFingerprint(t *testing.T) {
+	m1 := mustModel(t, "bus1", 4, testClients())
+	m2 := mustModel(t, "bus2", 6, testClients()[:2])
+	var opts SolveOptions
+	k1 := JointFingerprint([]*ctmdp.Model{m1, m2}, 10, opts)
+	if k2 := JointFingerprint([]*ctmdp.Model{m1, m2}, 12, opts); k1 == k2 {
+		t.Error("occupancy cap must be part of the joint fingerprint")
+	}
+	if k3 := JointFingerprint([]*ctmdp.Model{m2, m1}, 10, opts); k1 == k3 {
+		t.Error("block order fixes the joint program layout and must be keyed")
+	}
+}
