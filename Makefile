@@ -6,7 +6,7 @@ GO ?= go
 OLD ?= previous-results.txt
 NEW ?= bench-results.txt
 
-.PHONY: build test race bench bench-compare lint fmt scenario-smoke
+.PHONY: build test race bench bench-compare lint fmt scenario-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,9 @@ fmt:
 scenario-smoke:
 	$(GO) run ./cmd/experiments scenario-sweep \
 		-scenarios twobus,chain6-bursty -budget 48 -iters 2 -seeds 1 -horizon 600 -parallel 2
+
+# Tiny end-to-end pass through the socbufd service: build, start, curl
+# /v1/solve + /v1/stats, SIGTERM, assert a clean graceful shutdown. CI runs
+# it on every push next to scenario-smoke.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve-smoke.sh

@@ -27,17 +27,23 @@
 // solve per structural class. -cache-stats implies -cache and prints the
 // hit/miss/warm-start counters at the end. Both flags also exist on
 // scenario-sweep. See PERFORMANCE.md for measured effect.
+//
+// -json emits sweep results as JSON. All sweeps route through
+// internal/engine — the same request/response API served over HTTP by
+// cmd/socbufd; the figure/table regenerators call internal/experiments
+// directly (they are report renderers, not sweep queries).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"socbuf/internal/arch"
+	"socbuf/internal/cliutil"
+	"socbuf/internal/engine"
 	"socbuf/internal/experiments"
 	"socbuf/internal/report"
-	"socbuf/internal/scenario"
 	"socbuf/internal/solvecache"
 )
 
@@ -49,23 +55,24 @@ func main() {
 		return
 	}
 	var (
-		fig3       = flag.Bool("fig3", false, "regenerate Figure 3")
-		table1     = flag.Bool("table1", false, "regenerate Table 1")
-		split      = flag.Bool("split", false, "run the §2 split-vs-nonlinear demo")
-		headline   = flag.Bool("headline", false, "compute the §3 headline ratios")
-		sweep      = flag.Bool("sweep", false, "run a parallel budget sweep over -budgets")
-		all        = flag.Bool("all", false, "run everything")
-		quick      = flag.Bool("quick", false, "smaller iterations/seeds/horizon")
-		budget     = flag.Int("budget", 160, "buffer budget for Figure 3 / headline")
-		budgets    = flag.String("budgets", "160,320,640", "comma-separated budgets for -sweep")
-		parallel   = flag.Int("parallel", 0, "worker goroutines for sweeps (0 = GOMAXPROCS, 1 = serial)")
-		list       = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
-		useCache   = flag.Bool("cache", false, "share a solve cache across all runs (sweeps prewarm it)")
-		cacheStats = flag.Bool("cache-stats", false, "print solve-cache counters at the end (implies -cache)")
+		fig3     = flag.Bool("fig3", false, "regenerate Figure 3")
+		table1   = flag.Bool("table1", false, "regenerate Table 1")
+		split    = flag.Bool("split", false, "run the §2 split-vs-nonlinear demo")
+		headline = flag.Bool("headline", false, "compute the §3 headline ratios")
+		sweep    = flag.Bool("sweep", false, "run a parallel budget sweep over -budgets")
+		all      = flag.Bool("all", false, "run everything")
+		quick    = flag.Bool("quick", false, "smaller iterations/seeds/horizon")
+		budget   = flag.Int("budget", 160, "buffer budget for Figure 3 / headline")
+		budgets  = flag.String("budgets", "160,320,640", "comma-separated budgets for -sweep")
+		list     = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
 	)
+	common := cliutil.AddCommonFlags(nil)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fatal(err)
+	}
 	if *list {
-		if err := experiments.WriteScenarioList(os.Stdout); err != nil {
+		if err := engine.WriteScenarioList(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -73,17 +80,27 @@ func main() {
 	if !*fig3 && !*table1 && !*split && !*headline && !*sweep && !*all {
 		*all = true
 	}
+	// One cache for everything the invocation runs: the engine adopts it for
+	// the sweep queries, and the figure/table regenerators share it through
+	// opt, so identical sub-model solves dedupe fleet-wide.
+	var cache *solvecache.Cache
+	if common.UseCache() {
+		cache = solvecache.New()
+	}
+	eng := engine.New(engine.Config{Workers: common.Parallel, Cache: cache})
+	defer eng.Close()
+
 	opt := experiments.Options{}
 	if *quick {
 		opt = experiments.Options{Iterations: 3, Seeds: []int64{1, 2}, Horizon: 1200}
 	}
-	opt.Workers = *parallel
-	if *useCache || *cacheStats {
-		opt.Cache = solvecache.New()
-	}
+	opt.Workers = common.Parallel
+	opt.Cache = cache
+	// Under -json the counters go to stderr so stdout stays one parseable
+	// document.
 	defer func() {
-		if *cacheStats {
-			if err := experiments.WriteCacheStats(os.Stdout, opt.Cache.Stats()); err != nil {
+		if common.CacheStats {
+			if err := eng.WriteCacheStats(common.StatsWriter()); err != nil {
 				fatal(err)
 			}
 		}
@@ -114,104 +131,104 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runSweep(list, opt); err != nil {
+		if err := runSweep(eng, list, opt, common); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-func runSweep(budgets []int, opt experiments.Options) error {
-	res, err := experiments.SweepWithPlan(os.Stdout, arch.NetworkProcessor, budgets, opt)
+// runSweep routes the budget sweep through the engine and renders the
+// outcome (plan summary first when the cache planned it).
+func runSweep(eng *engine.Engine, budgets []int, opt experiments.Options, common *cliutil.CommonFlags) error {
+	res, err := eng.BudgetSweep(context.Background(), engine.BudgetSweepRequest{
+		Budgets:    budgets,
+		Iterations: opt.Iterations,
+		Seeds:      opt.Seeds,
+		Horizon:    opt.Horizon,
+		UseCache:   common.UseCache(),
+	})
 	if res == nil {
 		return err
 	}
+	if common.JSON {
+		if werr := res.Sweep.WriteJSON(os.Stdout); werr != nil {
+			return werr
+		}
+		return err
+	}
+	if res.Plan != nil {
+		fmt.Println("sweep plan:")
+		if werr := res.Plan.WriteSummary(os.Stdout); werr != nil {
+			return werr
+		}
+		fmt.Println()
+	}
 	fmt.Printf("Budget sweep — %d points\n", len(budgets))
-	if werr := res.WriteTable(os.Stdout); werr != nil {
+	if werr := res.Sweep.WriteTable(os.Stdout); werr != nil {
 		return werr
 	}
 	fmt.Println()
 	return err
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("experiments", err) }
 
 // scenarioSweepCmd is the scenario-sweep subcommand: fan the methodology
-// over registry scenarios and print a per-scenario report table.
+// over registry scenarios through the engine and print a per-scenario
+// report table.
 func scenarioSweepCmd(args []string) error {
 	fs := flag.NewFlagSet("scenario-sweep", flag.ExitOnError)
 	var (
-		names      = fs.String("scenarios", "", "comma-separated scenario names (empty = whole registry)")
-		budget     = fs.Int("budget", 0, "override every scenario's budget (0 = scenario's own)")
-		iters      = fs.Int("iters", 0, "override methodology iterations (0 = scenario/default)")
-		seeds      = fs.String("seeds", "", "comma-separated evaluation seeds (empty = scenario/default)")
-		horizon    = fs.Float64("horizon", 0, "override sim horizon (0 = scenario/default)")
-		parallel   = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		quick      = fs.Bool("quick", false, "smaller iterations/seeds/horizon")
-		useCache   = fs.Bool("cache", false, "share a solve cache across all scenarios")
-		cacheStats = fs.Bool("cache-stats", false, "print solve-cache counters at the end (implies -cache)")
+		names   = fs.String("scenarios", "", "comma-separated scenario names (empty = whole registry)")
+		budget  = fs.Int("budget", 0, "override every scenario's budget (0 = scenario's own)")
+		iters   = fs.Int("iters", 0, "override methodology iterations (0 = scenario/default)")
+		seeds   = fs.String("seeds", "", "comma-separated evaluation seeds (empty = scenario/default)")
+		horizon = fs.Float64("horizon", 0, "override sim horizon (0 = scenario/default)")
+		quick   = fs.Bool("quick", false, "smaller iterations/seeds/horizon")
 	)
+	common := cliutil.AddCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scs, err := scenario.Resolve(experiments.ParseNames(*names))
-	if err != nil {
+	if err := common.Validate(); err != nil {
 		return err
-	}
-
-	opt := experiments.Options{Workers: *parallel}
-	if *useCache || *cacheStats {
-		opt.Cache = solvecache.New()
-	}
-	if *quick {
-		opt.Iterations, opt.Seeds, opt.Horizon = 3, []int64{1, 2}, 1200
 	}
 	var sd []int64
 	if *seeds != "" {
+		var err error
 		if sd, err = experiments.ParseSeeds(*seeds); err != nil {
 			return err
 		}
 	}
-	// Explicit overrides beat both -quick and the scenarios' own values.
-	for i := range scs {
-		if *budget > 0 {
-			scs[i].Budget = *budget
-		}
-		if *iters > 0 {
-			scs[i].Iterations = *iters
-		}
-		if *horizon > 0 {
-			scs[i].Horizon = *horizon
-		}
-		if sd != nil {
-			scs[i].Seeds = sd
-		}
-		if *quick {
-			if *iters == 0 {
-				scs[i].Iterations = 0 // let opt.Iterations apply
-			}
-			if *seeds == "" {
-				scs[i].Seeds = nil
-			}
-			if *horizon == 0 {
-				scs[i].Horizon = 0
-			}
-		}
-	}
 
-	res, err := experiments.ScenarioSweep(scs, opt)
+	eng := engine.New(engine.Config{Workers: common.Parallel})
+	defer eng.Close()
+	scNames := experiments.ParseNames(*names)
+	res, err := eng.ScenarioSweep(context.Background(), engine.ScenarioSweepRequest{
+		Scenarios:  scNames,
+		Budget:     *budget,
+		Iterations: *iters,
+		Seeds:      sd,
+		Horizon:    *horizon,
+		Quick:      *quick,
+		UseCache:   common.UseCache(),
+	})
 	if res == nil {
 		return err
 	}
-	fmt.Printf("Scenario sweep — %d scenarios\n", len(scs))
-	if werr := res.WriteTable(os.Stdout); werr != nil {
-		return werr
+	if common.JSON {
+		if werr := res.Sweep.WriteJSON(os.Stdout); werr != nil {
+			return werr
+		}
+	} else {
+		fmt.Printf("Scenario sweep — %d scenarios\n", len(res.Sweep.Points)+len(res.Sweep.Failed))
+		if werr := res.Sweep.WriteTable(os.Stdout); werr != nil {
+			return werr
+		}
+		fmt.Println()
 	}
-	fmt.Println()
-	if *cacheStats {
-		if werr := experiments.WriteCacheStats(os.Stdout, opt.Cache.Stats()); werr != nil {
+	if common.CacheStats {
+		if werr := eng.WriteCacheStats(common.StatsWriter()); werr != nil {
 			return werr
 		}
 	}

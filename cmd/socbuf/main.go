@@ -21,189 +21,195 @@
 // -scenario runs one registry scenario (its generated topology, traffic
 // model and budget); explicitly-set -budget/-iters/-horizon flags override
 // the scenario's own values. -list-scenarios prints the registry.
+//
+// -json emits results as JSON instead of tables.
+//
+// socbuf is a thin client of internal/engine — the same request/response
+// API served over HTTP by cmd/socbufd.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"socbuf/internal/arch"
-	"socbuf/internal/core"
+	"socbuf/internal/cliutil"
+	"socbuf/internal/engine"
 	"socbuf/internal/experiments"
 	"socbuf/internal/report"
-	"socbuf/internal/scenario"
-	"socbuf/internal/solvecache"
 )
 
 func main() {
 	var (
-		name       = flag.String("arch", "netproc", "preset: figure1 | twobus | netproc")
-		file       = flag.String("file", "", "load a JSON architecture instead of a preset")
-		scen       = flag.String("scenario", "", "run a registered scenario instead of a preset (see -list-scenarios)")
-		list       = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
-		budget     = flag.Int("budget", 160, "total buffer budget in units")
-		iters      = flag.Int("iters", 10, "methodology iterations")
-		horiz      = flag.Float64("horizon", 2000, "evaluation sim horizon")
-		sweep      = flag.String("sweep", "", "comma-separated budgets: sweep instead of a single run")
-		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		refine     = flag.Bool("refine", false, "refine stationary distributions from the policy-induced chains (dense/sparse auto-selected)")
-		useCache   = flag.Bool("cache", false, "share a solve cache across all solves (sweeps prewarm it)")
-		cacheStats = flag.Bool("cache-stats", false, "print solve-cache hit/miss/warm-start counters (implies -cache)")
+		name   = flag.String("arch", "netproc", "preset: "+cliutil.PresetNames)
+		file   = flag.String("file", "", "load a JSON architecture instead of a preset")
+		scen   = flag.String("scenario", "", "run a registered scenario instead of a preset (see -list-scenarios)")
+		list   = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
+		budget = flag.Int("budget", 160, "total buffer budget in units")
+		iters  = flag.Int("iters", 10, "methodology iterations")
+		horiz  = flag.Float64("horizon", 2000, "evaluation sim horizon")
+		sweep  = flag.String("sweep", "", "comma-separated budgets: sweep instead of a single run")
+		refine = flag.Bool("refine", false, "refine stationary distributions from the policy-induced chains (dense/sparse auto-selected)")
 	)
+	common := cliutil.AddCommonFlags(nil)
 	flag.Parse()
-	*useCache = *useCache || *cacheStats
-	var cache *solvecache.Cache
-	if *useCache {
-		cache = solvecache.New()
+	if err := common.Validate(); err != nil {
+		fatal(err)
 	}
 
 	if *list {
-		if err := experiments.WriteScenarioList(os.Stdout); err != nil {
+		if err := engine.WriteScenarioList(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	}
+
+	eng := engine.New(engine.Config{Workers: common.Parallel})
+	defer eng.Close()
 	// Registered after the solve-free early exits so -cache-stats only ever
-	// reports a cache that actually fielded solves.
+	// reports a cache that actually fielded solves. Under -json the counters
+	// go to stderr so stdout stays one parseable document.
 	defer func() {
-		if *cacheStats {
-			fmt.Println()
-			if err := experiments.WriteCacheStats(os.Stdout, cache.Stats()); err != nil {
+		if common.CacheStats {
+			out := common.StatsWriter()
+			fmt.Fprintln(out)
+			if err := eng.WriteCacheStats(out); err != nil {
 				fatal(err)
 			}
 		}
 	}()
+	ctx := context.Background()
+
+	var archJSON json.RawMessage
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		archJSON = raw
+	}
+
 	if *scen != "" {
 		if *sweep != "" || *file != "" {
 			fatal(fmt.Errorf("-scenario cannot be combined with -sweep or -file"))
 		}
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if err := runScenario(*scen, set, *budget, *iters, *horiz, *refine, *parallel, cache); err != nil {
+		req := engine.SolveRequest{
+			Scenario: *scen,
+			Refine:   *refine,
+			UseCache: common.UseCache(),
+		}
+		// Explicitly-set flags override the scenario's own values.
+		set := cliutil.SetFlags(nil)
+		if set["budget"] {
+			req.Budget = *budget
+		}
+		if set["iters"] {
+			req.Iterations = *iters
+		}
+		if set["horizon"] {
+			req.Horizon = *horiz
+		}
+		res, err := eng.Solve(ctx, req)
+		if err != nil {
 			fatal(err)
 		}
+		if common.JSON {
+			cliutil.PrintJSON("socbuf", res)
+			return
+		}
+		fmt.Printf("scenario %s — %s, traffic %s\n", res.Scenario, res.Topology, res.Traffic)
+		printResult(res)
 		return
-	}
-
-	var a *arch.Architecture
-	if *file != "" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fatal(err)
-		}
-		a, err = arch.ReadJSON(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		switch *name {
-		case "figure1":
-			a = arch.Figure1()
-		case "twobus":
-			a = arch.TwoBusAMBA()
-		case "netproc":
-			a = arch.NetworkProcessor()
-		default:
-			fmt.Fprintf(os.Stderr, "socbuf: unknown architecture %q\n", *name)
-			os.Exit(2)
-		}
 	}
 
 	if *sweep != "" {
-		if err := runSweep(a, *sweep, *iters, *horiz, *parallel, cache); err != nil {
+		budgets, err := experiments.ParseBudgets(*sweep)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := eng.BudgetSweep(ctx, engine.BudgetSweepRequest{
+			Arch:       archFor(*file, *name),
+			ArchJSON:   archJSON,
+			Budgets:    budgets,
+			Iterations: *iters,
+			Horizon:    *horiz,
+			UseCache:   common.UseCache(),
+		})
+		if res == nil {
+			fatal(err)
+		}
+		if common.JSON {
+			if werr := res.Sweep.WriteJSON(os.Stdout); werr != nil {
+				fatal(werr)
+			}
+		} else {
+			if res.Plan != nil {
+				fmt.Println("sweep plan:")
+				if werr := res.Plan.WriteSummary(os.Stdout); werr != nil {
+					fatal(werr)
+				}
+				fmt.Println()
+			}
+			fmt.Printf("architecture %s — budget sweep, %d points, %d iterations each\n",
+				res.ArchName, len(budgets), *iters)
+			if werr := res.Sweep.WriteTable(os.Stdout); werr != nil {
+				fatal(werr)
+			}
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	res, err := core.Run(core.Config{
-		Arch: a, Budget: *budget, Iterations: *iters, Horizon: *horiz,
-		Workers: *parallel, RefineStationary: *refine, Cache: cache,
+	res, err := eng.Solve(ctx, engine.SolveRequest{
+		Arch:       archFor(*file, *name),
+		ArchJSON:   archJSON,
+		Budget:     *budget,
+		Iterations: *iters,
+		Horizon:    *horiz,
+		Refine:     *refine,
+		UseCache:   common.UseCache(),
 	})
 	if err != nil {
 		fatal(err)
 	}
-	printResult(a.Name, *budget, res)
+	if common.JSON {
+		cliutil.PrintJSON("socbuf", res)
+		return
+	}
+	printResult(res)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "socbuf:", err)
-	os.Exit(1)
+// archFor resolves the mutually exclusive -file/-arch pair into request
+// fields: a loaded file suppresses the preset name.
+func archFor(file, name string) string {
+	if file != "" {
+		return ""
+	}
+	return name
 }
 
-// runScenario executes one registry scenario's methodology run. set marks
-// the flags the user passed explicitly: those override the scenario's own
-// budget/iterations/horizon.
-func runScenario(name string, set map[string]bool, budget, iters int, horizon float64, refine bool, workers int, cache *solvecache.Cache) error {
-	sc, ok := scenario.Get(name)
-	if !ok {
-		return fmt.Errorf("unknown scenario %q (have %v)", name, scenario.Names())
-	}
-	cfg, err := sc.CoreConfig()
-	if err != nil {
-		return err
-	}
-	if set["budget"] {
-		cfg.Budget = budget
-	}
-	if set["iters"] {
-		cfg.Iterations = iters
-	}
-	if set["horizon"] {
-		cfg.Horizon = horizon
-	}
-	cfg.Workers = workers
-	cfg.RefineStationary = refine
-	cfg.Cache = cache
-
-	res, err := core.Run(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("scenario %s — %s, traffic %s\n", sc.Name, sc.Topology, sc.Traffic)
-	printResult(res.Arch.Name, cfg.Budget, res)
-	return nil
-}
+func fatal(err error) { cliutil.Fatal("socbuf", err) }
 
 // printResult renders the single-run summary and allocation table.
-func printResult(archName string, budget int, res *core.Result) {
-	fmt.Printf("architecture %s, budget %d, %d iterations\n", archName, budget, len(res.Iterations))
-	fmt.Printf("subsystems after buffer insertion: %d (all linear)\n", len(res.Subsystems))
-	fmt.Printf("baseline (uniform) loss: %d\n", res.BaselineLoss)
+func printResult(res *engine.SolveResult) {
+	fmt.Printf("architecture %s, budget %d, %d iterations\n", res.Arch, res.Budget, res.Iterations)
+	fmt.Printf("subsystems after buffer insertion: %d (all linear)\n", res.Subsystems)
+	fmt.Printf("baseline (uniform) loss: %d\n", res.UniformLoss)
 	fmt.Printf("best sized loss:         %d  (%.1f%% reduction, iteration %d)\n",
-		res.Best.SimLoss, res.Improvement()*100, res.Best.Index)
+		res.SizedLoss, res.Improvement*100, res.BestIteration)
 	fmt.Printf("occupancy cap binding: %v, randomised states: %d\n\n",
-		res.Best.CapBinding, res.Best.RandomisedStates)
+		res.CapBinding, res.RandomisedStates)
 
 	headers := []string{"buffer", "uniform", "sized"}
 	var rows [][]string
-	for _, id := range report.SortedKeys(res.Best.Alloc) {
-		rows = append(rows, []string{id, fmt.Sprint(res.BaselineAlloc[id]), fmt.Sprint(res.Best.Alloc[id])})
+	for _, a := range res.Alloc {
+		rows = append(rows, []string{a.Buffer, fmt.Sprint(a.Uniform), fmt.Sprint(a.Sized)})
 	}
 	if err := report.Table(os.Stdout, headers, rows); err != nil {
 		fatal(err)
 	}
-}
-
-// runSweep fans the methodology across the listed budgets with the parallel
-// sweep engine and prints one row per budget. With a cache, the sweep is
-// planned first: all points fingerprinted, one solve per structural class
-// prewarmed, then every point shares the cache.
-func runSweep(a *arch.Architecture, list string, iters int, horizon float64, workers int, cache *solvecache.Cache) error {
-	budgets, err := experiments.ParseBudgets(list)
-	if err != nil {
-		return err
-	}
-	opt := experiments.Options{Iterations: iters, Horizon: horizon, Workers: workers, Cache: cache}
-	res, err := experiments.SweepWithPlan(os.Stdout, func() *arch.Architecture { return a }, budgets, opt)
-	if res == nil {
-		return err
-	}
-	fmt.Printf("architecture %s — budget sweep, %d points, %d iterations each\n", a.Name, len(budgets), iters)
-	if werr := res.WriteTable(os.Stdout); werr != nil {
-		return werr
-	}
-	return err
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"socbuf/internal/engine"
+)
+
+// BenchmarkServerSolveThroughput measures end-to-end /v1/solve requests/sec
+// on a warm cache at 1, 8 and 32 concurrent clients — the coalesced/cached
+// steady state a long-running socbufd serves (PERFORMANCE.md records the
+// numbers). The cache is primed before timing, so the benchmark isolates
+// service-path cost (HTTP + coalescing + cache rebinding) from cold solve
+// cost; identical concurrent requests additionally coalesce, which is
+// exactly the production shape for a hot query.
+func BenchmarkServerSolveThroughput(b *testing.B) {
+	for _, clients := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
+			benchServerSolve(b, clients)
+		})
+	}
+	// Cold reference: cache off and every request unique (distinct seed), so
+	// neither coalescing nor the cache can help — the per-request cost a
+	// cold engine pays, for the coalesced-vs-cold comparison in
+	// PERFORMANCE.md.
+	b.Run("c1-cold", func(b *testing.B) {
+		eng := engine.New(engine.Config{})
+		ts := httptest.NewServer(newHandler(eng, false))
+		defer func() {
+			ts.Close()
+			eng.Close()
+		}()
+		do := func(i int) {
+			body := fmt.Sprintf(`{"scenario":"twobus","iterations":1,"seeds":[%d],"horizon":400,"warmUp":50}`, i+1)
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var res engine.SolveResult
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil || resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d, decode %v", resp.StatusCode, err)
+			}
+			if res.UniformLoss <= 0 {
+				b.Fatalf("result out of shape: %+v", res)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do(i)
+		}
+	})
+}
+
+func benchServerSolve(b *testing.B, clients int) {
+	eng := engine.New(engine.Config{})
+	ts := httptest.NewServer(newHandler(eng, true))
+	defer func() {
+		ts.Close()
+		eng.Close()
+	}()
+	const body = `{"scenario":"twobus","iterations":1,"seeds":[1],"horizon":400,"warmUp":50}`
+
+	do := func() engine.SolveResult {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Error(err)
+			return engine.SolveResult{}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Errorf("status %d", resp.StatusCode)
+			return engine.SolveResult{}
+		}
+		var res engine.SolveResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			b.Error(err)
+		}
+		return res
+	}
+	// Prime the cache (and assert the result's shape, per the PERFORMANCE.md
+	// convention: a broken pipeline must not post a fast number).
+	warm := do()
+	if warm.UniformLoss <= 0 || len(warm.Alloc) == 0 {
+		b.Fatalf("warm-up result out of shape: %+v", warm)
+	}
+
+	b.ResetTimer()
+	work := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				do()
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	b.StopTimer()
+
+	s := eng.Stats()
+	b.ReportMetric(float64(s.Coalesced), "coalesced")
+	b.ReportMetric(float64(s.SolveRuns), "solve-runs")
+}

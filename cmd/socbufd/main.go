@@ -1,0 +1,95 @@
+// Command socbufd serves the buffer-sizing engine over HTTP: a long-running
+// service wrapping internal/engine — the same request/response API the CLIs
+// use — with request coalescing, a bounded in-flight limit, cache-backed
+// concurrency and graceful shutdown.
+//
+//	socbufd -addr :8344 -max-inflight 16
+//
+// Endpoints (see DESIGN.md §5 and the README's "Running as a service"):
+//
+//	POST /v1/solve           run the methodology once; concurrent identical
+//	                         requests coalesce into one underlying solve
+//	POST /v1/sweep/budget    budget sweep; streams NDJSON rows as points
+//	                         complete, then a summary line
+//	POST /v1/sweep/scenario  scenario sweep; same streaming shape
+//	GET  /v1/stats           engine counters + solve-cache counters
+//
+// Responses: 400 for malformed/invalid requests, 503 (with Retry-After) when
+// the in-flight bound is hit or the server is draining, 500 for solver
+// failures.
+//
+// Shutdown: SIGINT/SIGTERM stops admission, cancels in-flight requests (the
+// cancellation threads down through the sweep workers, which finish their
+// current point and exit), drains, then closes the listener.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"socbuf/internal/cliutil"
+	"socbuf/internal/engine"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8344", "listen address")
+		parallel   = flag.Int("parallel", 0, "default worker goroutines per request (0 = GOMAXPROCS)")
+		inflight   = flag.Int("max-inflight", 16, "max concurrently executing requests (0 = unbounded); excess requests get 503")
+		cache      = flag.Bool("cache", true, "route every request through the shared solve cache")
+		cacheBound = flag.Int("cache-max-entries", 4096, "rotate the solve cache past this many stored solutions (0 = unbounded); bounds memory in a long-lived server fed client-chosen architectures")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+	if *parallel < 0 {
+		cliutil.Fatal("socbufd", fmt.Errorf("-parallel %d is negative; use 0 for GOMAXPROCS or a count >= 1", *parallel))
+	}
+	if *inflight < 0 {
+		cliutil.Fatal("socbufd", fmt.Errorf("-max-inflight %d is negative; use 0 for unbounded", *inflight))
+	}
+	if *cacheBound < 0 {
+		cliutil.Fatal("socbufd", fmt.Errorf("-cache-max-entries %d is negative; use 0 for unbounded", *cacheBound))
+	}
+
+	eng := engine.New(engine.Config{Workers: *parallel, MaxInFlight: *inflight, MaxCacheEntries: *cacheBound})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(eng, *cache),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("socbufd: listening on %s (max-inflight %d, cache %v)", *addr, *inflight, *cache)
+
+	select {
+	case err := <-errc:
+		cliutil.Fatal("socbufd", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("socbufd: shutting down (drain timeout %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Engine first: admission stops, in-flight requests are cancelled and
+	// drained, so the handlers unwind; then the listener closes and waits
+	// for the connections to finish writing.
+	engErr := eng.Shutdown(dctx)
+	srvErr := srv.Shutdown(dctx)
+	if err := errors.Join(engErr, srvErr); err != nil {
+		cliutil.Fatal("socbufd", fmt.Errorf("unclean shutdown: %w", err))
+	}
+	log.Printf("socbufd: shutdown complete")
+}

@@ -1,0 +1,433 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"socbuf/internal/engine"
+	"socbuf/internal/experiments"
+)
+
+// fastSolveBody is a sub-second twobus methodology request shared by the
+// endpoint tests.
+const fastSolveBody = `{"scenario":"twobus","iterations":1,"seeds":[1],"horizon":400,"warmUp":50}`
+
+func startServer(t *testing.T, cfg engine.Config, defaultCache bool) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	eng := engine.New(cfg)
+	ts := httptest.NewServer(newHandler(eng, defaultCache))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return eng, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	_, ts := startServer(t, engine.Config{}, false)
+	resp := postJSON(t, ts.URL+"/v1/solve", fastSolveBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var res engine.SolveResult
+	decodeBody(t, resp, &res)
+	if res.Scenario != "twobus" || res.Iterations != 1 || res.Subsystems == 0 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	if res.UniformLoss <= 0 || len(res.Alloc) == 0 {
+		t.Fatalf("result empty: %+v", res)
+	}
+	var total int
+	for _, a := range res.Alloc {
+		total += a.Sized
+	}
+	if total != res.Budget {
+		t.Fatalf("sized allocation sums to %d, want budget %d", total, res.Budget)
+	}
+}
+
+func TestSolveEndpointErrors(t *testing.T) {
+	_, ts := startServer(t, engine.Config{}, false)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"scenario":"no-such"}`, http.StatusBadRequest},
+		{`{"arch":"twobus"}`, http.StatusBadRequest},               // missing budget
+		{`{"scenario":"twobus","bogus":1}`, http.StatusBadRequest}, // unknown field
+		{fastSolveBody + `{"again":true}`, http.StatusBadRequest},  // trailing data
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/solve", c.body)
+		var e map[string]string
+		decodeBody(t, resp, &e)
+		if resp.StatusCode != c.want || e["error"] == "" {
+			t.Fatalf("body %q: status %d (error %q), want %d with an error message", c.body, resp.StatusCode, e["error"], c.want)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := startServer(t, engine.Config{}, true)
+	postJSON(t, ts.URL+"/v1/solve", fastSolveBody).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st engine.Stats
+	decodeBody(t, resp, &st)
+	if st.Requests < 1 || st.SolveRuns < 1 {
+		t.Fatalf("stats did not count the solve: %+v", st)
+	}
+	// defaultCache=true: the solve went through the cache.
+	if st.Cache.Misses == 0 {
+		t.Fatalf("cache untouched despite default-cache: %+v", st.Cache)
+	}
+}
+
+// ndjsonLines splits a streaming response into its decoded lines.
+func ndjsonLines(t *testing.T, resp *http.Response) []map[string]json.RawMessage {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+	var out []map[string]json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBudgetSweepEndpointStreamsNDJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ts := startServer(t, engine.Config{}, false)
+	resp := postJSON(t, ts.URL+"/v1/sweep/budget",
+		`{"arch":"twobus","budgets":[24,30],"iterations":1,"seeds":[1],"horizon":400,"warmUp":50,"useCache":true}`)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	lines := ndjsonLines(t, resp)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 2 points + 1 summary: %v", len(lines), lines)
+	}
+	seen := map[int]bool{}
+	for _, l := range lines[:2] {
+		var row experiments.BudgetRow
+		if err := json.Unmarshal(l["point"], &row); err != nil {
+			t.Fatalf("point line: %v", err)
+		}
+		if row.Error != "" || row.UniformLoss <= 0 {
+			t.Fatalf("point row out of shape: %+v", row)
+		}
+		seen[row.Budget] = true
+	}
+	if !seen[24] || !seen[30] {
+		t.Fatalf("streamed budgets %v, want 24 and 30", seen)
+	}
+	var sum budgetSummary
+	if err := json.Unmarshal(lines[2]["summary"], &sum); err != nil {
+		t.Fatalf("summary line: %v", err)
+	}
+	if sum.Arch == "" || len(sum.Points) != 2 || sum.Error != "" {
+		t.Fatalf("summary out of shape: %+v", sum)
+	}
+	if sum.Plan == nil || sum.Plan.UniqueStructural == 0 {
+		t.Fatalf("cached sweep lost its plan: %+v", sum.Plan)
+	}
+}
+
+func TestBudgetSweepEndpointBadRequest(t *testing.T) {
+	_, ts := startServer(t, engine.Config{}, false)
+	resp := postJSON(t, ts.URL+"/v1/sweep/budget", `{"arch":"twobus"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty budgets: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestScenarioSweepEndpointStreamsNDJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ts := startServer(t, engine.Config{}, false)
+	resp := postJSON(t, ts.URL+"/v1/sweep/scenario",
+		`{"scenarios":["twobus"],"budget":48,"iterations":1,"seeds":[1],"horizon":400}`)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	lines := ndjsonLines(t, resp)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 1 point + 1 summary: %v", len(lines), lines)
+	}
+	var row experiments.ScenarioRow
+	if err := json.Unmarshal(lines[0]["point"], &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "twobus" || row.Budget != 48 || row.Error != "" {
+		t.Fatalf("point row out of shape: %+v", row)
+	}
+	var sum scenarioSummary
+	if err := json.Unmarshal(lines[1]["summary"], &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != 1 || sum.Error != "" {
+		t.Fatalf("summary out of shape: %+v", sum)
+	}
+}
+
+// TestSolveCoalescingHTTP is the service-level coalescing gate: concurrent
+// identical /v1/solve requests are served by exactly one underlying solve.
+// The leader's run takes seconds while follower dispatch is in-process
+// microseconds, so the followers reliably land inside the leader's flight;
+// the deterministic (hook-gated) variant lives in internal/engine.
+func TestSolveCoalescingHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const followers = 7
+	eng, ts := startServer(t, engine.Config{}, false)
+	// netproc at iterations 1 runs for seconds — a wide coalescing window.
+	body := `{"scenario":"netproc","iterations":1,"seeds":[1],"horizon":400,"warmUp":50}`
+
+	type outcome struct {
+		status int
+		res    engine.SolveResult
+	}
+	results := make(chan outcome, followers+1)
+	run := func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			results <- outcome{}
+			return
+		}
+		var res engine.SolveResult
+		json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		results <- outcome{resp.StatusCode, res}
+	}
+	go run() // leader
+	waitFor(t, "leader in flight", func() bool { return eng.Stats().InFlight == 1 })
+	for i := 0; i < followers; i++ {
+		go run()
+	}
+
+	var first *engine.SolveResult
+	for i := 0; i < followers+1; i++ {
+		out := <-results
+		if out.status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, out.status)
+		}
+		if first == nil {
+			first = &out.res
+		} else if out.res.SizedLoss != first.SizedLoss || out.res.UniformLoss != first.UniformLoss {
+			t.Fatalf("coalesced responses diverge: %+v vs %+v", out.res, first)
+		}
+	}
+	if s := eng.Stats(); s.SolveRuns != 1 || s.Coalesced != followers {
+		t.Fatalf("stats = %+v, want exactly 1 solve run and %d coalesced", s, followers)
+	}
+}
+
+// TestServerShutdownCancelsInFlightSweep is the drain gate, run under -race
+// in CI: engine shutdown cancels an in-flight streaming sweep, the HTTP
+// response completes, and no goroutines are leaked.
+func TestServerShutdownCancelsInFlightSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := runtime.NumGoroutine()
+	eng := engine.New(engine.Config{})
+	ts := httptest.NewServer(newHandler(eng, false))
+
+	budgets := make([]string, 50)
+	for i := range budgets {
+		budgets[i] = fmt.Sprint(24 + i)
+	}
+	body := `{"arch":"twobus","budgets":[` + strings.Join(budgets, ",") +
+		`],"iterations":1,"seeds":[1],"horizon":400,"warmUp":50,"workers":1}`
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sweep/budget", "application/json", strings.NewReader(body))
+		if err != nil {
+			done <- err
+			return
+		}
+		// Drain the stream to its end: the server must terminate it.
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- err
+	}()
+	waitFor(t, "sweep in flight", func() bool { return eng.Stats().InFlight == 1 })
+
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eng.Shutdown(sctx); err != nil {
+		t.Fatalf("engine shutdown did not drain: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("client stream ended badly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep response did not complete after shutdown")
+	}
+
+	// The drained engine rejects new work with backpressure while the
+	// listener is still up.
+	resp := postJSON(t, ts.URL+"/v1/solve", fastSolveBody)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown status %d, want 503", resp.StatusCode)
+	}
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	// Everything the request spawned must unwind.
+	waitFor(t, "goroutines drained", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+2
+	})
+}
+
+// TestDrainedSolveReturns503: a solve cancelled mid-flight by engine
+// shutdown is backpressure (503 + Retry-After), not a 500 — draining is
+// retryable against the next instance.
+func TestDrainedSolveReturns503(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng, ts := startServer(t, engine.Config{}, false)
+	done := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+			strings.NewReader(`{"scenario":"netproc","iterations":1,"seeds":[1],"horizon":400,"warmUp":50}`))
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- resp
+	}()
+	waitFor(t, "solve in flight", func() bool { return eng.Stats().InFlight == 1 })
+
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eng.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	resp := <-done
+	if resp == nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained solve: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drained solve: 503 without Retry-After")
+	}
+}
+
+// TestBusyBackpressure: with max-inflight 1, a second concurrent request
+// gets 503 + Retry-After while the first is running.
+func TestBusyBackpressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng, ts := startServer(t, engine.Config{MaxInFlight: 1}, false)
+	occupant := make(chan struct{})
+	go func() {
+		defer close(occupant)
+		postJSON(t, ts.URL+"/v1/solve", `{"scenario":"netproc","iterations":1,"seeds":[1],"horizon":400,"warmUp":50}`).Body.Close()
+	}()
+	waitFor(t, "occupant in flight", func() bool { return eng.Stats().InFlight == 1 })
+
+	resp := postJSON(t, ts.URL+"/v1/solve", fastSolveBody)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	<-occupant
+	if s := eng.Stats(); s.Busy != 1 {
+		t.Fatalf("busy counter = %d, want 1", s.Busy)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

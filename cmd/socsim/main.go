@@ -1,118 +1,73 @@
 // Command socsim runs the continuous-time discrete-event simulator alone,
-// under a chosen sizing policy and optional timeout drops.
+// under a chosen sizing policy and optional timeout drops — a thin client of
+// internal/engine's simulate endpoint.
 //
 //	socsim -arch netproc -budget 160 -policy proportional -timeout 0 -seed 1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"socbuf/internal/arch"
-	"socbuf/internal/policy"
+	"socbuf/internal/cliutil"
+	"socbuf/internal/engine"
 	"socbuf/internal/report"
-	"socbuf/internal/sim"
 )
 
 func main() {
 	var (
-		name    = flag.String("arch", "netproc", "preset: figure1 | twobus | netproc")
+		name    = flag.String("arch", "netproc", "preset: "+cliutil.PresetNames)
 		budget  = flag.Int("budget", 160, "total buffer budget in units")
 		pol     = flag.String("policy", "constant", "sizing policy: constant | proportional")
 		horizon = flag.Float64("horizon", 2000, "sim horizon")
 		warm    = flag.Float64("warmup", 100, "warm-up time")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		timeout = flag.Float64("timeout", 0, "timeout threshold (0 disables; -1 derives the mean-residence threshold)")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of a table")
 	)
 	flag.Parse()
 
-	var a *arch.Architecture
-	switch *name {
-	case "figure1":
-		a = arch.Figure1()
-	case "twobus":
-		a = arch.TwoBusAMBA()
-	case "netproc":
-		a = arch.NetworkProcessor()
-	default:
-		fmt.Fprintf(os.Stderr, "socsim: unknown architecture %q\n", *name)
-		os.Exit(2)
-	}
-	a.InsertBridgeBuffers()
-
-	var sizer policy.Sizer
-	switch *pol {
-	case "constant":
-		sizer = policy.Uniform{}
-	case "proportional":
-		sizer = policy.Proportional{}
-	default:
-		fmt.Fprintf(os.Stderr, "socsim: unknown policy %q\n", *pol)
-		os.Exit(2)
-	}
-	alloc, err := sizer.Allocate(a, *budget)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "socsim:", err)
-		os.Exit(1)
-	}
-
-	thr := *timeout
-	if thr < 0 {
-		calib, err := sim.New(sim.Config{Arch: a, Alloc: alloc, Horizon: *horizon, WarmUp: *warm, Seed: *seed})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "socsim:", err)
-			os.Exit(1)
-		}
-		cr, err := calib.Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "socsim:", err)
-			os.Exit(1)
-		}
-		thr, err = policy.TimeoutThreshold(cr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "socsim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("derived timeout threshold: %.4f\n", thr)
-	}
-
-	s, err := sim.New(sim.Config{
-		Arch: a, Alloc: alloc, Horizon: *horizon, WarmUp: *warm, Seed: *seed, Timeout: thr,
+	eng := engine.New(engine.Config{})
+	defer eng.Close()
+	res, err := eng.Simulate(context.Background(), engine.SimulateRequest{
+		Arch:    *name,
+		Budget:  *budget,
+		Policy:  *pol,
+		Horizon: *horizon,
+		WarmUp:  *warm,
+		Seed:    *seed,
+		Timeout: *timeout,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "socsim:", err)
-		os.Exit(1)
-	}
-	r, err := s.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "socsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
+	if *asJSON {
+		cliutil.PrintJSON("socsim", res)
+		return
+	}
+
+	if *timeout < 0 {
+		fmt.Printf("derived timeout threshold: %.4f\n", res.DerivedTimeout)
+	}
 	fmt.Printf("%s under %s sizing, budget %d, horizon %.0f, seed %d\n",
-		a.Name, sizer.Name(), *budget, *horizon, *seed)
-	fmt.Printf("generated %d, delivered %d, lost %d (%.2f%%), timeout drops %s\n",
-		r.TotalGenerated(), r.TotalDelivered(), r.TotalLost(), r.LossFraction()*100, timeoutSummary(r))
+		res.Arch, res.Policy, *budget, *horizon, *seed)
+	fmt.Printf("generated %d, delivered %d, lost %d (%.2f%%), timeout drops %d\n",
+		res.Generated, res.Delivered, res.Lost, res.LossFraction*100, res.TimeoutDrops)
 
 	headers := []string{"processor", "generated", "delivered", "lost", "timeout"}
 	var rows [][]string
-	for _, p := range report.SortedKeys(r.Generated) {
+	for _, p := range res.PerProc {
 		rows = append(rows, []string{
-			p, fmt.Sprint(r.Generated[p]), fmt.Sprint(r.Delivered[p]),
-			fmt.Sprint(r.Lost[p]), fmt.Sprint(r.LostTimeout[p]),
+			p.Proc, fmt.Sprint(p.Generated), fmt.Sprint(p.Delivered),
+			fmt.Sprint(p.Lost), fmt.Sprint(p.Timeout),
 		})
 	}
 	if err := report.Table(os.Stdout, headers, rows); err != nil {
-		fmt.Fprintln(os.Stderr, "socsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }
 
-func timeoutSummary(r *sim.Results) string {
-	var t int64
-	for _, v := range r.LostTimeout {
-		t += v
-	}
-	return fmt.Sprint(t)
-}
+func fatal(err error) { cliutil.Fatal("socsim", err) }

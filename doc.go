@@ -32,7 +32,13 @@
 //   - internal/experiments                — regeneration of Figure 3,
 //     Table 1, the §2 demo and the §3 headline ratios, plus the parallel
 //     budget- and scenario-sweep engines and the sweep planner that
-//     fingerprints points up front and prewarms the cache.
+//     fingerprints points up front and prewarms the cache;
+//   - internal/engine, internal/cliutil   — the unified solve service
+//     behind every entry point (typed solve/sweep/simulate requests,
+//     coalescing, bounded admission, per-request cancellation, graceful
+//     drain — DESIGN.md §5) and the flag wiring the CLI clients share;
+//     cmd/socbufd serves the same API over HTTP with NDJSON sweep
+//     streaming.
 //
 // Stationary distributions of policy-induced chains are solved through two
 // interchangeable paths: an exact dense LU solve for small state spaces and
@@ -49,4 +55,4 @@
 package socbuf
 
 // Version identifies the reproduction release.
-const Version = "1.2.0"
+const Version = "1.3.0"

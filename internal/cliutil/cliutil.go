@@ -1,0 +1,108 @@
+// Package cliutil holds the flag wiring shared by the CLIs (cmd/socbuf,
+// cmd/experiments, cmd/socsim, cmd/socbufd). Before this package existed,
+// the -parallel/-cache/-cache-stats group was copied per CLI and had
+// drifted — only one binary validated the worker count. The CLIs stay thin:
+// they parse flags with these helpers and hand typed requests to
+// internal/engine.
+package cliutil
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"socbuf/internal/engine"
+)
+
+// CommonFlags is the flag group every solve-capable CLI shares.
+type CommonFlags struct {
+	// Parallel bounds the worker pool (0 = GOMAXPROCS, 1 = serial).
+	Parallel int
+	// Cache shares one solve cache across everything the invocation runs.
+	Cache bool
+	// CacheStats prints the cache counters at the end (implies Cache).
+	CacheStats bool
+	// JSON selects machine-readable output for sweep results.
+	JSON bool
+}
+
+// AddCommonFlags registers the shared -parallel/-cache/-cache-stats/-json
+// group on fs (the default CommandLine set when fs is nil).
+func AddCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &CommonFlags{}
+	fs.IntVar(&c.Parallel, "parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	fs.BoolVar(&c.Cache, "cache", false, "share a solve cache across all solves (sweeps prewarm it)")
+	fs.BoolVar(&c.CacheStats, "cache-stats", false, "print solve-cache hit/miss/warm-start counters (implies -cache)")
+	fs.BoolVar(&c.JSON, "json", false, "emit sweep results as JSON instead of a table")
+	return c
+}
+
+// Validate normalises the group after parsing: a negative worker count is
+// rejected uniformly (previously only one CLI checked it), and -cache-stats
+// implies -cache.
+func (c *CommonFlags) Validate() error {
+	if c.Parallel < 0 {
+		return fmt.Errorf("cliutil: -parallel %d is negative; use 0 for GOMAXPROCS or a count >= 1", c.Parallel)
+	}
+	if c.CacheStats {
+		c.Cache = true
+	}
+	return nil
+}
+
+// UseCache reports whether the invocation asked for the solve cache.
+func (c *CommonFlags) UseCache() bool { return c.Cache || c.CacheStats }
+
+// SetFlags returns the names of the flags the user passed explicitly on fs
+// (nil = the default CommandLine set) — the CLIs' "explicit flags override
+// scenario values" device.
+func SetFlags(fs *flag.FlagSet) map[string]bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// Fatal prints err prefixed with the program name and exits — the shared
+// CLI error epilogue. Usage-class failures (engine.ErrInvalidRequest:
+// unknown preset/scenario/policy, conflicting fields…) exit 2, matching the
+// flag package's usage-error convention and the pre-engine CLIs' unknown
+// -arch/-policy paths; runtime failures exit 1.
+func Fatal(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	if errors.Is(err, engine.ErrInvalidRequest) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// StatsWriter keeps stdout machine-readable under -json: side tables (cache
+// stats) move to stderr; table mode keeps them on stdout.
+func (c *CommonFlags) StatsWriter() io.Writer {
+	if c.JSON {
+		return os.Stderr
+	}
+	return os.Stdout
+}
+
+// PrintJSON writes v to stdout as one indented JSON document, exiting
+// through Fatal on failure — the CLIs' shared -json printer.
+func PrintJSON(prog string, v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		Fatal(prog, err)
+	}
+}
+
+// PresetNames documents the architecture presets the engine resolves, for
+// flag help strings.
+const PresetNames = "figure1 | twobus | netproc"

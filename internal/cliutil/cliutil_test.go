@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestCommonFlagsValidate(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := AddCommonFlags(fs)
+	if err := fs.Parse([]string{"-parallel", "-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	c = AddCommonFlags(fs)
+	if err := fs.Parse([]string{"-cache-stats"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Cache || !c.UseCache() {
+		t.Fatal("-cache-stats did not imply -cache")
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	c = AddCommonFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if c.UseCache() || c.JSON {
+		t.Fatal("defaults enabled opt-in features")
+	}
+}
+
+func TestSetFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.Int("budget", 160, "")
+	fs.Int("iters", 10, "")
+	if err := fs.Parse([]string{"-budget", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	set := SetFlags(fs)
+	if !set["budget"] || set["iters"] {
+		t.Fatalf("set flags = %v", set)
+	}
+}

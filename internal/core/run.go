@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -66,6 +67,19 @@ func (r *Result) Improvement() float64 {
 
 // Run executes the methodology.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// between methodology iterations and boundary solves, and threaded into the
+// per-seed evaluation fan-out, so a cancelled run returns promptly (wrapping
+// ctx.Err()) instead of finishing its remaining iterations. Work already in
+// flight on worker goroutines completes before RunCtx returns — nothing is
+// abandoned.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -95,7 +109,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.BaselineLoss, res.BaselineLossByProc, err = evaluate(a, res.BaselineAlloc, nil, cfg)
+	res.BaselineLoss, res.BaselineLossByProc, err = evaluate(ctx, a, res.BaselineAlloc, nil, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +121,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for it := 0; it < cfg.Iterations; it++ {
-		sol, models, err := solveWithBoundary(a, alloc, bnd, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+		}
+		sol, models, err := solveWithBoundary(ctx, a, alloc, bnd, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
@@ -152,7 +169,7 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 			}
 		}
-		loss, byProc, err := evaluate(a, newAlloc, makeArbiters, cfg)
+		loss, byProc, err := evaluate(ctx, a, newAlloc, makeArbiters, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
@@ -190,12 +207,16 @@ func Run(cfg Config) (*Result, error) {
 
 // solveWithBoundary runs the bridge-boundary fixed point: free joint solves
 // refresh the boundary scalars, then a final (optionally capped) solve
-// produces the measure used for translation.
-func solveWithBoundary(a *arch.Architecture, alloc arch.Allocation, bnd *boundary, cfg Config) (*ctmdp.JointSolution, []*ctmdp.Model, error) {
+// produces the measure used for translation. The context is checked between
+// boundary iterations — each individual LP solve runs to completion.
+func solveWithBoundary(ctx context.Context, a *arch.Architecture, alloc arch.Allocation, bnd *boundary, cfg Config) (*ctmdp.JointSolution, []*ctmdp.Model, error) {
 	var sol *ctmdp.JointSolution
 	var models []*ctmdp.Model
 	var err error
 	for bi := 0; bi < cfg.BoundaryIters; bi++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		models, err = buildModels(a, alloc, bnd, cfg)
 		if err != nil {
 			return nil, nil, err
@@ -268,8 +289,8 @@ func buildArbiters(a *arch.Architecture, sol *ctmdp.JointSolution, alloc arch.Al
 // buffer, RoundRobin's cursor), so concurrent simulations must not share
 // instances. cfg.Traffic, when set, is likewise invoked once per seed so
 // every simulation gets fresh Source instances (trace.OnOff is stateful).
-func evaluate(a *arch.Architecture, alloc arch.Allocation, makeArbiters func() (map[string]sim.Arbiter, error), cfg Config) (int64, map[string]int64, error) {
-	perSeed, err := parallel.Map(len(cfg.Seeds), cfg.Workers, func(i int) (*sim.Results, error) {
+func evaluate(ctx context.Context, a *arch.Architecture, alloc arch.Allocation, makeArbiters func() (map[string]sim.Arbiter, error), cfg Config) (int64, map[string]int64, error) {
+	perSeed, err := parallel.MapCtx(ctx, len(cfg.Seeds), cfg.Workers, func(i int) (*sim.Results, error) {
 		var arbiters map[string]sim.Arbiter
 		if makeArbiters != nil {
 			var err error

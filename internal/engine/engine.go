@@ -1,0 +1,349 @@
+// Package engine is the unified solve service behind every entry point of
+// the repository: one long-lived Engine owns the shared solve cache
+// (internal/solvecache), the worker-pool bound, request coalescing and
+// cancellation, and answers typed requests — single methodology solves,
+// budget sweeps, scenario sweeps, and plain simulator runs. The CLIs
+// (cmd/socbuf, cmd/experiments, cmd/socsim) and the HTTP service
+// (cmd/socbufd) are thin clients; the engine is the only place that composes
+// scenario → architecture → solve → report.
+//
+// Request lifecycle (DESIGN.md §5 records the full contract):
+//
+//  1. admission — a closed engine rejects with ErrClosed; when
+//     Config.MaxInFlight is set and that many requests are already
+//     executing, admission fails fast with ErrBusy (callers translate to
+//     backpressure, e.g. HTTP 503);
+//  2. coalescing (Solve only) — concurrent identical requests, keyed by a
+//     content-addressed fingerprint of the normalised request, share one
+//     underlying methodology run: the first arrival registers a flight that
+//     executes on its own goroutine, later arrivals join it, and all receive
+//     the same *SolveResult (immutable once published — treat as read-only).
+//     Waiters are refcounted: the run is cancelled only when the last one
+//     leaves, so one disconnecting client never fails its coalesced peers;
+//  3. execution — the request runs under a context derived from BOTH the
+//     caller's context and the engine's lifetime, so either a client
+//     disconnect or Shutdown cancels it; cancellation threads down through
+//     experiments → core → internal/parallel, which never abandons
+//     goroutines;
+//  4. completion — results come back typed (SolveResult, BudgetSweepResult,
+//     …) with machine-readable JSON shapes, and sweep requests can stream
+//     per-point rows as they complete via their OnRow hooks.
+//
+// Determinism: the engine adds no scheduling of its own — it delegates to
+// the same experiments/core code paths the CLIs called before it existed, so
+// engine-path results are identical to the direct-path results for every
+// worker count (TestEngineSolveMatchesDirectPath pins this).
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"socbuf/internal/solvecache"
+)
+
+// ErrBusy is returned when Config.MaxInFlight requests are already executing
+// and a new one arrives. The request was not started; retrying later is
+// safe.
+var ErrBusy = errors.New("engine: too many in-flight requests")
+
+// ErrClosed is returned by requests that arrive at (or are coalesced into)
+// an engine that has been shut down.
+var ErrClosed = errors.New("engine: shut down")
+
+// ErrInvalidRequest tags request-normalisation failures (unknown scenario or
+// preset, conflicting fields, missing budget…), so service layers can
+// distinguish caller mistakes (HTTP 400) from solver failures (HTTP 500).
+// Match with errors.Is.
+var ErrInvalidRequest = errors.New("invalid request")
+
+// Config parameterises a new Engine. The zero value is usable: fresh cache,
+// GOMAXPROCS workers, no in-flight bound.
+type Config struct {
+	// Workers is the default worker-pool bound for requests that do not set
+	// their own (0 = GOMAXPROCS, 1 = serial). Per-request Workers fields
+	// override it.
+	Workers int
+	// MaxInFlight bounds concurrently executing requests; 0 means unbounded.
+	// Requests beyond the bound fail fast with ErrBusy rather than queueing
+	// — the service layer turns that into backpressure. Coalesced followers
+	// do not consume slots (they wait on the leader's flight).
+	MaxInFlight int
+	// Cache, when non-nil, is adopted instead of a fresh solve cache. All
+	// requests with UseCache set share the engine's cache fleet-wide. An
+	// adopted cache is never rotated (the caller owns its lifetime).
+	Cache *solvecache.Cache
+	// MaxCacheEntries bounds an engine-owned cache in a long-lived process:
+	// when the stored solution count exceeds it, the cache is swapped for a
+	// fresh one after the current request ends (solvecache itself is
+	// unbounded by design — fine for one sweep, not for a server fed
+	// client-chosen inline architectures forever). Rotation is safe: cached
+	// payloads are pure functions of their fingerprints, so dropping them
+	// costs warm starts, never correctness. 0 means unbounded; ignored for
+	// adopted caches.
+	MaxCacheEntries int
+}
+
+// Engine is the long-lived solve service. Create with New; an Engine must
+// not be copied. All methods are safe for concurrent use.
+type Engine struct {
+	cache      *solvecache.Cache // guarded by mu (rotation swaps it)
+	ownsCache  bool
+	cacheLimit int
+	workers    int
+	sem        chan struct{} // nil = unbounded
+
+	baseCtx context.Context // cancelled on Shutdown; every request derives from it
+	cancel  context.CancelFunc
+
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup     // in-flight requests
+	flights map[string]*flight // coalescing table, keyed by request fingerprint
+
+	requests   atomic.Int64
+	coalesced  atomic.Int64
+	rotCounter atomic.Int64 // amortises the cache-rotation size scan
+	solveRuns  atomic.Int64
+	sweepRuns  atomic.Int64
+	simRuns    atomic.Int64
+	busy       atomic.Int64
+	inFlight   atomic.Int64
+
+	// testHookLeaderSolve, when non-nil, runs in the flight leader after the
+	// flight is registered and before the underlying solve starts. Tests use
+	// it to hold a flight open deterministically while followers attach.
+	testHookLeaderSolve func()
+}
+
+// flight is one in-progress coalesced solve. done is closed exactly once,
+// after res/err are set; both are immutable afterwards. The flight runs on
+// its own goroutine under its own context, with the waiters refcounted: it
+// is cancelled only when every interested request has gone away (or the
+// engine shuts down), so one disconnecting client never fails its coalesced
+// peers.
+type flight struct {
+	done chan struct{}
+	res  *SolveResult
+	err  error
+
+	mu      sync.Mutex
+	waiters int
+	ctx     context.Context
+	cancel  context.CancelFunc
+}
+
+// newFlight builds a flight with its creator already registered as a waiter.
+func newFlight() *flight {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &flight{done: make(chan struct{}), waiters: 1, ctx: ctx, cancel: cancel}
+}
+
+// join registers one more waiter. It refuses (returns false) when the last
+// waiter already left — the flight's context is cancelled and it is about
+// to publish a spurious cancellation, so a live request must start a fresh
+// flight instead of inheriting the dying one.
+func (f *flight) join() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.waiters == 0 {
+		return false
+	}
+	f.waiters++
+	return true
+}
+
+// leave unregisters a waiter that stopped waiting. When the last waiter
+// leaves before completion, the flight's context is cancelled — the solve
+// stops doing work nobody wants.
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	if f.waiters == 0 {
+		f.cancel()
+	}
+	f.mu.Unlock()
+}
+
+// New builds an Engine from cfg.
+func New(cfg Config) *Engine {
+	cache, owns := cfg.Cache, false
+	if cache == nil {
+		cache, owns = solvecache.New(), true
+	}
+	var sem chan struct{}
+	if cfg.MaxInFlight > 0 {
+		sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Engine{
+		cache:      cache,
+		ownsCache:  owns,
+		cacheLimit: cfg.MaxCacheEntries,
+		workers:    cfg.Workers,
+		sem:        sem,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		flights:    map[string]*flight{},
+	}
+}
+
+// Cache exposes the engine's current solve cache (for stats reporting;
+// callers must not mutate it structurally). A bounded engine-owned cache
+// may be rotated between requests, so hold the returned pointer only
+// briefly.
+func (e *Engine) Cache() *solvecache.Cache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache
+}
+
+// maybeRotateCache swaps a full engine-owned cache for a fresh one (see
+// Config.MaxCacheEntries). Requests already holding the old cache finish on
+// it; the swap is invisible to correctness because cached payloads are pure
+// functions of their keys.
+//
+// Counting stored solutions is an O(cache-size) scan under the cache lock
+// (Stats deduplicates promoted keys), so the check is amortised: it runs
+// once every limit/8 request completions rather than on every one, making
+// the bound approximate — the cache can overshoot by the entries of a few
+// hundred requests before the next check trips — in exchange for keeping
+// the request hot path O(1).
+func (e *Engine) maybeRotateCache() {
+	if !e.ownsCache || e.cacheLimit <= 0 {
+		return
+	}
+	every := int64(e.cacheLimit/8) + 1
+	if e.rotCounter.Add(1)%every != 0 {
+		return
+	}
+	c := e.Cache()
+	s := c.Stats()
+	if s.Entries+s.JointEntries <= e.cacheLimit {
+		return
+	}
+	e.mu.Lock()
+	if e.cache == c {
+		e.cache = solvecache.New()
+	}
+	e.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the engine counters plus the owned
+// cache's counters. The JSON shape is served verbatim by socbufd /v1/stats.
+type Stats struct {
+	// Requests counts every API request received, coalesced followers
+	// included — even ones later rejected by admission (Busy tracks those)
+	// or failed by validation.
+	Requests int64 `json:"requests"`
+	// Coalesced counts solve requests served by another request's flight
+	// instead of their own methodology run.
+	Coalesced int64 `json:"coalesced"`
+	// SolveRuns / SweepRuns / SimRuns count underlying executions — a
+	// request that failed validation or admission never counts here. A
+	// coalesced burst of N identical solves is N requests, N−1 coalesced,
+	// and exactly 1 solve run.
+	SolveRuns int64 `json:"solveRuns"`
+	SweepRuns int64 `json:"sweepRuns"`
+	SimRuns   int64 `json:"simRuns"`
+	// Busy counts requests rejected by the in-flight bound.
+	Busy int64 `json:"busyRejections"`
+	// InFlight is the number of currently executing requests.
+	InFlight int64 `json:"inFlight"`
+	// Cache is the owned solve cache's counter snapshot.
+	Cache solvecache.Stats `json:"cache"`
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:  e.requests.Load(),
+		Coalesced: e.coalesced.Load(),
+		SolveRuns: e.solveRuns.Load(),
+		SweepRuns: e.sweepRuns.Load(),
+		SimRuns:   e.simRuns.Load(),
+		Busy:      e.busy.Load(),
+		InFlight:  e.inFlight.Load(),
+		Cache:     e.Cache().Stats(),
+	}
+}
+
+// begin admits one request: closed check, in-flight slot, and a request
+// context derived from both the caller's ctx and the engine lifetime. The
+// returned end func releases everything and must be called exactly once
+// (it is idempotent).
+func (e *Engine) begin(ctx context.Context) (context.Context, func(), error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	if e.sem != nil {
+		select {
+		case e.sem <- struct{}{}:
+		default:
+			e.mu.Unlock()
+			e.busy.Add(1)
+			return nil, nil, ErrBusy
+		}
+	}
+	// wg.Add under the same lock as the closed check, so Shutdown's Wait
+	// cannot slip between admission and registration.
+	e.wg.Add(1)
+	e.mu.Unlock()
+
+	e.inFlight.Add(1)
+	rctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(e.baseCtx, cancel) // shutdown cancels the request
+	var once sync.Once
+	end := func() {
+		once.Do(func() {
+			stop()
+			cancel()
+			if e.sem != nil {
+				<-e.sem
+			}
+			e.inFlight.Add(-1)
+			e.maybeRotateCache()
+			e.wg.Done()
+		})
+	}
+	return rctx, end, nil
+}
+
+// Shutdown gracefully stops the engine: new requests are rejected with
+// ErrClosed, every in-flight request's context is cancelled (cancellation
+// threads down to the sweep workers, which finish their current point and
+// exit), and Shutdown blocks until all requests have returned or ctx
+// expires. Idempotent.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		e.cancel()
+	}
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown with no deadline.
+func (e *Engine) Close() error { return e.Shutdown(context.Background()) }

@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/experiments"
+	"socbuf/internal/scenario"
+)
+
+// SolveRequest asks for one methodology run — the paper's pure function from
+// (architecture, traffic, budget) to a sizing policy. Exactly one of
+// Scenario, Arch or ArchJSON selects the architecture:
+//
+//   - Scenario names a registry scenario; its topology, traffic model and
+//     solver knobs apply, and any non-zero request field overrides the
+//     scenario's own value (the CLI's explicit-flags-win semantics);
+//   - Arch names a preset ("figure1" | "twobus" | "netproc"; empty defaults
+//     to "netproc"); Budget is then required;
+//   - ArchJSON carries an inline architecture in the arch.ReadJSON format.
+//
+// The JSON shape of this struct is the /v1/solve request body.
+type SolveRequest struct {
+	Scenario string          `json:"scenario,omitempty"`
+	Arch     string          `json:"arch,omitempty"`
+	ArchJSON json.RawMessage `json:"archJSON,omitempty"`
+
+	Budget     int     `json:"budget,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Seeds      []int64 `json:"seeds,omitempty"`
+	Horizon    float64 `json:"horizon,omitempty"`
+	WarmUp     float64 `json:"warmUp,omitempty"`
+	// Refine enables the post-LP stationary refinement
+	// (core.Config.RefineStationary).
+	Refine bool `json:"refine,omitempty"`
+	// Workers bounds this request's worker pool (0 inherits the engine
+	// default). Results are identical for every worker count.
+	Workers int `json:"workers,omitempty"`
+	// UseCache routes every solve through the engine's shared cache.
+	UseCache bool `json:"useCache,omitempty"`
+}
+
+// key is the coalescing fingerprint: a content-addressed hash of the
+// request's canonical JSON serialisation (struct field order is fixed, so
+// the encoding is deterministic). Two requests with equal keys ask for the
+// same mathematical problem under the same options and may share one
+// underlying run — the request-level analogue of the solvecache fingerprint
+// contract (DESIGN.md §4), with the finer-grained sub-model dedup still
+// happening inside solvecache for cache-enabled requests.
+//
+// Two identities are normalised before hashing: the default preset name is
+// made explicit (an empty arch selection IS "netproc", so {"budget":160}
+// and {"arch":"netproc","budget":160} coalesce), and the worker bound is
+// dropped (results are identical for every worker count by the repo-wide
+// contract, so requests differing only there may share a run). Everything
+// else — including UseCache, which can move results at roundoff level — is
+// identity.
+func (r SolveRequest) key() string {
+	k := r
+	if k.Scenario == "" && len(k.ArchJSON) == 0 && k.Arch == "" {
+		k.Arch = "netproc"
+	}
+	k.Workers = 0
+	b, err := json.Marshal(k)
+	if err != nil {
+		// Unreachable: the struct contains only marshalable fields. Fall
+		// back to a never-coalescing sentinel rather than panicking.
+		return fmt.Sprintf("unkeyed:%p", &r)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// solveMeta carries the scenario identity a solve ran under, for the result.
+type solveMeta struct {
+	scenario, topology, traffic string
+}
+
+// invalidf builds an ErrInvalidRequest-tagged error.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("engine: %w: %s", ErrInvalidRequest, fmt.Sprintf(format, args...))
+}
+
+// coreConfig normalises the request into a methodology configuration,
+// applying the scenario-override semantics.
+func (r SolveRequest) coreConfig() (core.Config, solveMeta, error) {
+	var meta solveMeta
+	if r.Scenario != "" {
+		if r.Arch != "" || len(r.ArchJSON) > 0 {
+			return core.Config{}, meta, invalidf("scenario %q cannot be combined with arch/archJSON", r.Scenario)
+		}
+		sc, ok := scenario.Get(r.Scenario)
+		if !ok {
+			return core.Config{}, meta, invalidf("unknown scenario %q (have %v)", r.Scenario, scenario.Names())
+		}
+		cfg, err := sc.CoreConfig()
+		if err != nil {
+			return core.Config{}, meta, err
+		}
+		meta = solveMeta{scenario: sc.Name, topology: sc.Topology.String(), traffic: sc.Traffic.String()}
+		// Non-zero request fields override the scenario's own values.
+		if r.Budget > 0 {
+			cfg.Budget = r.Budget
+		}
+		if r.Iterations > 0 {
+			cfg.Iterations = r.Iterations
+		}
+		if len(r.Seeds) > 0 {
+			cfg.Seeds = r.Seeds
+		}
+		if r.Horizon > 0 {
+			cfg.Horizon = r.Horizon
+		}
+		if r.WarmUp > 0 {
+			cfg.WarmUp = r.WarmUp
+		}
+		cfg.RefineStationary = r.Refine
+		cfg.Workers = r.Workers
+		return cfg, meta, nil
+	}
+
+	a, err := resolveArch(r.Arch, r.ArchJSON)
+	if err != nil {
+		return core.Config{}, meta, err
+	}
+	return core.Config{
+		Arch:             a,
+		Budget:           r.Budget,
+		Iterations:       r.Iterations,
+		Seeds:            r.Seeds,
+		Horizon:          r.Horizon,
+		WarmUp:           r.WarmUp,
+		RefineStationary: r.Refine,
+		Workers:          r.Workers,
+	}, meta, nil
+}
+
+// resolveArch builds the requested architecture: an inline JSON definition,
+// or a preset by name (empty = the network processor, the CLI default).
+func resolveArch(name string, raw json.RawMessage) (*arch.Architecture, error) {
+	if len(raw) > 0 {
+		if name != "" {
+			return nil, invalidf("arch %q and archJSON are mutually exclusive", name)
+		}
+		a, err := arch.ReadJSON(bytes.NewReader(raw))
+		if err != nil {
+			return nil, invalidf("archJSON: %v", err)
+		}
+		return a, nil
+	}
+	switch name {
+	case "", "netproc":
+		return arch.NetworkProcessor(), nil
+	case "figure1":
+		return arch.Figure1(), nil
+	case "twobus":
+		return arch.TwoBusAMBA(), nil
+	default:
+		return nil, invalidf("unknown architecture %q (presets: figure1, twobus, netproc)", name)
+	}
+}
+
+// AllocRow is one buffer's uniform-vs-sized allocation in a SolveResult.
+type AllocRow struct {
+	Buffer  string `json:"buffer"`
+	Uniform int    `json:"uniform"`
+	Sized   int    `json:"sized"`
+}
+
+// SolveResult is the typed outcome of one methodology run — everything the
+// socbuf CLI prints, in machine-readable form (the /v1/solve response body).
+// Results published by the engine are immutable: coalesced requests share
+// one instance.
+type SolveResult struct {
+	Arch     string `json:"arch"`
+	Scenario string `json:"scenario,omitempty"`
+	Topology string `json:"topology,omitempty"`
+	Traffic  string `json:"traffic,omitempty"`
+	Budget   int    `json:"budget"`
+	// Iterations is the number of methodology iterations that ran.
+	Iterations int `json:"iterations"`
+	// Subsystems counts the linear subsystems after buffer insertion.
+	Subsystems int `json:"subsystems"`
+	// UniformLoss and SizedLoss are the total simulated losses before/after
+	// CTMDP sizing; Improvement is 1 − sized/uniform.
+	UniformLoss int64   `json:"uniformLoss"`
+	SizedLoss   int64   `json:"sizedLoss"`
+	Improvement float64 `json:"improvement"`
+	// BestIteration is the index of the winning iteration.
+	BestIteration    int  `json:"bestIteration"`
+	CapBinding       bool `json:"capBinding"`
+	RandomisedStates int  `json:"randomisedStates"`
+	// Alloc pairs every buffer's uniform and sized capacity, sorted by
+	// buffer ID.
+	Alloc []AllocRow `json:"alloc"`
+}
+
+// BudgetSweepRequest fans the methodology across budgets on one architecture
+// (engine analogue of `socbuf -sweep` / `experiments -sweep`). Arch/ArchJSON
+// follow the SolveRequest rules. The JSON shape is the /v1/sweep/budget
+// request body.
+type BudgetSweepRequest struct {
+	Arch     string          `json:"arch,omitempty"`
+	ArchJSON json.RawMessage `json:"archJSON,omitempty"`
+	Budgets  []int           `json:"budgets"`
+
+	Iterations int     `json:"iterations,omitempty"`
+	Seeds      []int64 `json:"seeds,omitempty"`
+	Horizon    float64 `json:"horizon,omitempty"`
+	WarmUp     float64 `json:"warmUp,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	// UseCache shares the engine cache across all points and plans/prewarms
+	// the sweep first (experiments.CachedBudgetSweep).
+	UseCache bool `json:"useCache,omitempty"`
+
+	// OnRow, when non-nil, receives each point's row as it completes —
+	// completion order, from worker goroutines (the callback must be safe
+	// for concurrent use). socbufd streams NDJSON through it. Not part of
+	// the wire shape.
+	OnRow func(experiments.BudgetRow) `json:"-"`
+}
+
+// BudgetSweepResult pairs the sweep outcome with the plan that prewarmed it
+// (nil when the request did not use the cache).
+type BudgetSweepResult struct {
+	ArchName string
+	Sweep    *experiments.BudgetSweepResult
+	Plan     *experiments.SweepPlan
+}
+
+// ScenarioSweepRequest fans the methodology over registry scenarios (engine
+// analogue of `experiments scenario-sweep`). Empty Scenarios means the whole
+// registry. Non-zero override fields replace every scenario's own value;
+// Quick additionally trims iterations/seeds/horizon to the smoke settings
+// for scenarios without explicit overrides. The JSON shape is the
+// /v1/sweep/scenario request body.
+type ScenarioSweepRequest struct {
+	Scenarios []string `json:"scenarios,omitempty"`
+
+	Budget     int     `json:"budget,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Seeds      []int64 `json:"seeds,omitempty"`
+	Horizon    float64 `json:"horizon,omitempty"`
+	Quick      bool    `json:"quick,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	UseCache   bool    `json:"useCache,omitempty"`
+
+	// OnRow streams per-scenario rows as they complete; see
+	// BudgetSweepRequest.OnRow for the contract. Not part of the wire shape.
+	OnRow func(experiments.ScenarioRow) `json:"-"`
+}
+
+// ScenarioSweepResult wraps the sweep outcome.
+type ScenarioSweepResult struct {
+	Sweep *experiments.ScenarioSweepResult
+}

@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/experiments"
+	"socbuf/internal/report"
+	"socbuf/internal/scenario"
+)
+
+// Solve runs one methodology request. Concurrent identical requests (equal
+// fingerprints) coalesce: one underlying run executes on its own goroutine
+// and every caller shares its result — so a thundering herd of equal
+// queries costs one solve. A caller whose own ctx is cancelled stops
+// waiting and returns ctx.Err(); the shared flight keeps running for the
+// remaining waiters and is cancelled only when the last of them leaves (or
+// the engine shuts down).
+func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.requests.Add(1)
+	key := req.key()
+	e.mu.Lock()
+	f, ok := e.flights[key]
+	joined := ok && f.join()
+	if joined {
+		e.coalesced.Add(1)
+	} else {
+		// No flight, or one whose last waiter already left (join refused):
+		// start fresh, replacing any dying registration under the key.
+		f = newFlight()
+		e.flights[key] = f
+		go e.runFlight(key, f, req)
+	}
+	e.mu.Unlock()
+
+	select {
+	case <-f.done:
+		// A flight that died at admission served nobody: reclassify its
+		// followers from Coalesced to Busy so /v1/stats reports the true
+		// rejection rate during overload.
+		if joined && (errors.Is(f.err, ErrBusy) || errors.Is(f.err, ErrClosed)) {
+			e.coalesced.Add(-1)
+			e.busy.Add(1)
+		}
+		return f.res, f.err
+	case <-ctx.Done():
+		f.leave()
+		return nil, ctx.Err()
+	}
+}
+
+// runFlight executes one coalesced solve under the flight's own context
+// (cancelled when every waiter has left; begin additionally merges in the
+// engine lifetime) and publishes the outcome exactly once. Publication and
+// deregistration happen in a deferred block that also recovers a panicking
+// solve, so the key can never be left pointing at a flight that will not
+// complete. The flight is deregistered before publication, so a request
+// arriving after completion starts a fresh run — coalescing merges
+// concurrent requests only; persistent memoisation is the solve cache's
+// job.
+func (e *Engine) runFlight(key string, f *flight, req SolveRequest) {
+	var res *SolveResult
+	var err error
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("engine: solve panicked: %v", p)
+		}
+		f.cancel() // release the flight context's resources
+		e.mu.Lock()
+		// Guarded: a dying flight may already have been replaced under this
+		// key by a fresh one — never deregister a flight we don't own.
+		if e.flights[key] == f {
+			delete(e.flights, key)
+		}
+		e.mu.Unlock()
+		f.res, f.err = res, err
+		close(f.done)
+	}()
+	rctx, end, berr := e.begin(f.ctx)
+	if berr != nil {
+		err = berr
+		return
+	}
+	defer end()
+	if e.testHookLeaderSolve != nil {
+		e.testHookLeaderSolve()
+	}
+	res, err = e.solve(rctx, req)
+}
+
+// solve is the uncoalesced methodology run.
+func (e *Engine) solve(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+	cfg, meta, err := req.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Budget <= 0 {
+		return nil, invalidf("budget %d must be positive", cfg.Budget)
+	}
+	if req.UseCache {
+		cfg.Cache = e.Cache()
+	}
+	cfg.Workers = e.requestWorkers(cfg.Workers)
+	e.solveRuns.Add(1)
+	res, err := core.RunCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newSolveResult(meta, res), nil
+}
+
+// newSolveResult shapes a methodology outcome for clients.
+func newSolveResult(meta solveMeta, res *core.Result) *SolveResult {
+	out := &SolveResult{
+		Arch:             res.Arch.Name,
+		Scenario:         meta.scenario,
+		Topology:         meta.topology,
+		Traffic:          meta.traffic,
+		Budget:           res.BaselineAlloc.Total(),
+		Iterations:       len(res.Iterations),
+		Subsystems:       len(res.Subsystems),
+		UniformLoss:      res.BaselineLoss,
+		SizedLoss:        res.Best.SimLoss,
+		Improvement:      res.Improvement(),
+		BestIteration:    res.Best.Index,
+		CapBinding:       res.Best.CapBinding,
+		RandomisedStates: res.Best.RandomisedStates,
+	}
+	for _, id := range report.SortedKeys(res.Best.Alloc) {
+		out.Alloc = append(out.Alloc, AllocRow{
+			Buffer:  id,
+			Uniform: res.BaselineAlloc[id],
+			Sized:   res.Best.Alloc[id],
+		})
+	}
+	return out
+}
+
+// BudgetSweep fans the methodology across the request's budgets. With
+// UseCache it plans and prewarms first (one cold solve per structural
+// class) and hands the plan back alongside the sweep. Partial failures
+// follow the experiments contract: the result carries every successful
+// point, the error joins the per-point failures.
+func (e *Engine) BudgetSweep(ctx context.Context, req BudgetSweepRequest) (*BudgetSweepResult, error) {
+	e.requests.Add(1)
+	rctx, end, err := e.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+
+	if len(req.Budgets) == 0 {
+		return nil, invalidf("empty budget list")
+	}
+	a, err := resolveArch(req.Arch, req.ArchJSON)
+	if err != nil {
+		return nil, err
+	}
+	e.sweepRuns.Add(1)
+	opt := experiments.Options{
+		Iterations:  req.Iterations,
+		Seeds:       req.Seeds,
+		Horizon:     req.Horizon,
+		WarmUp:      req.WarmUp,
+		Workers:     e.requestWorkers(req.Workers),
+		OnBudgetRow: req.OnRow,
+	}
+	if req.UseCache {
+		opt.Cache = e.Cache()
+	}
+	// Fresh clone per point, per the BudgetSweep contract.
+	res, plan, err := experiments.SweepWithPlanCtx(rctx, nil, func() *arch.Architecture { return a.Clone() }, req.Budgets, opt)
+	if res == nil {
+		return nil, err
+	}
+	return &BudgetSweepResult{ArchName: a.Name, Sweep: res, Plan: plan}, err
+}
+
+// ScenarioSweep fans the methodology over the requested registry scenarios,
+// applying the override semantics the experiments CLI used to hand-wire:
+// explicit overrides beat both Quick and the scenarios' own values.
+func (e *Engine) ScenarioSweep(ctx context.Context, req ScenarioSweepRequest) (*ScenarioSweepResult, error) {
+	e.requests.Add(1)
+	rctx, end, err := e.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+
+	scs, err := scenario.Resolve(req.Scenarios)
+	if err != nil {
+		return nil, invalidf("%v", err)
+	}
+	e.sweepRuns.Add(1)
+	opt := experiments.Options{
+		Workers:       e.requestWorkers(req.Workers),
+		OnScenarioRow: req.OnRow,
+	}
+	if req.UseCache {
+		opt.Cache = e.Cache()
+	}
+	if req.Quick {
+		opt.Iterations, opt.Seeds, opt.Horizon = 3, []int64{1, 2}, 1200
+	}
+	for i := range scs {
+		if req.Budget > 0 {
+			scs[i].Budget = req.Budget
+		}
+		if req.Iterations > 0 {
+			scs[i].Iterations = req.Iterations
+		}
+		if req.Horizon > 0 {
+			scs[i].Horizon = req.Horizon
+		}
+		if len(req.Seeds) > 0 {
+			scs[i].Seeds = req.Seeds
+		}
+		if req.Quick {
+			// Zero the scenario's own knobs so opt's quick settings apply,
+			// except where an explicit override already won.
+			if req.Iterations == 0 {
+				scs[i].Iterations = 0
+			}
+			if len(req.Seeds) == 0 {
+				scs[i].Seeds = nil
+			}
+			if req.Horizon == 0 {
+				scs[i].Horizon = 0
+			}
+		}
+	}
+	res, err := experiments.ScenarioSweepCtx(rctx, scs, opt)
+	if res == nil {
+		return nil, err
+	}
+	return &ScenarioSweepResult{Sweep: res}, err
+}
+
+// requestWorkers resolves a per-request worker bound against the engine
+// default, clamped so one admitted request can never exceed the operator's
+// parallelism bound (the engine default when set, GOMAXPROCS otherwise) —
+// a client asking for 10000 workers gets the server's bound, not a fork
+// bomb. Requests may go below the bound (e.g. 1 = serial).
+func (e *Engine) requestWorkers(n int) int {
+	limit := e.workers
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if n <= 0 || n > limit {
+		return limit
+	}
+	return n
+}
+
+// WriteScenarioList renders the scenario registry — re-exported so clients
+// need no direct experiments dependency.
+func WriteScenarioList(w io.Writer) error {
+	return experiments.WriteScenarioList(w)
+}
+
+// WriteCacheStats renders the engine-owned cache's counters in the shared
+// report format (the body of the CLIs' -cache-stats flag).
+func (e *Engine) WriteCacheStats(w io.Writer) error {
+	return experiments.WriteCacheStats(w, e.Cache().Stats())
+}

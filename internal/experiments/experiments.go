@@ -37,6 +37,15 @@ type Options struct {
 	// (see internal/solvecache). Use PlanBudgetSweep/Prewarm to pre-populate
 	// it, and Cache.Stats for the hit/miss/warm-start counters.
 	Cache *solvecache.Cache
+	// OnBudgetRow, when non-nil, is invoked from a worker goroutine as each
+	// budget-sweep point completes — in completion order, not input order, so
+	// the callback must be safe for concurrent use. The final
+	// BudgetSweepResult is unaffected (aggregation still walks input order);
+	// the hook exists so long sweeps can stream per-point rows as they land
+	// (socbufd's NDJSON endpoints are the consumer).
+	OnBudgetRow func(BudgetRow)
+	// OnScenarioRow is OnBudgetRow for scenario sweeps.
+	OnScenarioRow func(ScenarioRow)
 }
 
 func (o Options) withDefaults() Options {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -100,10 +101,15 @@ func initialModels(a *arch.Architecture, budget int) ([]*ctmdp.Model, error) {
 // boundary trajectory then keeps later iterations deduplicated as the first
 // worker to reach each new lambda vector populates it for the fleet.
 func (p *SweepPlan) Prewarm(c *solvecache.Cache, workers int) error {
+	return p.PrewarmCtx(context.Background(), c, workers)
+}
+
+// PrewarmCtx is Prewarm with cooperative cancellation of the solve fan-out.
+func (p *SweepPlan) PrewarmCtx(ctx context.Context, c *solvecache.Cache, workers int) error {
 	if c == nil {
 		return errors.New("experiments: prewarm needs a cache")
 	}
-	return parallel.ForEach(len(p.representatives), workers, func(i int) error {
+	return parallel.ForEachCtx(ctx, len(p.representatives), workers, func(i int) error {
 		_, err := c.SolveJoint([]*ctmdp.Model{p.representatives[i]}, ctmdp.JointConfig{})
 		return err
 	})
@@ -134,6 +140,12 @@ func (p *SweepPlan) WriteSummary(w io.Writer) error {
 // the sweep with every point sharing opt.Cache (created when nil). The
 // result, plan and cache stats come back together for reporting.
 func CachedBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, *SweepPlan, error) {
+	return CachedBudgetSweepCtx(context.Background(), newArch, budgets, opt)
+}
+
+// CachedBudgetSweepCtx is CachedBudgetSweep with cooperative cancellation
+// threaded through planning, prewarming and the sweep itself.
+func CachedBudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, *SweepPlan, error) {
 	if opt.Cache == nil {
 		opt.Cache = solvecache.New()
 	}
@@ -141,10 +153,10 @@ func CachedBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Opt
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := plan.Prewarm(opt.Cache, opt.Workers); err != nil {
+	if err := plan.PrewarmCtx(ctx, opt.Cache, opt.Workers); err != nil {
 		return nil, plan, err
 	}
-	res, err := BudgetSweep(newArch, budgets, opt)
+	res, err := BudgetSweepCtx(ctx, newArch, budgets, opt)
 	return res, plan, err
 }
 
@@ -153,22 +165,31 @@ func CachedBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Opt
 // to w first; otherwise it runs the plain BudgetSweep. A nil w suppresses
 // the summary.
 func SweepWithPlan(w io.Writer, newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, error) {
+	res, _, err := SweepWithPlanCtx(context.Background(), w, newArch, budgets, opt)
+	return res, err
+}
+
+// SweepWithPlanCtx is SweepWithPlan with cooperative cancellation; it also
+// hands the plan back (nil without a cache) so service callers can report it
+// without re-planning.
+func SweepWithPlanCtx(ctx context.Context, w io.Writer, newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, *SweepPlan, error) {
 	if opt.Cache == nil {
-		return BudgetSweep(newArch, budgets, opt)
+		res, err := BudgetSweepCtx(ctx, newArch, budgets, opt)
+		return res, nil, err
 	}
-	res, plan, err := CachedBudgetSweep(newArch, budgets, opt)
+	res, plan, err := CachedBudgetSweepCtx(ctx, newArch, budgets, opt)
 	if plan != nil && w != nil {
 		if _, werr := fmt.Fprintln(w, "sweep plan:"); werr != nil {
-			return res, werr
+			return res, plan, werr
 		}
 		if werr := plan.WriteSummary(w); werr != nil {
-			return res, werr
+			return res, plan, werr
 		}
 		if _, werr := fmt.Fprintln(w); werr != nil {
-			return res, werr
+			return res, plan, werr
 		}
 	}
-	return res, err
+	return res, plan, err
 }
 
 // WriteCacheStats renders a cache-counter snapshot in the shared report

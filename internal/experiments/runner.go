@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -33,6 +35,47 @@ type BudgetSweepResult struct {
 type BudgetError struct {
 	Budget int
 	Err    error
+}
+
+// BudgetRow is one budget point in machine-readable form — the unit of both
+// BudgetSweepResult.WriteJSON and the socbufd NDJSON stream (one row per
+// line as points complete). A failed point carries its error string and
+// zero-valued losses.
+type BudgetRow struct {
+	Budget      int     `json:"budget"`
+	UniformLoss int64   `json:"uniformLoss"`
+	SizedLoss   int64   `json:"sizedLoss"`
+	Improvement float64 `json:"improvement"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Rows flattens the sweep into machine-readable rows: successful points in
+// input order, then failed points in input order.
+func (r *BudgetSweepResult) Rows() []BudgetRow {
+	rows := make([]BudgetRow, 0, len(r.Budgets)+len(r.Failed))
+	for _, b := range r.Budgets {
+		rows = append(rows, BudgetRow{
+			Budget:      b,
+			UniformLoss: r.Pre[b],
+			SizedLoss:   r.Post[b],
+			Improvement: r.Improvement[b],
+		})
+	}
+	for _, f := range r.Failed {
+		rows = append(rows, BudgetRow{Budget: f.Budget, Error: f.Err.Error()})
+	}
+	return rows
+}
+
+// WriteJSON renders the sweep as one indented JSON document
+// ({"points": [BudgetRow...]}) — the machine-readable sibling of WriteTable,
+// shared verbatim by the CLIs' -json flag and the socbufd summary line.
+func (r *BudgetSweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Points []BudgetRow `json:"points"`
+	}{r.Rows()})
 }
 
 // Err joins the per-point failures (nil when every point succeeded).
@@ -95,6 +138,15 @@ func (r *BudgetSweepResult) WriteTable(w io.Writer) error {
 // mutable state. Failed points are collected per budget rather than aborting
 // the sweep; the returned error is r.Err().
 func BudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, error) {
+	return BudgetSweepCtx(context.Background(), newArch, budgets, opt)
+}
+
+// BudgetSweepCtx is BudgetSweep with cooperative cancellation, threaded into
+// both the point fan-out and each point's methodology run. On cancellation,
+// points not yet started fail with ctx.Err() (reported like any other point
+// failure) and in-flight points return as soon as core.RunCtx notices; the
+// partial result is still returned.
+func BudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, error) {
 	opt = opt.withDefaults()
 	if len(budgets) == 0 {
 		return nil, errors.New("experiments: empty budget sweep")
@@ -105,8 +157,8 @@ func BudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) 
 	// Points run their seeds serially (Workers: 1): the outer fan-out
 	// already saturates the pool, and nesting would multiply concurrency to
 	// Workers² goroutines.
-	points, err := parallel.Map(len(budgets), opt.Workers, func(i int) (*core.Result, error) {
-		return core.Run(core.Config{
+	points, err := parallel.MapCtx(ctx, len(budgets), opt.Workers, func(i int) (*core.Result, error) {
+		res, err := core.RunCtx(ctx, core.Config{
 			Arch:       newArch(),
 			Budget:     budgets[i],
 			Iterations: opt.Iterations,
@@ -116,6 +168,10 @@ func BudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) 
 			Workers:    1,
 			Cache:      opt.Cache,
 		})
+		if opt.OnBudgetRow != nil {
+			opt.OnBudgetRow(budgetRow(budgets[i], res, err))
+		}
+		return res, err
 	})
 
 	out := &BudgetSweepResult{
@@ -141,4 +197,18 @@ func BudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Options) 
 		out.Improvement[b] = res.Improvement()
 	}
 	return out, out.Err()
+}
+
+// budgetRow shapes one completed point (or its failure) for the streaming
+// hook.
+func budgetRow(budget int, res *core.Result, err error) BudgetRow {
+	if err != nil {
+		return BudgetRow{Budget: budget, Error: err.Error()}
+	}
+	return BudgetRow{
+		Budget:      budget,
+		UniformLoss: res.BaselineLoss,
+		SizedLoss:   res.Best.SimLoss,
+		Improvement: res.Improvement(),
+	}
 }

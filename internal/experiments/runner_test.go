@@ -1,7 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
 	"socbuf/internal/arch"
@@ -82,5 +87,88 @@ func TestBudgetSweepPerPointErrors(t *testing.T) {
 func TestBudgetSweepEmpty(t *testing.T) {
 	if _, err := BudgetSweep(nil, nil, Options{}); err == nil {
 		t.Fatal("empty sweep accepted")
+	}
+}
+
+// TestBudgetSweepRowsJSONAndStreaming covers the machine-readable surface:
+// Rows/WriteJSON agree with the table-side maps, and the OnBudgetRow hook
+// fires once per point (including failed points) with the same numbers the
+// final result reports.
+func TestBudgetSweepRowsJSONAndStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var (
+		mu       sync.Mutex
+		streamed []BudgetRow
+	)
+	opt := sweepFast
+	opt.Workers = 2
+	opt.OnBudgetRow = func(r BudgetRow) {
+		mu.Lock()
+		streamed = append(streamed, r)
+		mu.Unlock()
+	}
+	budgets := []int{24, -1, 30}
+	res, err := BudgetSweep(arch.TwoBusAMBA, budgets, opt)
+	if err == nil {
+		t.Fatal("invalid budget did not surface an error")
+	}
+	rows := res.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3: %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.Budget == -1 {
+			if r.Error == "" {
+				t.Fatalf("failed row lost its error: %+v", r)
+			}
+			continue
+		}
+		if r.Error != "" || r.UniformLoss != res.Pre[r.Budget] || r.SizedLoss != res.Post[r.Budget] {
+			t.Fatalf("row diverges from result maps: %+v", r)
+		}
+	}
+
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Points []BudgetRow `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("WriteJSON output does not round-trip: %v\n%s", err, sb.String())
+	}
+	if !reflect.DeepEqual(doc.Points, rows) {
+		t.Fatalf("JSON document diverges from Rows():\n%+v\n%+v", doc.Points, rows)
+	}
+
+	// The stream saw every point exactly once, in some completion order.
+	if len(streamed) != 3 {
+		t.Fatalf("streamed %d rows, want 3: %+v", len(streamed), streamed)
+	}
+	byBudget := map[int]BudgetRow{}
+	for _, r := range streamed {
+		byBudget[r.Budget] = r
+	}
+	for _, want := range rows {
+		if got := byBudget[want.Budget]; got != want {
+			t.Fatalf("streamed row for budget %d = %+v, want %+v", want.Budget, got, want)
+		}
+	}
+}
+
+// TestBudgetSweepCtxCancelled: a dead context fails every point with the
+// context error and runs no methodology work.
+func TestBudgetSweepCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := BudgetSweepCtx(ctx, arch.TwoBusAMBA, []int{24, 30}, sweepFast)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep error = %v, want context.Canceled", err)
+	}
+	if len(res.Failed) != 2 || len(res.Budgets) != 0 {
+		t.Fatalf("cancelled sweep still produced points: %+v", res)
 	}
 }

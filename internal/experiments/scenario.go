@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -14,25 +16,37 @@ import (
 	"socbuf/internal/sim"
 )
 
-// ScenarioPoint is one scenario's outcome row.
+// ScenarioPoint is one scenario's outcome row. The JSON tags are the
+// machine-readable contract shared by WriteJSON, the CLIs' -json flag and
+// the socbufd scenario-sweep stream.
 type ScenarioPoint struct {
-	Name    string
-	Arch    string // architecture name
-	Buses   int
-	Buffers int // buffer count after insertion (what Budget divides over)
-	Traffic string
-	Budget  int
+	Name    string `json:"name"`
+	Arch    string `json:"arch"` // architecture name
+	Buses   int    `json:"buses"`
+	Buffers int    `json:"buffers"` // buffer count after insertion (what Budget divides over)
+	Traffic string `json:"traffic"`
+	Budget  int    `json:"budget"`
 	// Pre and Post are total simulated losses before/after CTMDP sizing,
 	// summed over the evaluation seeds.
-	Pre, Post int64
+	Pre  int64 `json:"uniformLoss"`
+	Post int64 `json:"sizedLoss"`
 	// Improvement is 1 − post/pre (0 when pre is 0).
-	Improvement float64
+	Improvement float64 `json:"improvement"`
 	// LossFrac and Latency come from a probe simulation of the best
 	// allocation on the first seed: the fraction of generated packets lost,
 	// and the Little's-law mean packet sojourn (Σ mean buffer occupancy /
 	// delivery throughput).
-	LossFrac float64
-	Latency  float64
+	LossFrac float64 `json:"lossFrac"`
+	Latency  float64 `json:"latency"`
+}
+
+// ScenarioRow is one scenario point in machine-readable form — a
+// ScenarioPoint plus the error string of a failed point (zero-valued
+// losses). It is the unit of both ScenarioSweepResult.WriteJSON and the
+// socbufd NDJSON stream.
+type ScenarioRow struct {
+	ScenarioPoint
+	Error string `json:"error,omitempty"`
 }
 
 // ScenarioError records one failed sweep point.
@@ -81,6 +95,30 @@ func (r *ScenarioSweepResult) WriteTable(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Rows flattens the sweep into machine-readable rows: successful points in
+// input order, then failed points in input order.
+func (r *ScenarioSweepResult) Rows() []ScenarioRow {
+	rows := make([]ScenarioRow, 0, len(r.Points)+len(r.Failed))
+	for _, p := range r.Points {
+		rows = append(rows, ScenarioRow{ScenarioPoint: p})
+	}
+	for _, f := range r.Failed {
+		rows = append(rows, ScenarioRow{ScenarioPoint: ScenarioPoint{Name: f.Name}, Error: f.Err.Error()})
+	}
+	return rows
+}
+
+// WriteJSON renders the sweep as one indented JSON document
+// ({"points": [ScenarioRow...]}) — the machine-readable sibling of
+// WriteTable.
+func (r *ScenarioSweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Points []ScenarioRow `json:"points"`
+	}{r.Rows()})
 }
 
 // WriteScenarioList renders the scenario registry as a table — the shared
@@ -136,12 +174,27 @@ func ParseNames(s string) []string {
 // Failed scenarios are collected per point rather than aborting the sweep;
 // the returned error is r.Err().
 func ScenarioSweep(scs []scenario.Scenario, opt Options) (*ScenarioSweepResult, error) {
+	return ScenarioSweepCtx(context.Background(), scs, opt)
+}
+
+// ScenarioSweepCtx is ScenarioSweep with cooperative cancellation, threaded
+// into both the point fan-out and each scenario's methodology run (see
+// BudgetSweepCtx for the cancellation semantics).
+func ScenarioSweepCtx(ctx context.Context, scs []scenario.Scenario, opt Options) (*ScenarioSweepResult, error) {
 	opt = opt.withDefaults()
 	if len(scs) == 0 {
 		return nil, errors.New("experiments: empty scenario sweep")
 	}
-	points, err := parallel.Map(len(scs), opt.Workers, func(i int) (ScenarioPoint, error) {
-		return runScenario(scs[i], opt)
+	points, err := parallel.MapCtx(ctx, len(scs), opt.Workers, func(i int) (ScenarioPoint, error) {
+		p, err := runScenario(ctx, scs[i], opt)
+		if opt.OnScenarioRow != nil {
+			row := ScenarioRow{ScenarioPoint: p}
+			if err != nil {
+				row = ScenarioRow{ScenarioPoint: ScenarioPoint{Name: scs[i].Name}, Error: err.Error()}
+			}
+			opt.OnScenarioRow(row)
+		}
+		return p, err
 	})
 
 	out := &ScenarioSweepResult{}
@@ -163,7 +216,7 @@ func ScenarioSweep(scs []scenario.Scenario, opt Options) (*ScenarioSweepResult, 
 // the winning allocation for the loss-fraction and latency estimates.
 // Points run their seeds serially (Workers: 1) — the outer fan-out already
 // saturates the pool.
-func runScenario(sc scenario.Scenario, opt Options) (ScenarioPoint, error) {
+func runScenario(ctx context.Context, sc scenario.Scenario, opt Options) (ScenarioPoint, error) {
 	cfg, err := sc.CoreConfig()
 	if err != nil {
 		return ScenarioPoint{}, err
@@ -183,7 +236,7 @@ func runScenario(sc scenario.Scenario, opt Options) (ScenarioPoint, error) {
 	cfg.Workers = 1
 	cfg.Cache = opt.Cache
 
-	res, err := core.Run(cfg)
+	res, err := core.RunCtx(ctx, cfg)
 	if err != nil {
 		return ScenarioPoint{}, err
 	}

@@ -18,6 +18,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -51,9 +52,22 @@ func Workers(n int) int {
 // successful points are always returned, so callers can salvage partial
 // sweeps.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers, fn)
+}
+
+// MapCtx is Map with cooperative cancellation. When ctx is cancelled
+// mid-sweep, points that have not been dispatched yet are skipped and fail
+// with ctx.Err() (as *PointError entries, like any other point failure);
+// points already running finish normally and keep their results. MapCtx
+// never abandons goroutines: it returns only after every worker has exited,
+// so a cancelled sweep leaks nothing.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
 		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	errs := make([]error, n)
 	workers = Workers(workers)
@@ -68,12 +82,27 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// A point dispatched just before cancellation still gets
+				// skipped here; only points whose fn actually started run on.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				results[i], errs[i] = fn(i)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Indices are dispatched in order, so i..n-1 never started.
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -110,7 +139,12 @@ func Points(err error) []*PointError {
 
 // ForEach is Map for side-effecting points with no result value.
 func ForEach(n, workers int, fn func(i int) error) error {
-	_, err := Map(n, workers, func(i int) (struct{}, error) {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is MapCtx for side-effecting points with no result value.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	_, err := MapCtx(ctx, n, workers, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

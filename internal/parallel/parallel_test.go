@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -117,6 +118,77 @@ func TestForEach(t *testing.T) {
 	}
 	if err := ForEach(3, 2, func(i int) error { return fmt.Errorf("p%d", i) }); err == nil {
 		t.Fatal("ForEach swallowed errors")
+	}
+}
+
+// TestMapCtxCancelSkipsRemaining cancels the sweep from inside an early
+// point: points already running finish and keep their results, undispatched
+// points fail with the context error, and MapCtx returns with every worker
+// exited.
+func TestMapCtxCancelSkipsRemaining(t *testing.T) {
+	const n = 200
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var ran atomic.Int64
+	got, err := MapCtx(ctx, n, 2, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			close(started)
+		}
+		<-started // every running point sees the cancellation race
+		ran.Add(1)
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep reported no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joined error does not wrap context.Canceled: %v", err)
+	}
+	if c := ran.Load(); c == 0 || c >= n {
+		t.Fatalf("ran %d points, want some but not all of %d", c, n)
+	}
+	// Point 0 definitely ran to completion and must keep its result.
+	if got[0] != 1 {
+		t.Fatalf("completed point lost its result: %d", got[0])
+	}
+	skipped := 0
+	for _, pe := range Points(err) {
+		if !errors.Is(pe, context.Canceled) {
+			t.Fatalf("point %d failed with %v, want context.Canceled", pe.Index, pe.Err)
+		}
+		skipped++
+	}
+	if int64(skipped)+ran.Load() != n {
+		t.Fatalf("ran %d + skipped %d != %d points", ran.Load(), skipped, n)
+	}
+}
+
+// TestMapCtxPreCancelled: a dead context runs nothing and fails every point.
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, 10, 4, func(i int) (int, error) {
+		t.Error("fn called under a cancelled context")
+		return 0, nil
+	})
+	if pts := Points(err); len(pts) != 10 {
+		t.Fatalf("%d point failures, want 10: %v", len(pts), err)
+	}
+}
+
+func TestMapCtxNilContext(t *testing.T) {
+	got, err := MapCtx(nil, 3, 2, func(i int) (int, error) { return i, nil }) //nolint:staticcheck
+	if err != nil || got[2] != 2 {
+		t.Fatalf("nil ctx: %v %v", got, err)
+	}
+}
+
+func TestForEachCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEachCtx(ctx, 5, 2, func(i int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachCtx under cancelled ctx: %v", err)
 	}
 }
 

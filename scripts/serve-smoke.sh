@@ -1,0 +1,54 @@
+#!/bin/sh
+# serve-smoke: end-to-end pass through cmd/socbufd — build, start, hit
+# /v1/solve and /v1/stats, then SIGTERM and assert a clean (exit 0) graceful
+# shutdown. CI runs this on every push next to scenario-smoke; `make
+# serve-smoke` runs it locally.
+set -eu
+
+GO=${GO:-go}
+ADDR=${SOCBUFD_ADDR:-127.0.0.1:18344}
+BIN=$(mktemp -d)/socbufd
+LOG=$(mktemp)
+
+"$GO" build -o "$BIN" ./cmd/socbufd
+
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener (the stats endpoint answers as soon as serving).
+i=0
+until curl -sf "http://$ADDR/v1/stats" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "serve-smoke: socbufd did not come up" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+echo "serve-smoke: POST /v1/solve"
+curl -sf -X POST -H 'Content-Type: application/json' \
+  -d '{"scenario":"twobus","iterations":1,"seeds":[1],"horizon":400,"warmUp":50}' \
+  "http://$ADDR/v1/solve" | tee /dev/stderr | grep -q '"sizedLoss"'
+
+echo "serve-smoke: GET /v1/stats"
+curl -sf "http://$ADDR/v1/stats" | tee /dev/stderr | grep -q '"solveRuns": 1'
+
+echo "serve-smoke: SIGTERM → graceful shutdown"
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+trap - EXIT
+if [ "$STATUS" -ne 0 ]; then
+  echo "serve-smoke: socbufd exited $STATUS (want clean shutdown)" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+grep -q 'shutdown complete' "$LOG" || {
+  echo "serve-smoke: no shutdown-complete marker in the log" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+echo "serve-smoke: OK"
