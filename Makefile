@@ -14,8 +14,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The backend gates (internal/solver) run real methodology sweeps; under
+# the race detector they need more than the 10m default per-package budget
+# on small machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
@@ -37,15 +40,21 @@ lint:
 fmt:
 	gofmt -w .
 
-# Tiny end-to-end pass through the scenario engine: one preset + one
-# generated topology, 1 seed, short horizon. Catches generator or traffic
-# wiring regressions in seconds; CI runs it on every push.
+# Tiny end-to-end pass through the scenario engine, once per solver
+# backend: one preset + one generated topology, 1 seed, short horizon.
+# Catches generator, traffic-wiring or backend-dispatch regressions in
+# seconds; CI runs it on every push.
 scenario-smoke:
-	$(GO) run ./cmd/experiments scenario-sweep \
-		-scenarios twobus,chain6-bursty -budget 48 -iters 2 -seeds 1 -horizon 600 -parallel 2
+	@for m in exact analytic hybrid; do \
+		echo "== scenario-smoke ($$m) =="; \
+		$(GO) run ./cmd/experiments scenario-sweep -method $$m \
+			-scenarios twobus,chain6-bursty -budget 48 -iters 2 -seeds 1 -horizon 600 -parallel 2 \
+			|| exit 1; \
+	done
 
-# Tiny end-to-end pass through the socbufd service: build, start, curl
-# /v1/solve + /v1/stats, SIGTERM, assert a clean graceful shutdown. CI runs
-# it on every push next to scenario-smoke.
+# Tiny end-to-end pass through the socbufd service: build, start, curl one
+# /v1/solve per solver backend (plus the unknown-method 400 path) and
+# /v1/stats with its per-backend counters, SIGTERM, assert a clean graceful
+# shutdown. CI runs it on every push next to scenario-smoke.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve-smoke.sh

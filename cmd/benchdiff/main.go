@@ -4,12 +4,19 @@
 //
 //	benchdiff old.txt new.txt
 //	benchdiff -gate 'BenchmarkSweep32' -max-regress 10 old.txt new.txt
+//	benchdiff -emit bench-results.txt > BENCH_2026-07-27.json
 //
 // Each benchmark present in both files is reported with its old/new ns/op
 // and the delta. With -gate, benchmarks whose name matches the regexp and
 // whose ns/op regressed by more than -max-regress percent fail the run
 // (exit 1). Benchmarks missing from either file are reported but never
 // gated, so renaming or adding benchmarks cannot break the nightly job.
+//
+// -emit takes a single bench output file and writes it to stdout as one
+// sorted JSON object mapping benchmark name → ns/op — the machine-readable
+// BENCH_<date>.json trajectory artifact the nightly workflow uploads so
+// the performance history PERFORMANCE.md narrates is consumable by tools,
+// not just by people reading tables.
 //
 // benchdiff deliberately sticks to the stdlib (no benchstat dependency); the
 // workflow runs benchstat separately for the human-readable statistics and
@@ -18,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -72,8 +80,29 @@ func main() {
 	var (
 		gate       = flag.String("gate", "", "regexp of benchmark names that fail the run on regression")
 		maxRegress = flag.Float64("max-regress", 10, "maximum allowed ns/op regression percent for gated benchmarks")
+		emit       = flag.Bool("emit", false, "emit a single bench output as sorted JSON (benchmark name → ns/op) on stdout")
 	)
 	flag.Parse()
+	if *emit {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -emit results.txt > BENCH_<date>.json")
+			os.Exit(2)
+		}
+		results, err := parse(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		// json.Marshal sorts map keys, so the artifact diffs cleanly
+		// run-to-run.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gate RE] [-max-regress PCT] old.txt new.txt")
 		os.Exit(2)

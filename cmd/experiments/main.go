@@ -21,6 +21,13 @@
 // bounds the sweep engine's worker pool (default GOMAXPROCS); results are
 // identical for every worker count.
 //
+// -method selects the solver backend for every methodology run (exact |
+// analytic | hybrid; README "Choosing a solver method" has the
+// speed/accuracy table); -sweep additionally accepts -methods, a
+// comma-separated per-point list aligned with -budgets, so one sweep can
+// screen most points analytically and refine only the interesting budgets
+// exactly. Both flags also exist on scenario-sweep (-method only).
+//
 // -cache shares one solve cache (internal/solvecache) across everything the
 // invocation runs, deduplicating identical per-bus sub-model solves
 // fleet-wide; -sweep additionally plans the points up front and prewarms one
@@ -64,8 +71,10 @@ func main() {
 		quick    = flag.Bool("quick", false, "smaller iterations/seeds/horizon")
 		budget   = flag.Int("budget", 160, "buffer budget for Figure 3 / headline")
 		budgets  = flag.String("budgets", "160,320,640", "comma-separated budgets for -sweep")
+		methods  = flag.String("methods", "", "per-point solver backends for -sweep, comma-aligned with -budgets (empty entries inherit -method)")
 		list     = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
 	)
+	method := cliutil.AddMethodFlag(nil)
 	common := cliutil.AddCommonFlags(nil)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -76,6 +85,11 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+	// -methods names per-sweep-point backends; without -sweep there are no
+	// points and silently ignoring it would defeat the explicit selection.
+	if *methods != "" && !*sweep {
+		fatal(fmt.Errorf("%w: -methods only applies to -sweep (use -method for everything else)", engine.ErrInvalidRequest))
 	}
 	if !*fig3 && !*table1 && !*split && !*headline && !*sweep && !*all {
 		*all = true
@@ -96,6 +110,9 @@ func main() {
 	}
 	opt.Workers = common.Parallel
 	opt.Cache = cache
+	// -method applies to every methodology run the invocation performs:
+	// the figure/table regenerators and the sweep queries alike.
+	opt.Method = *method
 	// Under -json the counters go to stderr so stdout stays one parseable
 	// document.
 	defer func() {
@@ -131,7 +148,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runSweep(eng, list, opt, common); err != nil {
+		if err := runSweep(eng, list, opt, experiments.ParseMethods(*methods), common); err != nil {
 			fatal(err)
 		}
 	}
@@ -139,12 +156,14 @@ func main() {
 
 // runSweep routes the budget sweep through the engine and renders the
 // outcome (plan summary first when the cache planned it).
-func runSweep(eng *engine.Engine, budgets []int, opt experiments.Options, common *cliutil.CommonFlags) error {
+func runSweep(eng *engine.Engine, budgets []int, opt experiments.Options, methods []string, common *cliutil.CommonFlags) error {
 	res, err := eng.BudgetSweep(context.Background(), engine.BudgetSweepRequest{
 		Budgets:    budgets,
 		Iterations: opt.Iterations,
 		Seeds:      opt.Seeds,
 		Horizon:    opt.Horizon,
+		Method:     opt.Method,
+		Methods:    methods,
 		UseCache:   common.UseCache(),
 	})
 	if res == nil {
@@ -186,6 +205,7 @@ func scenarioSweepCmd(args []string) error {
 		horizon = fs.Float64("horizon", 0, "override sim horizon (0 = scenario/default)")
 		quick   = fs.Bool("quick", false, "smaller iterations/seeds/horizon")
 	)
+	method := cliutil.AddMethodFlag(fs)
 	common := cliutil.AddCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -210,6 +230,7 @@ func scenarioSweepCmd(args []string) error {
 		Iterations: *iters,
 		Seeds:      sd,
 		Horizon:    *horizon,
+		Method:     *method,
 		Quick:      *quick,
 		UseCache:   common.UseCache(),
 	})

@@ -3,10 +3,17 @@
 // prints the resulting allocation and loss comparison.
 //
 //	socbuf -arch netproc -budget 160 -iters 10
+//	socbuf -arch netproc -budget 160 -method analytic
 //	socbuf -arch netproc -sweep 160,320,640 -parallel 8
 //	socbuf -arch netproc -sweep 160,320,640 -cache-stats
+//	socbuf -sweep 160,320,640 -method analytic -methods ,,exact
 //	socbuf -scenario chain6-bursty
 //	socbuf -list-scenarios
+//
+// -method selects the solver backend (exact | analytic | hybrid; see
+// README "Choosing a solver method"). -methods overrides it per sweep
+// point — the example above screens the first two budgets analytically and
+// solves only the last exactly.
 //
 // -sweep runs the methodology at each listed budget through the parallel
 // sweep engine instead of a single run; -parallel bounds its worker pool
@@ -43,16 +50,18 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("arch", "netproc", "preset: "+cliutil.PresetNames)
-		file   = flag.String("file", "", "load a JSON architecture instead of a preset")
-		scen   = flag.String("scenario", "", "run a registered scenario instead of a preset (see -list-scenarios)")
-		list   = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
-		budget = flag.Int("budget", 160, "total buffer budget in units")
-		iters  = flag.Int("iters", 10, "methodology iterations")
-		horiz  = flag.Float64("horizon", 2000, "evaluation sim horizon")
-		sweep  = flag.String("sweep", "", "comma-separated budgets: sweep instead of a single run")
-		refine = flag.Bool("refine", false, "refine stationary distributions from the policy-induced chains (dense/sparse auto-selected)")
+		name    = flag.String("arch", "netproc", "preset: "+cliutil.PresetNames)
+		file    = flag.String("file", "", "load a JSON architecture instead of a preset")
+		scen    = flag.String("scenario", "", "run a registered scenario instead of a preset (see -list-scenarios)")
+		list    = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
+		budget  = flag.Int("budget", 160, "total buffer budget in units")
+		iters   = flag.Int("iters", 10, "methodology iterations")
+		horiz   = flag.Float64("horizon", 2000, "evaluation sim horizon")
+		sweep   = flag.String("sweep", "", "comma-separated budgets: sweep instead of a single run")
+		methods = flag.String("methods", "", "per-point solver backends for -sweep, comma-aligned with the budgets (empty entries inherit -method)")
+		refine  = flag.Bool("refine", false, "refine stationary distributions from the policy-induced chains (dense/sparse auto-selected)")
 	)
+	method := cliutil.AddMethodFlag(nil)
 	common := cliutil.AddCommonFlags(nil)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -91,12 +100,20 @@ func main() {
 		archJSON = raw
 	}
 
+	// -methods names per-sweep-point backends; outside a sweep there are no
+	// points, and silently running the default backend instead would defeat
+	// the user's explicit selection.
+	if *methods != "" && *sweep == "" {
+		fatal(fmt.Errorf("%w: -methods only applies to -sweep (use -method for a single run)", engine.ErrInvalidRequest))
+	}
+
 	if *scen != "" {
 		if *sweep != "" || *file != "" {
 			fatal(fmt.Errorf("-scenario cannot be combined with -sweep or -file"))
 		}
 		req := engine.SolveRequest{
 			Scenario: *scen,
+			Method:   *method,
 			Refine:   *refine,
 			UseCache: common.UseCache(),
 		}
@@ -135,6 +152,8 @@ func main() {
 			Budgets:    budgets,
 			Iterations: *iters,
 			Horizon:    *horiz,
+			Method:     *method,
+			Methods:    experiments.ParseMethods(*methods),
 			UseCache:   common.UseCache(),
 		})
 		if res == nil {
@@ -170,6 +189,7 @@ func main() {
 		Budget:     *budget,
 		Iterations: *iters,
 		Horizon:    *horiz,
+		Method:     *method,
 		Refine:     *refine,
 		UseCache:   common.UseCache(),
 	})
@@ -194,9 +214,14 @@ func archFor(file, name string) string {
 
 func fatal(err error) { cliutil.Fatal("socbuf", err) }
 
-// printResult renders the single-run summary and allocation table.
+// printResult renders the single-run summary and allocation table. The
+// solver method appears only when it is not the exact default, keeping the
+// default invocation's output byte-identical to the pre-backend CLI.
 func printResult(res *engine.SolveResult) {
 	fmt.Printf("architecture %s, budget %d, %d iterations\n", res.Arch, res.Budget, res.Iterations)
+	if res.Method != "" && res.Method != "exact" {
+		fmt.Printf("solver method: %s\n", res.Method)
+	}
 	fmt.Printf("subsystems after buffer insertion: %d (all linear)\n", res.Subsystems)
 	fmt.Printf("baseline (uniform) loss: %d\n", res.UniformLoss)
 	fmt.Printf("best sized loss:         %d  (%.1f%% reduction, iteration %d)\n",

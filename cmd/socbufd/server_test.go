@@ -129,6 +129,75 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsPerBackendCounters: /v1/stats breaks methodology runs down per
+// solver backend — solves, cache hits and mean wall time — keyed by the
+// canonical method name. One exact (default) solve, one analytic solve and
+// an analytic re-solve through the default cache must show up under their
+// backends, with the analytic tier's cache hit attributed to the analytic
+// backend.
+func TestStatsPerBackendCounters(t *testing.T) {
+	_, ts := startServer(t, engine.Config{}, true)
+	postJSON(t, ts.URL+"/v1/solve", fastSolveBody).Body.Close()
+	analyticBody := `{"scenario":"twobus","iterations":1,"seeds":[1],"horizon":400,"warmUp":50,"method":"analytic"}`
+	postJSON(t, ts.URL+"/v1/solve", analyticBody).Body.Close()
+	// Identical analytic request again: no coalescing window (the first is
+	// long gone), so it re-runs and hits the analytic cache tier.
+	postJSON(t, ts.URL+"/v1/solve", analyticBody).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st engine.Stats
+	decodeBody(t, resp, &st)
+	ex, ok := st.Backends["exact"]
+	if !ok || ex.Solves != 1 {
+		t.Fatalf("exact backend counters missing or wrong: %+v", st.Backends)
+	}
+	an, ok := st.Backends["analytic"]
+	if !ok || an.Solves != 2 {
+		t.Fatalf("analytic backend counters missing or wrong: %+v", st.Backends)
+	}
+	if an.CacheHits == 0 || st.Cache.AnalyticHits == 0 {
+		t.Fatalf("analytic re-solve did not hit the analytic cache tier: backends=%+v cache=%+v",
+			st.Backends, st.Cache)
+	}
+	if ex.MeanWallMS <= 0 {
+		t.Fatalf("exact mean wall time not recorded: %+v", ex)
+	}
+	if _, ok := st.Backends["hybrid"]; ok {
+		t.Fatalf("hybrid backend counted without running: %+v", st.Backends)
+	}
+}
+
+// TestSolveMethodRoundTrip: the request's method reaches the backend and is
+// echoed in the result; unknown methods are 400s carrying the repo-wide
+// uniform message.
+func TestSolveMethodRoundTrip(t *testing.T) {
+	_, ts := startServer(t, engine.Config{}, false)
+	resp := postJSON(t, ts.URL+"/v1/solve",
+		`{"scenario":"twobus","iterations":1,"seeds":[1],"horizon":400,"warmUp":50,"method":"analytic"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var res engine.SolveResult
+	decodeBody(t, resp, &res)
+	if res.Method != "analytic" {
+		t.Fatalf("result method %q, want analytic", res.Method)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/solve", `{"scenario":"twobus","method":"bogus"}`)
+	var e map[string]string
+	decodeBody(t, resp, &e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown method: status %d, want 400", resp.StatusCode)
+	}
+	want := `unknown method "bogus" (valid methods: analytic | exact | hybrid)`
+	if !strings.Contains(e["error"], want) {
+		t.Fatalf("error %q does not carry the uniform message %q", e["error"], want)
+	}
+}
+
 // ndjsonLines splits a streaming response into its decoded lines.
 func ndjsonLines(t *testing.T, resp *http.Response) []map[string]json.RawMessage {
 	t.Helper()

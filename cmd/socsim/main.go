@@ -3,6 +3,13 @@
 // internal/engine's simulate endpoint.
 //
 //	socsim -arch netproc -budget 160 -policy proportional -timeout 0 -seed 1
+//	socsim -arch netproc -budget 160 -policy sized -method analytic
+//
+// The "sized" policy first runs the full buffer-sizing methodology under
+// the -method solver backend (exact | analytic | hybrid) and simulates its
+// chosen allocation; the other policies ignore -method (it is still
+// validated, so an unknown backend fails with the repo-wide uniform
+// message and exit code 2).
 package main
 
 import (
@@ -20,13 +27,14 @@ func main() {
 	var (
 		name    = flag.String("arch", "netproc", "preset: "+cliutil.PresetNames)
 		budget  = flag.Int("budget", 160, "total buffer budget in units")
-		pol     = flag.String("policy", "constant", "sizing policy: constant | proportional")
+		pol     = flag.String("policy", "constant", "sizing policy: constant | proportional | sized (sized solves via -method first)")
 		horizon = flag.Float64("horizon", 2000, "sim horizon")
 		warm    = flag.Float64("warmup", 100, "warm-up time")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		timeout = flag.Float64("timeout", 0, "timeout threshold (0 disables; -1 derives the mean-residence threshold)")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of a table")
 	)
+	method := cliutil.AddMethodFlag(nil)
 	flag.Parse()
 
 	eng := engine.New(engine.Config{})
@@ -35,6 +43,7 @@ func main() {
 		Arch:    *name,
 		Budget:  *budget,
 		Policy:  *pol,
+		Method:  *method,
 		Horizon: *horizon,
 		WarmUp:  *warm,
 		Seed:    *seed,

@@ -23,8 +23,15 @@
 //     records the fingerprint contract);
 //   - internal/parallel                   — the deterministic worker pool
 //     behind every sweep fan-out;
-//   - internal/core, internal/policy      — the methodology loop and the
-//     sizing policies the paper compares;
+//   - internal/core, internal/policy      — the methodology loop (exposed
+//     one iteration at a time as core.Stepper) and the sizing policies the
+//     paper compares;
+//   - internal/solver                     — the pluggable solver backends
+//     every entry point dispatches through: "exact" (the CTMDP/LP path),
+//     "analytic" (closed-form M/M/1/K blocking + marginal-allocation
+//     greedy, no LP, ~150× faster) and "hybrid" (analytic screening with
+//     gated exact refinement, same sizing as exact) — DESIGN.md §6
+//     records the backend contract;
 //   - internal/scenario                   — the scenario engine: seeded
 //     chain/star/tree/mesh topology generators, pluggable traffic models
 //     (Poisson / rate-preserving ON-OFF), and the registry of named
@@ -47,12 +54,13 @@
 // every fixture; see ctmdp.StationaryOptions. The methodology invokes this
 // refinement when core.Config.RefineStationary is set (socbuf -refine).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// modelling decisions (§4: the solve-cache fingerprint contract),
+// See README.md for a tour (including "Choosing a solver method"),
+// DESIGN.md for the system inventory and modelling decisions (§4: the
+// solve-cache fingerprint contract; §6: the solver backend contract),
 // EXPERIMENTS.md for paper-vs-measured results, and PERFORMANCE.md for the
-// benchmark methodology and the measured solve-cache numbers. The
-// benchmarks in bench_test.go regenerate every table and figure.
+// benchmark methodology and the measured solve-cache and backend numbers.
+// The benchmarks in bench_test.go regenerate every table and figure.
 package socbuf
 
 // Version identifies the reproduction release.
-const Version = "1.3.0"
+const Version = "1.4.0"

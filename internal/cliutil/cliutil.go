@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"socbuf/internal/engine"
+	"socbuf/internal/solver"
 )
 
 // CommonFlags is the flag group every solve-capable CLI shares.
@@ -106,3 +107,15 @@ func PrintJSON(prog string, v any) {
 // PresetNames documents the architecture presets the engine resolves, for
 // flag help strings.
 const PresetNames = "figure1 | twobus | netproc"
+
+// AddMethodFlag registers the shared -method flag (solver backend
+// selection) on fs (nil = the default CommandLine set). All three CLIs use
+// it, so the help text — and, through the engine's validation, the
+// unknown-method error — is identical everywhere. The empty default defers
+// to scenario-pinned methods and the engine's exact fallback.
+func AddMethodFlag(fs *flag.FlagSet) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.String("method", "", "solver backend: "+solver.MethodList()+" (default exact; see README \"Choosing a solver method\")")
+}

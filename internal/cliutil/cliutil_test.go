@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"flag"
+	"strings"
 	"testing"
 )
 
@@ -50,5 +51,25 @@ func TestSetFlags(t *testing.T) {
 	set := SetFlags(fs)
 	if !set["budget"] || set["iters"] {
 		t.Fatalf("set flags = %v", set)
+	}
+}
+
+func TestAddMethodFlag(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	m := AddMethodFlag(fs)
+	if err := fs.Parse([]string{"-method", "analytic"}); err != nil {
+		t.Fatal(err)
+	}
+	if *m != "analytic" {
+		t.Fatalf("method = %q, want analytic", *m)
+	}
+	// The help text must enumerate the registry, so all three CLIs (and
+	// their docs) stay in sync with internal/solver automatically.
+	f := fs.Lookup("method")
+	if f == nil || !strings.Contains(f.Usage, "analytic | exact | hybrid") {
+		t.Fatalf("method flag usage out of sync with the solver registry: %+v", f)
+	}
+	if f.DefValue != "" {
+		t.Fatalf("method default %q, want empty (exact fallback happens at dispatch)", f.DefValue)
 	}
 }

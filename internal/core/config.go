@@ -42,6 +42,11 @@ type Config struct {
 	// Arch is the architecture to size. It is cloned; bridges are buffered
 	// in the clone.
 	Arch *arch.Architecture
+	// Method selects the solver backend ("exact" | "analytic" | "hybrid";
+	// empty means exact). Dispatch lives in internal/solver — Run/RunCtx
+	// implement only the exact CTMDP/LP path and reject any other value, so
+	// a request for the analytic backend can never silently run the LP.
+	Method string
 	// Budget is the total buffer space in units (the paper sweeps 160, 320,
 	// 640 on the network-processor testbed).
 	Budget int
@@ -112,6 +117,9 @@ type Config struct {
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() (Config, error) {
+	if c.Method != "" && c.Method != "exact" {
+		return c, fmt.Errorf("core: method %q is dispatched by internal/solver; core runs only the exact CTMDP/LP path", c.Method)
+	}
 	if c.Arch == nil {
 		return c, fmt.Errorf("core: nil architecture")
 	}

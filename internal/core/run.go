@@ -22,10 +22,13 @@ type Iteration struct {
 	SimLoss int64
 	// LossByProc is the per-processor simulated loss (summed over seeds).
 	LossByProc map[string]int64
-	// ModelLoss is the LP objective (weighted model loss rate).
+	// ModelLoss is the LP objective (weighted model loss rate) — or, for
+	// iterations produced by a non-exact solver backend, that backend's
+	// closed-form loss-rate estimate.
 	ModelLoss float64
 	// Solution is the joint solution whose translation produced Alloc.
-	// Callers can rebuild this iteration's arbitration with Arbiters.
+	// Callers can rebuild this iteration's arbitration with Arbiters. Nil for
+	// iterations produced by the analytic backend (no CTMDP solve ran).
 	Solution *ctmdp.JointSolution
 	// CapBinding reports whether the joint occupancy cap bound.
 	CapBinding bool
@@ -52,7 +55,8 @@ type Result struct {
 	// loss (the paper keeps the resized system that won the comparison).
 	Best *Iteration
 	// FinalSolution is the joint solution of the last iteration (policies,
-	// occupancy distributions, switching structure).
+	// occupancy distributions, switching structure). Nil when the run was
+	// produced by a backend that never solved a CTMDP (analytic).
 	FinalSolution *ctmdp.JointSolution
 }
 
@@ -76,7 +80,43 @@ func Run(cfg Config) (*Result, error) {
 // ctx.Err()) instead of finishing its remaining iterations. Work already in
 // flight on worker goroutines completes before RunCtx returns — nothing is
 // abandoned.
+//
+// RunCtx is the exact CTMDP/LP backend: it drives a Stepper for the
+// configured number of iterations. Alternative backends (internal/solver's
+// analytic and hybrid) drive the same Stepper with their own schedules.
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	s, err := NewStepper(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for it := 0; it < s.cfg.Iterations; it++ {
+		if _, err := s.Step(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return s.Result()
+}
+
+// Stepper drives the methodology one iteration at a time: the construction
+// runs the shared prologue (buffer insertion, split, linearity check,
+// uniform baseline evaluation), and each Step executes one exact
+// solve→translate→resimulate pass. RunCtx is NewStepper plus
+// Config.Iterations Steps; solver backends that schedule iterations
+// differently (early-terminating hybrid refinement, the analytic backend's
+// single closed-form pass via Record) reuse the identical machinery, which
+// is what keeps the exact path's output byte-identical across entry points.
+type Stepper struct {
+	cfg   Config
+	a     *arch.Architecture
+	bnd   *boundary
+	alloc arch.Allocation
+	res   *Result
+}
+
+// NewStepper validates cfg and runs the methodology prologue: clone, bridge
+// buffer insertion, split + linearity verification, and the uniform-baseline
+// evaluation every backend's Improvement is measured against.
+func NewStepper(ctx context.Context, cfg Config) (*Stepper, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -114,84 +154,136 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	alloc := res.BaselineAlloc.Clone()
 	bnd, err := initialBoundary(a)
 	if err != nil {
 		return nil, err
 	}
+	return &Stepper{
+		cfg:   cfg,
+		a:     a,
+		bnd:   bnd,
+		alloc: res.BaselineAlloc.Clone(),
+		res:   res,
+	}, nil
+}
 
-	for it := 0; it < cfg.Iterations; it++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
-		}
-		sol, models, err := solveWithBoundary(ctx, a, alloc, bnd, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
-		}
-		_ = models
+// Config returns the normalised configuration (defaults filled in).
+func (s *Stepper) Config() Config { return s.cfg }
 
-		demands, err := ctmdp.Demands(sol.PerModel, cfg.Eps)
-		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
-		}
-		// Buffers that carry no traffic (e.g. an attachment no flow uses)
-		// never appear in any model; they keep the one-unit floor and the
-		// rest of the budget goes to the demanded buffers.
-		covered := map[string]bool{}
-		for _, d := range demands {
-			covered[d.BufferID] = true
-		}
-		var inert []string
-		for _, id := range a.BufferIDs() {
-			if !covered[id] {
-				inert = append(inert, id)
-			}
-		}
-		next, err := ctmdp.Translate(demands, cfg.Budget-len(inert), cfg.Translator)
-		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
-		}
-		for _, id := range inert {
-			next[id] = 1
-		}
-		newAlloc := arch.Allocation(next)
-		if err := newAlloc.Validate(a, cfg.Budget); err != nil {
-			return nil, fmt.Errorf("core: iteration %d produced bad allocation: %w", it, err)
-		}
+// Arch returns the buffered clone the methodology works on.
+func (s *Stepper) Arch() *arch.Architecture { return s.a }
 
-		var makeArbiters func() (map[string]sim.Arbiter, error)
-		if !cfg.DisableCTMDPArbiter {
-			makeArbiters = func() (map[string]sim.Arbiter, error) {
-				return buildArbiters(a, sol, newAlloc)
-			}
-			// Fail fast on wiring errors before fanning out the seeds.
-			if _, err := makeArbiters(); err != nil {
-				return nil, fmt.Errorf("core: iteration %d: %w", it, err)
-			}
-		}
-		loss, byProc, err := evaluate(ctx, a, newAlloc, makeArbiters, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
-		}
+// Alloc returns the current allocation: the uniform baseline before the
+// first Step, thereafter the latest iteration's sizing.
+func (s *Stepper) Alloc() arch.Allocation { return s.alloc }
 
-		randomised := 0
-		for _, ms := range sol.PerModel {
-			randomised += len(ms.Policy.KSwitching().Randomised)
+// Step runs one exact methodology iteration — bridge-boundary fixed point,
+// joint CTMDP/LP solve, measure→capacity translation, and the simulated
+// re-evaluation — and appends it to the result.
+func (s *Stepper) Step(ctx context.Context) (*Iteration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	it := len(s.res.Iterations)
+	cfg, a := s.cfg, s.a
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+	}
+	sol, models, err := solveWithBoundary(ctx, a, s.alloc, s.bnd, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+	}
+	_ = models
+
+	demands, err := ctmdp.Demands(sol.PerModel, cfg.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+	}
+	// Buffers that carry no traffic (e.g. an attachment no flow uses)
+	// never appear in any model; they keep the one-unit floor and the
+	// rest of the budget goes to the demanded buffers.
+	covered := map[string]bool{}
+	for _, d := range demands {
+		covered[d.BufferID] = true
+	}
+	var inert []string
+	for _, id := range a.BufferIDs() {
+		if !covered[id] {
+			inert = append(inert, id)
 		}
-		res.Iterations = append(res.Iterations, Iteration{
-			Index:            it,
-			Alloc:            newAlloc,
-			SimLoss:          loss,
-			LossByProc:       byProc,
-			ModelLoss:        sol.TotalLossRate,
-			Solution:         sol,
-			CapBinding:       sol.CapBinding,
-			RandomisedStates: randomised,
-		})
-		res.FinalSolution = sol
-		alloc = newAlloc
+	}
+	next, err := ctmdp.Translate(demands, cfg.Budget-len(inert), cfg.Translator)
+	if err != nil {
+		return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+	}
+	for _, id := range inert {
+		next[id] = 1
+	}
+	newAlloc := arch.Allocation(next)
+	if err := newAlloc.Validate(a, cfg.Budget); err != nil {
+		return nil, fmt.Errorf("core: iteration %d produced bad allocation: %w", it, err)
 	}
 
+	var makeArbiters func() (map[string]sim.Arbiter, error)
+	if !cfg.DisableCTMDPArbiter {
+		makeArbiters = func() (map[string]sim.Arbiter, error) {
+			return buildArbiters(a, sol, newAlloc)
+		}
+		// Fail fast on wiring errors before fanning out the seeds.
+		if _, err := makeArbiters(); err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+		}
+	}
+	loss, byProc, err := evaluate(ctx, a, newAlloc, makeArbiters, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: iteration %d: %w", it, err)
+	}
+
+	randomised := 0
+	for _, ms := range sol.PerModel {
+		randomised += len(ms.Policy.KSwitching().Randomised)
+	}
+	s.res.Iterations = append(s.res.Iterations, Iteration{
+		Index:            it,
+		Alloc:            newAlloc,
+		SimLoss:          loss,
+		LossByProc:       byProc,
+		ModelLoss:        sol.TotalLossRate,
+		Solution:         sol,
+		CapBinding:       sol.CapBinding,
+		RandomisedStates: randomised,
+	})
+	s.res.FinalSolution = sol
+	s.alloc = newAlloc
+	return &s.res.Iterations[len(s.res.Iterations)-1], nil
+}
+
+// Evaluate simulates alloc on the stepper's buffered architecture under the
+// default longest-queue arbitration, summing losses across the configured
+// seeds — the evaluation used for the baseline and by backends that size
+// without a CTMDP policy (analytic).
+func (s *Stepper) Evaluate(ctx context.Context, alloc arch.Allocation) (int64, map[string]int64, error) {
+	return evaluate(ctx, s.a, alloc, nil, s.cfg)
+}
+
+// Record appends an externally produced iteration (a non-exact backend's
+// sizing pass) to the result, stamping its index and advancing the current
+// allocation. A non-nil Solution becomes the result's FinalSolution, exactly
+// as an exact Step's would.
+func (s *Stepper) Record(it Iteration) {
+	it.Index = len(s.res.Iterations)
+	s.res.Iterations = append(s.res.Iterations, it)
+	if it.Solution != nil {
+		s.res.FinalSolution = it.Solution
+	}
+	s.alloc = it.Alloc
+}
+
+// Result finalises the run: the iteration with the lowest simulated loss
+// wins (ties keep the earliest, matching the paper's "keep the resized
+// system that won the comparison"). At least one iteration must have run.
+func (s *Stepper) Result() (*Result, error) {
+	res := s.res
 	if len(res.Iterations) == 0 {
 		return nil, errors.New("core: zero iterations requested")
 	}

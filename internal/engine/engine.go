@@ -40,6 +40,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"socbuf/internal/solvecache"
 )
@@ -111,6 +112,11 @@ type Engine struct {
 	simRuns    atomic.Int64
 	busy       atomic.Int64
 	inFlight   atomic.Int64
+
+	// backends accumulates per-solver-backend counters (guarded by bmu):
+	// methodology runs executed, total wall time, and cache-hit deltas.
+	bmu      sync.Mutex
+	backends map[string]*backendAcc
 
 	// testHookLeaderSolve, when non-nil, runs in the flight leader after the
 	// flight is registered and before the underlying solve starts. Tests use
@@ -187,7 +193,48 @@ func New(cfg Config) *Engine {
 		baseCtx:    ctx,
 		cancel:     cancel,
 		flights:    map[string]*flight{},
+		backends:   map[string]*backendAcc{},
 	}
+}
+
+// backendAcc accumulates one backend's counters.
+type backendAcc struct {
+	solves    int64
+	wall      time.Duration
+	cacheHits int64
+}
+
+// recordBackend folds one observation into a backend's counters. Solve
+// counts and wall times come from the per-run observer (sweeps report one
+// observation per point); cache-hit deltas are measured per request and
+// attributed to the request's backend — under concurrent cache-sharing
+// requests the attribution between backends is approximate (the totals
+// remain exact), which is the documented trade for keeping the solve hot
+// path free of per-hit instrumentation.
+func (e *Engine) recordBackend(method string, solves int64, wall time.Duration, cacheHits int64) {
+	e.bmu.Lock()
+	acc := e.backends[method]
+	if acc == nil {
+		acc = &backendAcc{}
+		e.backends[method] = acc
+	}
+	acc.solves += solves
+	acc.wall += wall
+	acc.cacheHits += cacheHits
+	e.bmu.Unlock()
+}
+
+// BackendStats is one solver backend's counter snapshot, served by
+// /v1/stats under the backend's method name.
+type BackendStats struct {
+	// Solves counts methodology runs executed with this backend — sweep
+	// points individually, failed runs included (they consumed the time).
+	Solves int64 `json:"solves"`
+	// CacheHits is the solve-cache hits (exact, warm-start, joint and
+	// analytic tiers summed) observed during this backend's requests.
+	CacheHits int64 `json:"cacheHits"`
+	// MeanWallMS is the mean wall time per run, in milliseconds.
+	MeanWallMS float64 `json:"meanWallMs"`
 }
 
 // Cache exposes the engine's current solve cache (for stats reporting;
@@ -221,7 +268,7 @@ func (e *Engine) maybeRotateCache() {
 	}
 	c := e.Cache()
 	s := c.Stats()
-	if s.Entries+s.JointEntries <= e.cacheLimit {
+	if s.Entries+s.JointEntries+s.AnalyticEntries <= e.cacheLimit {
 		return
 	}
 	e.mu.Lock()
@@ -254,10 +301,27 @@ type Stats struct {
 	InFlight int64 `json:"inFlight"`
 	// Cache is the owned solve cache's counter snapshot.
 	Cache solvecache.Stats `json:"cache"`
+	// Backends breaks the methodology runs down by solver backend
+	// ("exact" | "analytic" | "hybrid"); only backends that have executed
+	// appear.
+	Backends map[string]BackendStats `json:"backends,omitempty"`
 }
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
+	e.bmu.Lock()
+	backends := make(map[string]BackendStats, len(e.backends))
+	for m, acc := range e.backends {
+		bs := BackendStats{Solves: acc.solves, CacheHits: acc.cacheHits}
+		if acc.solves > 0 {
+			bs.MeanWallMS = float64(acc.wall) / float64(time.Millisecond) / float64(acc.solves)
+		}
+		backends[m] = bs
+	}
+	e.bmu.Unlock()
+	if len(backends) == 0 {
+		backends = nil
+	}
 	return Stats{
 		Requests:  e.requests.Load(),
 		Coalesced: e.coalesced.Load(),
@@ -267,6 +331,7 @@ func (e *Engine) Stats() Stats {
 		Busy:      e.busy.Load(),
 		InFlight:  e.inFlight.Load(),
 		Cache:     e.Cache().Stats(),
+		Backends:  backends,
 	}
 }
 

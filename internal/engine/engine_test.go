@@ -731,3 +731,94 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestEngineMixedMethodSweep: per-point method overrides thread end to end —
+// the rows carry each point's backend, the per-backend counters split the
+// points, and an unknown method anywhere in the request is an invalid
+// request (the CLIs' exit-2 / HTTP-400 class), before any point runs.
+func TestEngineMixedMethodSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := New(Config{})
+	defer e.Close()
+	got, err := e.BudgetSweep(context.Background(), BudgetSweepRequest{
+		Arch: "twobus", Budgets: []int{24, 30, 36},
+		Iterations: fastIters, Seeds: fastSeeds, Horizon: fastHorizon, WarmUp: fastWarmUp,
+		Method: "analytic", Methods: []string{"", "", "exact"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := got.Sweep.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	wantMethods := []string{"analytic", "analytic", ""} // exact reports empty
+	for i, row := range rows {
+		if row.Method != wantMethods[i] {
+			t.Fatalf("row %d method %q, want %q", i, row.Method, wantMethods[i])
+		}
+		if row.Error != "" || row.UniformLoss <= 0 {
+			t.Fatalf("row %d out of shape: %+v", i, row)
+		}
+	}
+	st := e.Stats()
+	if st.Backends["analytic"].Solves != 2 || st.Backends["exact"].Solves != 1 {
+		t.Fatalf("per-backend solve split wrong: %+v", st.Backends)
+	}
+
+	// Unknown method in either field fails validation up front.
+	for _, req := range []BudgetSweepRequest{
+		{Arch: "twobus", Budgets: []int{24}, Method: "bogus"},
+		{Arch: "twobus", Budgets: []int{24}, Methods: []string{"bogus"}},
+		{Arch: "twobus", Budgets: []int{24, 30}, Methods: []string{"exact"}}, // misaligned
+	} {
+		if _, err := e.BudgetSweep(context.Background(), req); !errors.Is(err, ErrInvalidRequest) {
+			t.Fatalf("request %+v: error %v, want ErrInvalidRequest", req, err)
+		}
+	}
+}
+
+// TestEngineScenarioMethodOverride: the request-level method override
+// reaches every scenario of a sweep, and scenario solves report their
+// backend in the solve result.
+func TestEngineScenarioMethodOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := New(Config{})
+	defer e.Close()
+	res, err := e.ScenarioSweep(context.Background(), ScenarioSweepRequest{
+		Scenarios: []string{"twobus", "figure1"}, Budget: 48,
+		Iterations: fastIters, Seeds: fastSeeds, Horizon: fastHorizon,
+		Method: "analytic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Sweep.Points))
+	}
+	for _, p := range res.Sweep.Points {
+		if p.Method != "analytic" {
+			t.Fatalf("point %s method %q, want analytic", p.Name, p.Method)
+		}
+	}
+	solve, err := e.Solve(context.Background(), SolveRequest{
+		Scenario: "twobus", Iterations: fastIters, Seeds: fastSeeds,
+		Horizon: fastHorizon, WarmUp: fastWarmUp, Method: "hybrid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solve.Method != "hybrid" {
+		t.Fatalf("solve method %q, want hybrid", solve.Method)
+	}
+	if _, err := e.Solve(context.Background(), SolveRequest{Scenario: "twobus", Method: "nope"}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("unknown solve method: %v, want ErrInvalidRequest", err)
+	}
+	if _, err := e.Simulate(context.Background(), SimulateRequest{Arch: "twobus", Budget: 24, Method: "nope"}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("unknown simulate method: %v, want ErrInvalidRequest", err)
+	}
+}

@@ -35,6 +35,11 @@ type SolveRequest struct {
 	Seeds      []int64 `json:"seeds,omitempty"`
 	Horizon    float64 `json:"horizon,omitempty"`
 	WarmUp     float64 `json:"warmUp,omitempty"`
+	// Method selects the solver backend ("exact" | "analytic" | "hybrid";
+	// empty inherits the scenario's own method, or the exact default).
+	// Unknown names fail request validation (HTTP 400 / CLI exit 2) with
+	// the uniform message listing the valid methods.
+	Method string `json:"method,omitempty"`
 	// Refine enables the post-LP stationary refinement
 	// (core.Config.RefineStationary).
 	Refine bool `json:"refine,omitempty"`
@@ -119,6 +124,9 @@ func (r SolveRequest) coreConfig() (core.Config, solveMeta, error) {
 		if r.WarmUp > 0 {
 			cfg.WarmUp = r.WarmUp
 		}
+		if r.Method != "" {
+			cfg.Method = r.Method
+		}
 		cfg.RefineStationary = r.Refine
 		cfg.Workers = r.Workers
 		return cfg, meta, nil
@@ -135,6 +143,7 @@ func (r SolveRequest) coreConfig() (core.Config, solveMeta, error) {
 		Seeds:            r.Seeds,
 		Horizon:          r.Horizon,
 		WarmUp:           r.WarmUp,
+		Method:           r.Method,
 		RefineStationary: r.Refine,
 		Workers:          r.Workers,
 	}, meta, nil
@@ -181,7 +190,10 @@ type SolveResult struct {
 	Scenario string `json:"scenario,omitempty"`
 	Topology string `json:"topology,omitempty"`
 	Traffic  string `json:"traffic,omitempty"`
-	Budget   int    `json:"budget"`
+	// Method is the solver backend that produced this result (canonical
+	// name; "exact" for the default path).
+	Method string `json:"method"`
+	Budget int    `json:"budget"`
 	// Iterations is the number of methodology iterations that ran.
 	Iterations int `json:"iterations"`
 	// Subsystems counts the linear subsystems after buffer insertion.
@@ -213,7 +225,13 @@ type BudgetSweepRequest struct {
 	Seeds      []int64 `json:"seeds,omitempty"`
 	Horizon    float64 `json:"horizon,omitempty"`
 	WarmUp     float64 `json:"warmUp,omitempty"`
-	Workers    int     `json:"workers,omitempty"`
+	// Method is the default solver backend for every point; Methods
+	// optionally overrides it point by point, aligned index-for-index with
+	// Budgets (empty entries inherit Method). A sweep can thus screen most
+	// points analytically and refine only the Pareto knee exactly.
+	Method  string   `json:"method,omitempty"`
+	Methods []string `json:"methods,omitempty"`
+	Workers int      `json:"workers,omitempty"`
 	// UseCache shares the engine cache across all points and plans/prewarms
 	// the sweep first (experiments.CachedBudgetSweep).
 	UseCache bool `json:"useCache,omitempty"`
@@ -246,9 +264,12 @@ type ScenarioSweepRequest struct {
 	Iterations int     `json:"iterations,omitempty"`
 	Seeds      []int64 `json:"seeds,omitempty"`
 	Horizon    float64 `json:"horizon,omitempty"`
-	Quick      bool    `json:"quick,omitempty"`
-	Workers    int     `json:"workers,omitempty"`
-	UseCache   bool    `json:"useCache,omitempty"`
+	// Method overrides every scenario's solver backend (empty keeps each
+	// scenario's own method, or the exact default).
+	Method   string `json:"method,omitempty"`
+	Quick    bool   `json:"quick,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	UseCache bool   `json:"useCache,omitempty"`
 
 	// OnRow streams per-scenario rows as they complete; see
 	// BudgetSweepRequest.OnRow for the contract. Not part of the wire shape.

@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
 	"socbuf/internal/policy"
 	"socbuf/internal/report"
 	"socbuf/internal/sim"
+	"socbuf/internal/solver"
 )
 
 // SimulateRequest asks for one standalone discrete-event simulation under a
@@ -19,8 +22,15 @@ type SimulateRequest struct {
 	Arch     string          `json:"arch,omitempty"`
 	ArchJSON json.RawMessage `json:"archJSON,omitempty"`
 	Budget   int             `json:"budget"`
-	// Policy is the sizing baseline: "constant" (default) or "proportional".
-	Policy  string  `json:"policy,omitempty"`
+	// Policy is the sizing baseline: "constant" (default), "proportional",
+	// or "sized" — the last runs the full methodology under Method first
+	// and simulates its chosen allocation.
+	Policy string `json:"policy,omitempty"`
+	// Method selects the solver backend for the "sized" policy ("exact" |
+	// "analytic" | "hybrid"; empty = exact). It is validated on every
+	// request — an unknown method fails uniformly (HTTP 400 / CLI exit 2)
+	// regardless of the policy — but only "sized" consumes it.
+	Method  string  `json:"method,omitempty"`
 	Horizon float64 `json:"horizon,omitempty"`
 	WarmUp  float64 `json:"warmUp,omitempty"`
 	Seed    int64   `json:"seed,omitempty"`
@@ -69,23 +79,42 @@ func (e *Engine) Simulate(ctx context.Context, req SimulateRequest) (*SimulateRe
 	if err != nil {
 		return nil, err
 	}
-	a.InsertBridgeBuffers()
-
-	var sizer policy.Sizer
-	switch req.Policy {
-	case "", "constant":
-		sizer = policy.Uniform{}
-	case "proportional":
-		sizer = policy.Proportional{}
-	default:
-		return nil, invalidf("unknown sizing policy %q (constant | proportional)", req.Policy)
+	if err := validMethod(req.Method); err != nil {
+		return nil, err
 	}
 	if req.Budget <= 0 {
 		return nil, invalidf("budget %d must be positive", req.Budget)
 	}
-	alloc, err := sizer.Allocate(a, req.Budget)
-	if err != nil {
-		return nil, err
+
+	var alloc arch.Allocation
+	var polName string
+	switch req.Policy {
+	case "", "constant", "proportional":
+		a.InsertBridgeBuffers()
+		var sizer policy.Sizer = policy.Uniform{}
+		if req.Policy == "proportional" {
+			sizer = policy.Proportional{}
+		}
+		if alloc, err = sizer.Allocate(a, req.Budget); err != nil {
+			return nil, err
+		}
+		polName = sizer.Name()
+	case "sized":
+		// Full methodology under the requested backend; the simulation then
+		// measures its chosen allocation on the buffered clone it sized.
+		res, err := e.runSolver(rctx, core.Config{
+			Arch:    a,
+			Budget:  req.Budget,
+			Method:  req.Method,
+			Workers: e.requestWorkers(0),
+		})
+		if err != nil {
+			return nil, err
+		}
+		a, alloc = res.Arch, res.Best.Alloc
+		polName = "sized/" + solver.Canonical(req.Method)
+	default:
+		return nil, invalidf("unknown sizing policy %q (constant | proportional | sized)", req.Policy)
 	}
 	e.simRuns.Add(1)
 
@@ -125,7 +154,7 @@ func (e *Engine) Simulate(ctx context.Context, req SimulateRequest) (*SimulateRe
 
 	out := &SimulateResult{
 		Arch:           a.Name,
-		Policy:         sizer.Name(),
+		Policy:         polName,
 		Budget:         req.Budget,
 		DerivedTimeout: thr,
 		Generated:      r.TotalGenerated(),

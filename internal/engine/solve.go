@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"socbuf/internal/arch"
 	"socbuf/internal/core"
 	"socbuf/internal/experiments"
 	"socbuf/internal/report"
 	"socbuf/internal/scenario"
+	"socbuf/internal/solvecache"
+	"socbuf/internal/solver"
 )
 
 // Solve runs one methodology request. Concurrent identical requests (equal
@@ -102,6 +105,9 @@ func (e *Engine) solve(ctx context.Context, req SolveRequest) (*SolveResult, err
 	if err != nil {
 		return nil, err
 	}
+	if err := validMethod(cfg.Method); err != nil {
+		return nil, err
+	}
 	if cfg.Budget <= 0 {
 		return nil, invalidf("budget %d must be positive", cfg.Budget)
 	}
@@ -110,20 +116,56 @@ func (e *Engine) solve(ctx context.Context, req SolveRequest) (*SolveResult, err
 	}
 	cfg.Workers = e.requestWorkers(cfg.Workers)
 	e.solveRuns.Add(1)
-	res, err := core.RunCtx(ctx, cfg)
+	res, err := e.runSolver(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return newSolveResult(meta, res), nil
+	return newSolveResult(meta, solver.Canonical(cfg.Method), res), nil
+}
+
+// validMethod resolves a backend name, tagging failures as invalid
+// requests so every layer reports them uniformly (CLI exit 2, HTTP 400).
+func validMethod(name string) error {
+	if _, err := solver.Resolve(name); err != nil {
+		return invalidf("%v", err)
+	}
+	return nil
+}
+
+// cacheHitCount folds a cache snapshot's hit counters (all tiers) for the
+// per-backend delta attribution.
+func cacheHitCount(s solvecache.Stats) int64 {
+	return s.Hits + s.WarmStarts + s.JointHits + s.AnalyticHits
+}
+
+// runSolver executes one methodology run through the backend registry,
+// recording per-backend counters: one solve, its wall time, and — when the
+// run shares the engine cache — the cache-hit delta it observed.
+func (e *Engine) runSolver(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	method := solver.Canonical(cfg.Method)
+	var before int64
+	if cfg.Cache != nil {
+		before = cacheHitCount(cfg.Cache.Stats())
+	}
+	start := time.Now()
+	res, err := solver.Run(ctx, cfg)
+	wall := time.Since(start)
+	var hits int64
+	if cfg.Cache != nil {
+		hits = cacheHitCount(cfg.Cache.Stats()) - before
+	}
+	e.recordBackend(method, 1, wall, hits)
+	return res, err
 }
 
 // newSolveResult shapes a methodology outcome for clients.
-func newSolveResult(meta solveMeta, res *core.Result) *SolveResult {
+func newSolveResult(meta solveMeta, method string, res *core.Result) *SolveResult {
 	out := &SolveResult{
 		Arch:             res.Arch.Name,
 		Scenario:         meta.scenario,
 		Topology:         meta.topology,
 		Traffic:          meta.traffic,
+		Method:           method,
 		Budget:           res.BaselineAlloc.Total(),
 		Iterations:       len(res.Iterations),
 		Subsystems:       len(res.Subsystems),
@@ -160,18 +202,35 @@ func (e *Engine) BudgetSweep(ctx context.Context, req BudgetSweepRequest) (*Budg
 	if len(req.Budgets) == 0 {
 		return nil, invalidf("empty budget list")
 	}
+	if err := validMethod(req.Method); err != nil {
+		return nil, err
+	}
+	if len(req.Methods) != 0 && len(req.Methods) != len(req.Budgets) {
+		return nil, invalidf("%d per-point methods for %d budgets", len(req.Methods), len(req.Budgets))
+	}
+	for _, m := range req.Methods {
+		if m == "" {
+			continue // inherits the default method
+		}
+		if err := validMethod(m); err != nil {
+			return nil, err
+		}
+	}
 	a, err := resolveArch(req.Arch, req.ArchJSON)
 	if err != nil {
 		return nil, err
 	}
 	e.sweepRuns.Add(1)
 	opt := experiments.Options{
-		Iterations:  req.Iterations,
-		Seeds:       req.Seeds,
-		Horizon:     req.Horizon,
-		WarmUp:      req.WarmUp,
-		Workers:     e.requestWorkers(req.Workers),
-		OnBudgetRow: req.OnRow,
+		Iterations:   req.Iterations,
+		Seeds:        req.Seeds,
+		Horizon:      req.Horizon,
+		WarmUp:       req.WarmUp,
+		Workers:      e.requestWorkers(req.Workers),
+		OnBudgetRow:  req.OnRow,
+		Method:       req.Method,
+		PointMethods: req.Methods,
+		Observer:     e.sweepObserver(),
 	}
 	if req.UseCache {
 		opt.Cache = e.Cache()
@@ -182,6 +241,15 @@ func (e *Engine) BudgetSweep(ctx context.Context, req BudgetSweepRequest) (*Budg
 		return nil, err
 	}
 	return &BudgetSweepResult{ArchName: a.Name, Sweep: res, Plan: plan}, err
+}
+
+// sweepObserver records each sweep point's solve under its backend. Cache
+// hits are not attributed per point (points share the cache concurrently);
+// they remain visible in the request-level cache counters.
+func (e *Engine) sweepObserver() func(method string, wall time.Duration) {
+	return func(method string, wall time.Duration) {
+		e.recordBackend(method, 1, wall, 0)
+	}
 }
 
 // ScenarioSweep fans the methodology over the requested registry scenarios,
@@ -195,6 +263,9 @@ func (e *Engine) ScenarioSweep(ctx context.Context, req ScenarioSweepRequest) (*
 	}
 	defer end()
 
+	if err := validMethod(req.Method); err != nil {
+		return nil, err
+	}
 	scs, err := scenario.Resolve(req.Scenarios)
 	if err != nil {
 		return nil, invalidf("%v", err)
@@ -203,6 +274,7 @@ func (e *Engine) ScenarioSweep(ctx context.Context, req ScenarioSweepRequest) (*
 	opt := experiments.Options{
 		Workers:       e.requestWorkers(req.Workers),
 		OnScenarioRow: req.OnRow,
+		Observer:      e.sweepObserver(),
 	}
 	if req.UseCache {
 		opt.Cache = e.Cache()
@@ -213,6 +285,9 @@ func (e *Engine) ScenarioSweep(ctx context.Context, req ScenarioSweepRequest) (*
 	for i := range scs {
 		if req.Budget > 0 {
 			scs[i].Budget = req.Budget
+		}
+		if req.Method != "" {
+			scs[i].Method = req.Method
 		}
 		if req.Iterations > 0 {
 			scs[i].Iterations = req.Iterations

@@ -6,8 +6,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"socbuf/internal/arch"
 	"socbuf/internal/core"
@@ -18,6 +20,7 @@ import (
 	"socbuf/internal/policy"
 	"socbuf/internal/sim"
 	"socbuf/internal/solvecache"
+	"socbuf/internal/solver"
 )
 
 // Options tunes experiment cost. Zero values pick the defaults used by the
@@ -46,6 +49,51 @@ type Options struct {
 	OnBudgetRow func(BudgetRow)
 	// OnScenarioRow is OnBudgetRow for scenario sweeps.
 	OnScenarioRow func(ScenarioRow)
+	// Method selects the solver backend every methodology run uses ("exact"
+	// | "analytic" | "hybrid"; empty = exact — see internal/solver). Budget
+	// sweeps can override it per point with PointMethods; scenarios' own
+	// Method fields win over this default.
+	Method string
+	// PointMethods optionally overrides Method per budget-sweep point,
+	// aligned index-for-index with the budgets slice (empty entries inherit
+	// Method). Length must be zero or the number of budgets. This is the
+	// device that lets one sweep screen most points analytically and refine
+	// only the Pareto knee exactly.
+	PointMethods []string
+	// Observer, when non-nil, is invoked after every methodology run a
+	// sweep executes, with the resolved backend name and the run's wall
+	// time (failed runs included — they consumed the time). Called from
+	// worker goroutines; must be safe for concurrent use. internal/engine
+	// hangs its per-backend stats counters off this hook.
+	Observer func(method string, wall time.Duration)
+}
+
+// runMethod executes one methodology run through the solver registry,
+// timing it for opt.Observer — the single funnel every sweep point and
+// figure/table regeneration goes through.
+func runMethod(ctx context.Context, cfg core.Config, opt Options) (*core.Result, error) {
+	start := time.Now()
+	res, err := solver.Run(ctx, cfg)
+	if opt.Observer != nil {
+		opt.Observer(solver.Canonical(cfg.Method), time.Since(start))
+	}
+	return res, err
+}
+
+// validatePointMethods checks the PointMethods alignment contract.
+func (o Options) validatePointMethods(points int) error {
+	if len(o.PointMethods) != 0 && len(o.PointMethods) != points {
+		return fmt.Errorf("experiments: %d per-point methods for %d budgets", len(o.PointMethods), points)
+	}
+	return nil
+}
+
+// pointMethod resolves point i's backend name.
+func (o Options) pointMethod(i int) string {
+	if i < len(o.PointMethods) && o.PointMethods[i] != "" {
+		return o.PointMethods[i]
+	}
+	return o.Method
 }
 
 func (o Options) withDefaults() Options {
@@ -88,7 +136,7 @@ func Figure3(budget int, opt Options) (*Figure3Result, error) {
 	opt = opt.withDefaults()
 	a := arch.NetworkProcessor()
 
-	res, err := core.Run(core.Config{
+	res, err := runMethod(context.Background(), core.Config{
 		Arch:       a,
 		Budget:     budget,
 		Iterations: opt.Iterations,
@@ -97,7 +145,8 @@ func Figure3(budget int, opt Options) (*Figure3Result, error) {
 		WarmUp:     opt.WarmUp,
 		Workers:    opt.Workers,
 		Cache:      opt.Cache,
-	})
+		Method:     opt.Method,
+	}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +261,7 @@ func Table1(budgets []int, procs []string, opt Options) (*Table1Result, error) {
 	// already saturates the pool, and nesting would multiply concurrency to
 	// Workers² goroutines.
 	points, err := parallel.Map(len(budgets), opt.Workers, func(i int) (*core.Result, error) {
-		res, err := core.Run(core.Config{
+		res, err := runMethod(context.Background(), core.Config{
 			Arch:       arch.NetworkProcessor(),
 			Budget:     budgets[i],
 			Iterations: opt.Iterations,
@@ -221,7 +270,8 @@ func Table1(budgets []int, procs []string, opt Options) (*Table1Result, error) {
 			WarmUp:     opt.WarmUp,
 			Workers:    1,
 			Cache:      opt.Cache,
-		})
+			Method:     opt.Method,
+		}, opt)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: budget %d: %w", budgets[i], err)
 		}

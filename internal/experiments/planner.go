@@ -12,6 +12,7 @@ import (
 	"socbuf/internal/parallel"
 	"socbuf/internal/report"
 	"socbuf/internal/solvecache"
+	"socbuf/internal/solver"
 )
 
 // SweepPlan is the up-front fingerprint analysis of a budget sweep: every
@@ -143,11 +144,32 @@ func CachedBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Opt
 	return CachedBudgetSweepCtx(context.Background(), newArch, budgets, opt)
 }
 
+// usesExactTier reports whether any sweep point runs an exact-family
+// backend (exact or hybrid — both solve CTMDP sub-models the plan's
+// prewarmed entries can serve). An all-analytic sweep has nothing to
+// prewarm: the analytic tier caches whole-architecture sizings, not
+// sub-model solves.
+func usesExactTier(opt Options, points int) bool {
+	for i := 0; i < points; i++ {
+		if solver.Canonical(opt.pointMethod(i)) != solver.MethodAnalytic {
+			return true
+		}
+	}
+	return false
+}
+
 // CachedBudgetSweepCtx is CachedBudgetSweep with cooperative cancellation
-// threaded through planning, prewarming and the sweep itself.
+// threaded through planning, prewarming and the sweep itself. Sweeps whose
+// every point runs the analytic backend skip the (exact-tier) planning and
+// prewarm entirely and return a nil plan — the shared cache still serves
+// their analytic tier.
 func CachedBudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, *SweepPlan, error) {
 	if opt.Cache == nil {
 		opt.Cache = solvecache.New()
+	}
+	if !usesExactTier(opt, len(budgets)) {
+		res, err := BudgetSweepCtx(ctx, newArch, budgets, opt)
+		return res, nil, err
 	}
 	plan, err := PlanBudgetSweep(newArch, budgets, opt)
 	if err != nil {
@@ -193,7 +215,9 @@ func SweepWithPlanCtx(ctx context.Context, w io.Writer, newArch func() *arch.Arc
 }
 
 // WriteCacheStats renders a cache-counter snapshot in the shared report
-// format (the body of both CLIs' -cache-stats flag).
+// format (the body of both CLIs' -cache-stats flag). The analytic tier's
+// counters appear only once it has been touched, keeping exact-only
+// invocations' output unchanged.
 func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
 	headers := []string{"HITS", "warm starts", "misses", "joint hits", "joint misses", "entries"}
 	rows := [][]string{{
@@ -202,7 +226,11 @@ func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
 		fmt.Sprint(s.Misses),
 		fmt.Sprint(s.JointHits),
 		fmt.Sprint(s.JointMisses),
-		fmt.Sprint(s.Entries + s.JointEntries),
+		fmt.Sprint(s.Entries + s.JointEntries + s.AnalyticEntries),
 	}}
+	if s.AnalyticHits+s.AnalyticMisses > 0 {
+		headers = append(headers, "analytic hits", "analytic misses")
+		rows[0] = append(rows[0], fmt.Sprint(s.AnalyticHits), fmt.Sprint(s.AnalyticMisses))
+	}
 	return report.Table(w, headers, rows)
 }

@@ -26,6 +26,9 @@ type BudgetSweepResult struct {
 	Pre, Post map[int]int64
 	// Improvement is 1 − post/pre per budget (0 when pre is 0).
 	Improvement map[int]float64
+	// Method records each point's solver backend, keyed by budget; points
+	// on the exact default are omitted.
+	Method map[int]string
 	// Failed pairs each failing budget with its error, in input order; the
 	// successful points above are still populated.
 	Failed []BudgetError
@@ -40,9 +43,12 @@ type BudgetError struct {
 // BudgetRow is one budget point in machine-readable form — the unit of both
 // BudgetSweepResult.WriteJSON and the socbufd NDJSON stream (one row per
 // line as points complete). A failed point carries its error string and
-// zero-valued losses.
+// zero-valued losses. Method is the solver backend the point ran with
+// (omitted for the exact default, keeping pre-backend consumers' JSON
+// unchanged).
 type BudgetRow struct {
 	Budget      int     `json:"budget"`
+	Method      string  `json:"method,omitempty"`
 	UniformLoss int64   `json:"uniformLoss"`
 	SizedLoss   int64   `json:"sizedLoss"`
 	Improvement float64 `json:"improvement"`
@@ -56,6 +62,7 @@ func (r *BudgetSweepResult) Rows() []BudgetRow {
 	for _, b := range r.Budgets {
 		rows = append(rows, BudgetRow{
 			Budget:      b,
+			Method:      r.Method[b],
 			UniformLoss: r.Pre[b],
 			SizedLoss:   r.Post[b],
 			Improvement: r.Improvement[b],
@@ -108,18 +115,47 @@ func ParseBudgets(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParseMethods parses a comma-separated per-point method list like
+// "analytic,analytic,exact". Unlike ParseBudgets, empty segments are kept
+// (as "") so a list can override only some points — "analytic,,hybrid"
+// leaves the middle point on the sweep's default method. Name validation
+// happens at dispatch, where the unknown-method message is uniform.
+func ParseMethods(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+	}
+	return out
+}
+
 // WriteTable renders the sweep — one row per successful budget, one trailing
-// line per failed point — in the shared report format.
+// line per failed point — in the shared report format. A method column
+// appears only when some point ran a non-exact backend.
 func (r *BudgetSweepResult) WriteTable(w io.Writer) error {
 	headers := []string{"BUDGET", "uniform loss", "sized loss", "improvement"}
+	if len(r.Method) > 0 {
+		headers = append(headers, "method")
+	}
 	var rows [][]string
 	for _, b := range r.Budgets {
-		rows = append(rows, []string{
+		row := []string{
 			fmt.Sprint(b),
 			fmt.Sprint(r.Pre[b]),
 			fmt.Sprint(r.Post[b]),
 			fmt.Sprintf("%.1f%%", r.Improvement[b]*100),
-		})
+		}
+		if len(r.Method) > 0 {
+			m := r.Method[b]
+			if m == "" {
+				m = "exact"
+			}
+			row = append(row, m)
+		}
+		rows = append(rows, row)
 	}
 	if err := report.Table(w, headers, rows); err != nil {
 		return err
@@ -151,14 +187,18 @@ func BudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budg
 	if len(budgets) == 0 {
 		return nil, errors.New("experiments: empty budget sweep")
 	}
+	if err := opt.validatePointMethods(len(budgets)); err != nil {
+		return nil, err
+	}
 	if newArch == nil {
 		newArch = arch.NetworkProcessor
 	}
 	// Points run their seeds serially (Workers: 1): the outer fan-out
 	// already saturates the pool, and nesting would multiply concurrency to
-	// Workers² goroutines.
+	// Workers² goroutines. Every point routes through the solver registry,
+	// so a sweep can mix backends point by point (Options.PointMethods).
 	points, err := parallel.MapCtx(ctx, len(budgets), opt.Workers, func(i int) (*core.Result, error) {
-		res, err := core.RunCtx(ctx, core.Config{
+		res, err := runMethod(ctx, core.Config{
 			Arch:       newArch(),
 			Budget:     budgets[i],
 			Iterations: opt.Iterations,
@@ -167,9 +207,10 @@ func BudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budg
 			WarmUp:     opt.WarmUp,
 			Workers:    1,
 			Cache:      opt.Cache,
-		})
+			Method:     opt.pointMethod(i),
+		}, opt)
 		if opt.OnBudgetRow != nil {
-			opt.OnBudgetRow(budgetRow(budgets[i], res, err))
+			opt.OnBudgetRow(budgetRow(budgets[i], rowMethod(opt.pointMethod(i)), res, err))
 		}
 		return res, err
 	})
@@ -178,6 +219,7 @@ func BudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budg
 		Pre:         map[int]int64{},
 		Post:        map[int]int64{},
 		Improvement: map[int]float64{},
+		Method:      map[int]string{},
 	}
 	// Pull per-point failures out of the joined error by index so partial
 	// sweeps stay usable.
@@ -195,18 +237,31 @@ func BudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budg
 		out.Pre[b] = res.BaselineLoss
 		out.Post[b] = res.Best.SimLoss
 		out.Improvement[b] = res.Improvement()
+		if m := rowMethod(opt.pointMethod(i)); m != "" {
+			out.Method[b] = m
+		}
 	}
 	return out, out.Err()
 }
 
+// rowMethod is the reporting form of a point's method: the exact default
+// stays empty so pre-backend report rows are unchanged.
+func rowMethod(m string) string {
+	if m == "" || m == "exact" {
+		return ""
+	}
+	return m
+}
+
 // budgetRow shapes one completed point (or its failure) for the streaming
 // hook.
-func budgetRow(budget int, res *core.Result, err error) BudgetRow {
+func budgetRow(budget int, method string, res *core.Result, err error) BudgetRow {
 	if err != nil {
-		return BudgetRow{Budget: budget, Error: err.Error()}
+		return BudgetRow{Budget: budget, Method: method, Error: err.Error()}
 	}
 	return BudgetRow{
 		Budget:      budget,
+		Method:      method,
 		UniformLoss: res.BaselineLoss,
 		SizedLoss:   res.Best.SimLoss,
 		Improvement: res.Improvement(),

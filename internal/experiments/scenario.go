@@ -26,6 +26,9 @@ type ScenarioPoint struct {
 	Buffers int    `json:"buffers"` // buffer count after insertion (what Budget divides over)
 	Traffic string `json:"traffic"`
 	Budget  int    `json:"budget"`
+	// Method is the solver backend the point ran with (empty = exact, so
+	// pre-backend consumers' JSON is unchanged).
+	Method string `json:"method,omitempty"`
 	// Pre and Post are total simulated losses before/after CTMDP sizing,
 	// summed over the evaluation seeds.
 	Pre  int64 `json:"uniformLoss"`
@@ -72,19 +75,37 @@ func (r *ScenarioSweepResult) Err() error {
 }
 
 // WriteTable renders the sweep — one row per successful scenario, one
-// trailing line per failure — in the shared report format.
+// trailing line per failure — in the shared report format. A method column
+// appears only when some point ran a non-exact backend.
 func (r *ScenarioSweepResult) WriteTable(w io.Writer) error {
+	withMethod := false
+	for _, p := range r.Points {
+		if p.Method != "" {
+			withMethod = true
+		}
+	}
 	headers := []string{"SCENARIO", "arch", "buses", "buffers", "traffic", "budget",
 		"uniform loss", "sized loss", "improvement", "loss frac", "latency"}
+	if withMethod {
+		headers = append(headers, "method")
+	}
 	var rows [][]string
 	for _, p := range r.Points {
-		rows = append(rows, []string{
+		row := []string{
 			p.Name, p.Arch, fmt.Sprint(p.Buses), fmt.Sprint(p.Buffers), p.Traffic,
 			fmt.Sprint(p.Budget), fmt.Sprint(p.Pre), fmt.Sprint(p.Post),
 			fmt.Sprintf("%.1f%%", p.Improvement*100),
 			fmt.Sprintf("%.4f", p.LossFrac),
 			fmt.Sprintf("%.3f", p.Latency),
-		})
+		}
+		if withMethod {
+			m := p.Method
+			if m == "" {
+				m = "exact"
+			}
+			row = append(row, m)
+		}
+		rows = append(rows, row)
 	}
 	if err := report.Table(w, headers, rows); err != nil {
 		return err
@@ -233,16 +254,21 @@ func runScenario(ctx context.Context, sc scenario.Scenario, opt Options) (Scenar
 	if cfg.WarmUp == 0 {
 		cfg.WarmUp = opt.WarmUp
 	}
+	if cfg.Method == "" {
+		cfg.Method = opt.Method
+	}
 	cfg.Workers = 1
 	cfg.Cache = opt.Cache
 
-	res, err := core.RunCtx(ctx, cfg)
+	res, err := runMethod(ctx, cfg, opt)
 	if err != nil {
 		return ScenarioPoint{}, err
 	}
 
 	// The probe measures the same system the sized-loss column did: the best
 	// allocation under its own CTMDP arbitration and the scenario's traffic.
+	// Analytic sizings carry no CTMDP solution — their probe keeps the
+	// longest-queue default, matching how their sized loss was evaluated.
 	probeCfg := sim.Config{
 		Arch:    res.Arch,
 		Alloc:   res.Best.Alloc,
@@ -250,7 +276,7 @@ func runScenario(ctx context.Context, sc scenario.Scenario, opt Options) (Scenar
 		WarmUp:  cfg.WarmUp,
 		Seed:    cfg.Seeds[0],
 	}
-	if !cfg.DisableCTMDPArbiter {
+	if !cfg.DisableCTMDPArbiter && res.Best.Solution != nil {
 		probeCfg.Arbiters, err = core.Arbiters(res.Arch, res.Best.Solution, res.Best.Alloc)
 		if err != nil {
 			return ScenarioPoint{}, err
@@ -278,6 +304,7 @@ func runScenario(ctx context.Context, sc scenario.Scenario, opt Options) (Scenar
 		Buffers:     len(res.Arch.BufferIDs()),
 		Traffic:     sc.Traffic.String(),
 		Budget:      sc.Budget,
+		Method:      rowMethod(cfg.Method),
 		Pre:         res.BaselineLoss,
 		Post:        res.Best.SimLoss,
 		Improvement: res.Improvement(),

@@ -14,6 +14,7 @@ import (
 
 	"socbuf/internal/arch"
 	"socbuf/internal/core"
+	"socbuf/internal/solver"
 )
 
 // Scenario is one named evaluation configuration.
@@ -38,6 +39,11 @@ type Scenario struct {
 	WarmUp     float64 `json:"warmUp,omitempty"`
 	CapFactor  float64 `json:"capFactor,omitempty"`
 	Sequential bool    `json:"sequential,omitempty"`
+	// Method pins the scenario to a solver backend ("exact" | "analytic" |
+	// "hybrid"); empty inherits the sweep's (or the exact) default. Name
+	// validation happens at dispatch (internal/solver), where the
+	// unknown-method message is uniform across every entry point.
+	Method string `json:"method,omitempty"`
 }
 
 // Validate checks the scenario end to end: fields, traffic parameters, and
@@ -78,6 +84,11 @@ func (s Scenario) Validate() error {
 	if s.CapFactor < 0 || s.CapFactor > 1 {
 		return fmt.Errorf("scenario %q: cap factor %v outside [0,1]", s.Name, s.CapFactor)
 	}
+	if s.Method != "" {
+		if _, err := solver.Resolve(s.Method); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -109,6 +120,7 @@ func (s Scenario) CoreConfig() (core.Config, error) {
 		CapFactor:  s.CapFactor,
 		Sequential: s.Sequential,
 		Traffic:    factory,
+		Method:     s.Method,
 	}, nil
 }
 

@@ -56,9 +56,11 @@ type Cache struct {
 	exact      map[Key]*entry
 	structural map[Key]*entry
 	joint      map[Key]*jointEntry
+	analytic   map[Key]*AnalyticSolution
 
-	hits, misses, warm   atomic.Int64
-	jointHits, jointMiss atomic.Int64
+	hits, misses, warm       atomic.Int64
+	jointHits, jointMiss     atomic.Int64
+	analyticHit, analyticMis atomic.Int64
 }
 
 // entry is one cached sub-model solution, aligned to its canonical model.
@@ -88,7 +90,58 @@ func New() *Cache {
 		exact:      map[Key]*entry{},
 		structural: map[Key]*entry{},
 		joint:      map[Key]*jointEntry{},
+		analytic:   map[Key]*AnalyticSolution{},
 	}
+}
+
+// AnalyticSolution is one cached analytic sizing: the closed-form backend's
+// chosen allocation and its weighted loss-rate estimate. Stored payloads are
+// immutable; lookups return fresh allocation maps.
+type AnalyticSolution struct {
+	Alloc    map[string]int
+	LossRate float64
+}
+
+// clone returns an aliasing-free copy (cached payloads never leak mutable
+// state to callers — the same contract as the exact tiers' rebind).
+func (s *AnalyticSolution) clone() *AnalyticSolution {
+	alloc := make(map[string]int, len(s.Alloc))
+	for id, u := range s.Alloc {
+		alloc[id] = u
+	}
+	return &AnalyticSolution{Alloc: alloc, LossRate: s.LossRate}
+}
+
+// LookupAnalytic fetches a cached analytic sizing by its
+// AnalyticFingerprint key. A nil receiver (caching disabled) always misses
+// without counting.
+func (c *Cache) LookupAnalytic(k Key) (*AnalyticSolution, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	s := c.analytic[k]
+	c.mu.Unlock()
+	if s == nil {
+		c.analyticMis.Add(1)
+		return nil, false
+	}
+	c.analyticHit.Add(1)
+	return s.clone(), true
+}
+
+// PutAnalytic stores one analytic sizing under its AnalyticFingerprint key.
+// The payload is copied in; concurrent duplicate stores of the same key are
+// benign (analytic solves are deterministic functions of the key). A nil
+// receiver is a no-op.
+func (c *Cache) PutAnalytic(k Key, s *AnalyticSolution) {
+	if c == nil || s == nil {
+		return
+	}
+	cp := s.clone()
+	c.mu.Lock()
+	c.analytic[k] = cp
+	c.mu.Unlock()
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -103,8 +156,13 @@ type Stats struct {
 	// JointHits / JointMisses count capped joint solves (the occupancy-cap
 	// linked programs, cached at whole-program granularity).
 	JointHits, JointMisses int64
-	// Entries / JointEntries are the stored solution counts.
-	Entries, JointEntries int
+	// AnalyticHits / AnalyticMisses count analytic-tier lookups — the
+	// closed-form backend's sizing cache, keyed in a backend-tagged key
+	// space disjoint from every exact fingerprint.
+	AnalyticHits, AnalyticMisses int64
+	// Entries / JointEntries / AnalyticEntries are the stored solution
+	// counts per tier.
+	Entries, JointEntries, AnalyticEntries int
 }
 
 // Stats returns a snapshot of the counters.
@@ -119,16 +177,19 @@ func (c *Cache) Stats() Stats {
 	for _, e := range c.exact {
 		distinct[e] = struct{}{}
 	}
-	entries, jointEntries := len(distinct), len(c.joint)
+	entries, jointEntries, analyticEntries := len(distinct), len(c.joint), len(c.analytic)
 	c.mu.Unlock()
 	return Stats{
-		Hits:         c.hits.Load(),
-		WarmStarts:   c.warm.Load(),
-		Misses:       c.misses.Load(),
-		JointHits:    c.jointHits.Load(),
-		JointMisses:  c.jointMiss.Load(),
-		Entries:      entries,
-		JointEntries: jointEntries,
+		Hits:            c.hits.Load(),
+		WarmStarts:      c.warm.Load(),
+		Misses:          c.misses.Load(),
+		JointHits:       c.jointHits.Load(),
+		JointMisses:     c.jointMiss.Load(),
+		AnalyticHits:    c.analyticHit.Load(),
+		AnalyticMisses:  c.analyticMis.Load(),
+		Entries:         entries,
+		JointEntries:    jointEntries,
+		AnalyticEntries: analyticEntries,
 	}
 }
 

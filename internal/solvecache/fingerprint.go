@@ -121,7 +121,19 @@ func (h *hasher) sum() Key { return sha256.Sum256(h.buf) }
 
 // version tags the serialisation layout; bump on any change to what a
 // fingerprint covers so stale cross-process caches can never alias.
-const version = 1
+// Version 2 introduced the backend tag below.
+const version = 2
+
+// Backend domain-separation tags. Every fingerprint serialises the solver
+// backend that produced (or will produce) the payload immediately after the
+// version, so a solution computed by one backend can never be looked up —
+// and rebound — as another's: an analytic M/M/1/K sizing and an exact
+// CTMDP/LP solution of the same model occupy disjoint key spaces by
+// construction.
+const (
+	backendExact    = 0
+	backendAnalytic = 1
+)
 
 func (h *hasher) options(o SolveOptions) {
 	h.bool(o.Refine)
@@ -136,6 +148,7 @@ func (h *hasher) options(o SolveOptions) {
 func fingerprint(m *ctmdp.Model, opts SolveOptions, withUnits bool) Key {
 	h := &hasher{buf: make([]byte, 0, 64+24*len(m.Clients))}
 	h.i64(version)
+	h.i64(backendExact)
 	h.bool(withUnits)
 	h.f64(m.ServiceRate)
 	h.i64(int64(len(m.Clients)))
@@ -177,11 +190,30 @@ func StructuralFingerprint(m *ctmdp.Model, opts SolveOptions) Key {
 func JointFingerprint(models []*ctmdp.Model, cap float64, opts SolveOptions) Key {
 	h := &hasher{}
 	h.i64(version)
+	h.i64(backendExact)
 	h.i64(int64(len(models)))
 	for _, m := range models {
 		k := Fingerprint(m, opts)
 		h.buf = append(h.buf, k[:]...)
 	}
 	h.f64(cap)
+	return h.sum()
+}
+
+// AnalyticFingerprint keys one analytic (M/M/1/K marginal-allocation)
+// sizing: the canonical byte serialisation of the buffered architecture the
+// backend sized, the budget, and the fixed-point iteration count. The
+// backendAnalytic tag puts these keys in a key space disjoint from every
+// exact CTMDP fingerprint, so an analytic allocation can never rebind as an
+// exact solution (or vice versa) even on a (vanishing) hash collision of
+// the content bytes.
+func AnalyticFingerprint(archBytes []byte, budget, boundaryIters int) Key {
+	h := &hasher{buf: make([]byte, 0, 32+len(archBytes))}
+	h.i64(version)
+	h.i64(backendAnalytic)
+	h.i64(int64(budget))
+	h.i64(int64(boundaryIters))
+	h.i64(int64(len(archBytes)))
+	h.buf = append(h.buf, archBytes...)
 	return h.sum()
 }

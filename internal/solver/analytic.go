@@ -1,0 +1,303 @@
+package solver
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/queueing"
+	"socbuf/internal/solvecache"
+)
+
+// analytic sizes buffers from closed-form M/M/1/K blocking probabilities
+// (internal/queueing) instead of the CTMDP/LP: each buffer is approximated
+// as an M/M/1/K queue at its boundary-estimated arrival rate and its share
+// of the bus's service capacity, and the budget is spent by a
+// marginal-allocation greedy — every unit goes to the buffer whose weighted
+// loss rate w·λ·B(K) drops most. The M/M/1/K marginals are decreasing in K,
+// so the greedy is exact for the separable analytic objective (the same
+// argument as ctmdp.TranslateGreedyTail's, with the closed-form blocking in
+// place of the measured tail ratio).
+//
+// Bridge coupling is handled the way the exact path handles it — a damped
+// fixed point on the boundary scalars — but with the M/M/1/K blocking
+// probability in place of the solved model's full probability, so no LP is
+// ever assembled: the whole sizing is a few thousand floating-point
+// operations. Accuracy is anchored by the single-bus property test
+// (TestSingleBusCTMDPMatchesMM1K): for one uncontended buffer the CTMDP
+// stationary distribution IS the M/M/1/K distribution, so the approximation
+// error comes only from multi-client contention and bridge feedback.
+//
+// The result carries exactly one iteration, evaluated by simulation under
+// the default longest-queue arbitration (no CTMDP policy exists to drive
+// the simulator); Solution is nil and ModelLoss is the analytic weighted
+// loss-rate estimate.
+type analytic struct{}
+
+func init() { mustRegister(analytic{}) }
+
+func (analytic) Name() string { return MethodAnalytic }
+
+func (analytic) Run(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	s, err := core.NewStepper(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = s.Config()
+
+	sol, err := analyticSize(s.Arch(), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	alloc := arch.Allocation(sol.Alloc)
+	if err := alloc.Validate(s.Arch(), cfg.Budget); err != nil {
+		return nil, fmt.Errorf("solver: analytic sizing produced bad allocation: %w", err)
+	}
+	loss, byProc, err := s.Evaluate(ctx, alloc)
+	if err != nil {
+		return nil, err
+	}
+	s.Record(core.Iteration{
+		Alloc:      alloc,
+		SimLoss:    loss,
+		LossByProc: byProc,
+		ModelLoss:  sol.LossRate,
+	})
+	return s.Result()
+}
+
+// analyticSize computes the analytic allocation and its loss estimate for
+// the buffered architecture, consulting cfg.Cache's analytic tier when one
+// is attached (the key space is backend-tagged, so these entries can never
+// alias an exact CTMDP solution).
+func analyticSize(a *arch.Architecture, cfg core.Config) (*solvecache.AnalyticSolution, error) {
+	var key solvecache.Key
+	if cfg.Cache != nil {
+		var err error
+		if key, err = analyticKey(a, cfg); err != nil {
+			return nil, err
+		}
+		if sol, ok := cfg.Cache.LookupAnalytic(key); ok {
+			return sol, nil
+		}
+	}
+	sol, err := analyticSolve(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cache != nil {
+		cfg.Cache.PutAnalytic(key, sol)
+	}
+	return sol, nil
+}
+
+// analyticKey fingerprints the analytic problem: the buffered
+// architecture's canonical JSON, the loss weights, the budget and the
+// fixed-point depth (solvecache.AnalyticFingerprint adds the backend tag).
+func analyticKey(a *arch.Architecture, cfg core.Config) (solvecache.Key, error) {
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		return solvecache.Key{}, err
+	}
+	procs := make([]string, 0, len(cfg.LossWeights))
+	for p := range cfg.LossWeights {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	for _, p := range procs {
+		fmt.Fprintf(&buf, "w:%s=%x;", p, math.Float64bits(cfg.LossWeights[p]))
+	}
+	return solvecache.AnalyticFingerprint(buf.Bytes(), cfg.Budget, cfg.BoundaryIters), nil
+}
+
+// analyticModel is the closed-form view of the buffered architecture: the
+// static structure the fixed point iterates over.
+type analyticModel struct {
+	buffers []string           // sorted buffer IDs
+	busOf   map[string]string  // buffer -> serving bus
+	muBus   map[string]float64 // bus -> service rate
+	clients map[string][]string
+	weight  map[string]float64 // rate-weighted loss weight per buffer
+	routes  []arch.Route
+}
+
+func newAnalyticModel(a *arch.Architecture, cfg core.Config) (*analyticModel, error) {
+	clients, err := a.BusClients()
+	if err != nil {
+		return nil, err
+	}
+	routes, err := a.Routes()
+	if err != nil {
+		return nil, err
+	}
+	m := &analyticModel{
+		buffers: a.BufferIDs(),
+		busOf:   map[string]string{},
+		muBus:   map[string]float64{},
+		clients: clients,
+		weight:  map[string]float64{},
+		routes:  routes,
+	}
+	sort.Strings(m.buffers)
+	for bus, ids := range clients {
+		b, ok := a.BusByID(bus)
+		if !ok {
+			return nil, fmt.Errorf("solver: unknown bus %q in client map", bus)
+		}
+		m.muBus[bus] = b.ServiceRate
+		for _, id := range ids {
+			m.busOf[id] = bus
+		}
+	}
+	// Loss weight per buffer: rate-weighted over source processors, exactly
+	// as the exact path's model construction weighs them.
+	wNum := map[string]float64{}
+	wDen := map[string]float64{}
+	for _, r := range routes {
+		w := 1.0
+		if lw, ok := cfg.LossWeights[r.Flow.From]; ok {
+			w = lw
+		}
+		for _, h := range r.Hops {
+			wNum[h.Buffer] += r.Flow.Rate * w
+			wDen[h.Buffer] += r.Flow.Rate
+		}
+	}
+	for _, id := range m.buffers {
+		m.weight[id] = 1
+		if wDen[id] > 0 && wNum[id] > 0 {
+			m.weight[id] = wNum[id] / wDen[id]
+		}
+	}
+	return m, nil
+}
+
+// serviceShare returns each buffer's effective service rate given the
+// current arrival estimates: the larger of the bus's residual capacity
+// (μ − everyone else's load — right when the bus is underloaded and the
+// arbiter serves this queue at nearly full rate) and the proportional share
+// μ·λ/Λ (the saturated floor). This is the standard two-regime
+// approximation for a single server shared by loss queues.
+func (m *analyticModel) serviceShare(arrival map[string]float64) map[string]float64 {
+	busLoad := map[string]float64{}
+	for id, bus := range m.busOf {
+		busLoad[bus] += arrival[id]
+	}
+	mu := make(map[string]float64, len(m.busOf))
+	for id, bus := range m.busOf {
+		lam, load, cap := arrival[id], busLoad[bus], m.muBus[bus]
+		if lam <= 0 {
+			mu[id] = cap
+			continue
+		}
+		residual := cap - (load - lam)
+		prop := cap * lam / load
+		mu[id] = math.Max(residual, prop)
+	}
+	return mu
+}
+
+// blocking returns the M/M/1/K loss probability of one buffer, 0 for
+// traffic-free buffers.
+func blocking(lambda, mu float64, k int) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	q, err := queueing.NewMM1K(lambda, mu, k)
+	if err != nil {
+		// mu and k are constructed positive; unreachable in practice.
+		return 1
+	}
+	return q.Blocking()
+}
+
+// converge runs the closed-form boundary fixed point: greedy allocation at
+// the current arrival estimates, M/M/1/K blocking at that allocation, route
+// re-walk with blocking attenuation, damped update — cfg.BoundaryIters
+// passes, mirroring the exact path's bridge-boundary iteration with
+// formulas in place of LP solves. It returns the converged arrival
+// estimates.
+func (m *analyticModel) converge(a *arch.Architecture, cfg core.Config) (map[string]float64, error) {
+	arrival, err := a.BufferArrivalRates()
+	if err != nil {
+		return nil, err
+	}
+	const damp = 0.7
+	for fp := 0; fp < cfg.BoundaryIters; fp++ {
+		mu := m.serviceShare(arrival)
+		alloc := marginalGreedy(m, arrival, mu, cfg.Budget)
+		block := map[string]float64{}
+		for _, id := range m.buffers {
+			block[id] = blocking(arrival[id], mu[id], alloc[id])
+		}
+		// Re-derive arrivals along every route, attenuating the carried rate
+		// by each upstream buffer's acceptance (an accepted M/M/1/K customer
+		// is always eventually served, so acceptance is the whole story).
+		next := map[string]float64{}
+		for id := range arrival {
+			next[id] = 0
+		}
+		for _, r := range m.routes {
+			carried := r.Flow.Rate
+			for _, h := range r.Hops {
+				next[h.Buffer] += carried
+				carried *= 1 - block[h.Buffer]
+			}
+		}
+		for id := range arrival {
+			arrival[id] = damp*next[id] + (1-damp)*arrival[id]
+		}
+	}
+	return arrival, nil
+}
+
+// analyticSolve sizes the buffered architecture in closed form: converge
+// the boundary, spend the budget by marginal greedy, and price the result.
+func analyticSolve(a *arch.Architecture, cfg core.Config) (*solvecache.AnalyticSolution, error) {
+	m, err := newAnalyticModel(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	arrival, err := m.converge(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mu := m.serviceShare(arrival)
+	alloc := marginalGreedy(m, arrival, mu, cfg.Budget)
+	var loss float64
+	for _, id := range m.buffers {
+		loss += m.weight[id] * arrival[id] * blocking(arrival[id], mu[id], alloc[id])
+	}
+	return &solvecache.AnalyticSolution{Alloc: alloc, LossRate: loss}, nil
+}
+
+// marginalGreedy spends the budget unit by unit on the buffer with the
+// largest weighted marginal loss reduction w·λ·(B(K) − B(K+1)), starting
+// from the one-unit floor every buffer keeps. Ties break toward the
+// lexicographically smaller buffer ID so the allocation is deterministic.
+func marginalGreedy(m *analyticModel, arrival, mu map[string]float64, budget int) map[string]int {
+	alloc := make(map[string]int, len(m.buffers))
+	gain := make([]float64, len(m.buffers))
+	for i, id := range m.buffers {
+		alloc[id] = 1
+		gain[i] = m.weight[id] * arrival[id] * (blocking(arrival[id], mu[id], 1) - blocking(arrival[id], mu[id], 2))
+	}
+	for left := budget - len(m.buffers); left > 0; left-- {
+		best := 0
+		for i := 1; i < len(m.buffers); i++ {
+			if gain[i] > gain[best] {
+				best = i
+			}
+		}
+		id := m.buffers[best]
+		alloc[id]++
+		k := alloc[id]
+		gain[best] = m.weight[id] * arrival[id] * (blocking(arrival[id], mu[id], k) - blocking(arrival[id], mu[id], k+1))
+	}
+	return alloc
+}

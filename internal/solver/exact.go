@@ -1,0 +1,22 @@
+package solver
+
+import (
+	"context"
+
+	"socbuf/internal/core"
+)
+
+// exact is the paper's CTMDP/LP methodology — the pre-existing solve path
+// behind the backend seam. It delegates to core.RunCtx without touching the
+// configuration, so its output is byte-identical to what the pre-refactor
+// direct call produced (TestExactBackendMatchesCoreRun pins this over the
+// whole scenario registry).
+type exact struct{}
+
+func init() { mustRegister(exact{}) }
+
+func (exact) Name() string { return MethodExact }
+
+func (exact) Run(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	return core.RunCtx(ctx, cfg)
+}

@@ -1,0 +1,144 @@
+package solver
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+)
+
+// hybridAgreeFactor gates the agreement check: the analytic price of a
+// candidate sizing must lie within this factor of the LP's weighted loss
+// rate (both ways) for the screen to be trusted. The closed-form model
+// quantises nothing and ignores contention correlations, so a loose factor
+// is expected even when its ranking is good; disagreement beyond it means
+// the screen does not describe this instance and hybrid must not cut the
+// exact refinement short on its word.
+const hybridAgreeFactor = 5.0
+
+// hybrid is the screen-then-refine backend. The analytic model screens the
+// allocation space — it prices any candidate sizing in closed form from
+// the converged boundary estimates — while the exact CTMDP/LP loop refines
+// candidates one iteration at a time, on the identical core.Stepper
+// machinery the exact backend drives (same uniform start, bit-for-bit the
+// same per-iteration results). Hybrid's contribution is the stopping rule:
+//
+//   - cycle detection: the methodology's (allocation, boundary) trajectory
+//     settles into a short cycle after a few iterations (measured across
+//     the whole registry); once an iteration re-proposes a sizing already
+//     refined, later iterations only replay candidates the comparison has
+//     already seen, so refining further cannot change the chosen sizing;
+//   - gated agreement: the cut is taken only when the analytic screen's
+//     price for the re-proposed sizing agrees with the LP's own loss rate
+//     within hybridAgreeFactor — otherwise the screen is deemed unreliable
+//     for this instance and the full exact iteration count runs (falling
+//     back to exact is the no-op: the iterations already executed are the
+//     exact backend's own).
+//
+// Because every executed iteration is exactly the exact backend's and the
+// cut only ever lands after the trajectory has begun repeating itself,
+// hybrid selects the same sizing as exact on every registry scenario (the
+// gated acceptance test) at a fraction of the iterations — typically 4–6
+// of 10 — while inheriting exact's evaluation semantics unchanged.
+type hybrid struct{}
+
+func init() { mustRegister(hybrid{}) }
+
+func (hybrid) Name() string { return MethodHybrid }
+
+func (hybrid) Run(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	s, err := core.NewStepper(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = s.Config()
+
+	// The analytic screen prices the candidates the refinement proposes.
+	// Screen failure is not fatal — hybrid degrades to the full exact loop.
+	screen, serr := newScreen(s.Arch(), cfg)
+
+	seen := map[string]bool{}
+	for it := 0; it < cfg.Iterations; it++ {
+		iter, err := s.Step(ctx)
+		if err != nil {
+			return nil, err
+		}
+		key := allocKey(iter.Alloc)
+		if seen[key] && serr == nil && screen.agrees(iter.Alloc, iter.ModelLoss) {
+			break // trajectory cycled inside the screen's trust region
+		}
+		seen[key] = true
+	}
+	return s.Result()
+}
+
+// screen is the analytic view of one instance: converged boundary arrival
+// estimates and effective service shares, pricing arbitrary allocations in
+// closed form.
+type screen struct {
+	model   *analyticModel
+	arrival map[string]float64
+	mu      map[string]float64
+}
+
+// newScreen builds the pricing screen by running the analytic boundary
+// fixed point (the same computation the analytic backend sizes from).
+func newScreen(a *arch.Architecture, cfg core.Config) (*screen, error) {
+	m, err := newAnalyticModel(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	arrival, err := m.converge(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &screen{model: m, arrival: arrival, mu: m.serviceShare(arrival)}, nil
+}
+
+// loss prices an allocation with the screen's converged boundary.
+func (sc *screen) loss(alloc map[string]int) float64 {
+	var total float64
+	for _, id := range sc.model.buffers {
+		total += sc.model.weight[id] * sc.arrival[id] * blocking(sc.arrival[id], sc.mu[id], alloc[id])
+	}
+	return total
+}
+
+// agrees is the gated agreement check: the analytic estimate of the exact
+// loop's proposed sizing must be within hybridAgreeFactor of the LP's
+// weighted loss rate (both ways), or both must be negligible.
+func (sc *screen) agrees(alloc arch.Allocation, exactLoss float64) bool {
+	est := sc.loss(alloc)
+	const tiny = 1e-9
+	if est < tiny && exactLoss < tiny {
+		return true
+	}
+	if est <= 0 || exactLoss <= 0 {
+		return false
+	}
+	r := est / exactLoss
+	return r <= hybridAgreeFactor && r >= 1/hybridAgreeFactor
+}
+
+// allocKey canonically serialises an allocation for the cycle-detection
+// set.
+func allocKey(a arch.Allocation) string { return allocKeyMap(a) }
+
+func allocKeyMap(a map[string]int) string {
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		b.WriteString(id)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(a[id]))
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package solver_test
+
+// raceEnabled is false without the race detector: the acceptance gates run
+// over the whole scenario registry (see race_on_test.go).
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package solver_test
+
+// raceEnabled selects the trimmed gate workloads when the race detector is
+// on: the full registry-wide acceptance gates run in the plain `go test`
+// tier (and locally via `make test`), while `make race` / the -race CI job
+// still exercises every backend end to end on the fast scenarios — the
+// detector needs code paths, not exhaustive instances, and the full gates
+// under race blow the per-package time budget on small machines.
+const raceEnabled = true

@@ -28,13 +28,40 @@ until curl -sf "http://$ADDR/v1/stats" >/dev/null 2>&1; do
   sleep 0.2
 done
 
-echo "serve-smoke: POST /v1/solve"
-curl -sf -X POST -H 'Content-Type: application/json' \
-  -d '{"scenario":"twobus","iterations":1,"seeds":[1],"horizon":400,"warmUp":50}' \
-  "http://$ADDR/v1/solve" | tee /dev/stderr | grep -q '"sizedLoss"'
+# One solve per solver backend: the method field must reach the backend
+# (echoed in the response) and the per-backend stats must count each run.
+METHODS=${SOCBUFD_METHODS:-exact analytic hybrid}
+RUNS=0
+for METHOD in $METHODS; do
+  RUNS=$((RUNS + 1))
+  echo "serve-smoke: POST /v1/solve (method $METHOD)"
+  curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"scenario":"twobus","iterations":1,"seeds":[1],"horizon":400,"warmUp":50,"method":"'"$METHOD"'"}' \
+    "http://$ADDR/v1/solve" | tee /dev/stderr | grep -q '"method": "'"$METHOD"'"'
+done
+
+echo "serve-smoke: unknown method → 400 with the uniform message"
+CODE=$(curl -s -o "$LOG.err" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{"scenario":"twobus","method":"bogus"}' "http://$ADDR/v1/solve")
+[ "$CODE" = "400" ] || { echo "serve-smoke: unknown method gave HTTP $CODE, want 400" >&2; exit 1; }
+# The quotes arrive JSON-escaped (\"bogus\"), so match the two halves of
+# the uniform message separately.
+grep -q 'unknown method' "$LOG.err" && grep -q 'valid methods: analytic | exact | hybrid' "$LOG.err" || {
+  echo "serve-smoke: unknown-method message not uniform:" >&2
+  cat "$LOG.err" >&2
+  exit 1
+}
 
 echo "serve-smoke: GET /v1/stats"
-curl -sf "http://$ADDR/v1/stats" | tee /dev/stderr | grep -q '"solveRuns": 1'
+STATS=$(curl -sf "http://$ADDR/v1/stats")
+echo "$STATS" >&2
+echo "$STATS" | grep -q '"solveRuns": '"$RUNS"
+for METHOD in $METHODS; do
+  echo "$STATS" | grep -q '"'"$METHOD"'"' || {
+    echo "serve-smoke: /v1/stats missing backend counters for $METHOD" >&2
+    exit 1
+  }
+done
 
 echo "serve-smoke: SIGTERM → graceful shutdown"
 kill -TERM "$PID"
