@@ -6,7 +6,7 @@ GO ?= go
 OLD ?= previous-results.txt
 NEW ?= bench-results.txt
 
-.PHONY: build test race bench bench-compare lint fmt scenario-smoke serve-smoke
+.PHONY: build test race bench bench-compare lint fmt scenario-smoke serve-smoke placement-smoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,22 @@ scenario-smoke:
 		$(GO) run ./cmd/experiments scenario-sweep -method $$m \
 			-scenarios twobus,chain6-bursty -budget 48 -iters 2 -seeds 1 -horizon 600 -parallel 2 \
 			|| exit 1; \
+	done
+
+# Tiny end-to-end pass through the buffer-placement DP, once per solver
+# backend: run a placement on one registry scenario with quick evaluation
+# knobs and assert the frontier is non-empty. Catches enumeration, pricing,
+# contraction or refinement regressions in seconds; CI runs it on every
+# push next to scenario-smoke and serve-smoke.
+placement-smoke:
+	@for m in exact analytic hybrid; do \
+		echo "== placement-smoke ($$m) =="; \
+		out=$$($(GO) run ./cmd/socbuf -scenario chain6 -place -method $$m \
+			-refine-top 1 -iters 2 -horizon 400 -parallel 2 -json) || exit 1; \
+		echo "$$out" | grep -q '"frontier": \[' || { \
+			echo "placement-smoke ($$m): empty frontier"; echo "$$out"; exit 1; }; \
+		echo "$$out" | grep -q '"chosen":' || { \
+			echo "placement-smoke ($$m): no chosen placement"; echo "$$out"; exit 1; }; \
 	done
 
 # Tiny end-to-end pass through the socbufd service: build, start, curl one

@@ -5,6 +5,11 @@
 //	benchdiff old.txt new.txt
 //	benchdiff -gate 'BenchmarkSweep32' -max-regress 10 old.txt new.txt
 //	benchdiff -emit bench-results.txt > BENCH_2026-07-27.json
+//	benchdiff BENCH_2026-08-07.json bench-results.txt
+//
+// Either input may be raw bench text or an emitted BENCH_<date>.json
+// trajectory, so the committed baselines (PERFORMANCE.md "The committed
+// trajectory baseline") diff directly against fresh runs.
 //
 // Each benchmark present in both files is reported with its old/new ns/op
 // and the delta. With -gate, benchmarks whose name matches the regexp and
@@ -28,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -44,16 +50,29 @@ type nsPerOp map[string]float64
 // names, so runs from machines with different core counts still align.
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
-// parse extracts benchmark results from one `go test -bench` output file.
+// parse extracts benchmark results from one input file: either raw
+// `go test -bench` output or a BENCH_<date>.json trajectory previously
+// written by -emit, so committed baselines diff against fresh runs without
+// keeping the raw text around.
 func parse(path string) (nsPerOp, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+		out := nsPerOp{}
+		if err := json.Unmarshal([]byte(trimmed), &out); err != nil {
+			return nil, fmt.Errorf("%s: not a BENCH_<date>.json trajectory: %w", path, err)
+		}
+		return out, nil
+	}
 	out := nsPerOp{}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const benchText = `goos: linux
+BenchmarkPlacementDP/chain6-4         	    5274	    212522 ns/op	  189160 B/op	    1937 allocs/op
+BenchmarkSweep32/serial               	       1	9361093025 ns/op
+not a bench line
+`
+
+const benchJSON = `{
+  "BenchmarkPlacementDP/chain6": 212522,
+  "BenchmarkSweep32/serial": 9361093025
+}
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestParseTextAndJSONAgree: the committed BENCH_<date>.json baselines must
+// parse to the same results as the raw bench text they were emitted from
+// (with the -<GOMAXPROCS> suffix normalised away).
+func TestParseTextAndJSONAgree(t *testing.T) {
+	text, err := parse(writeTemp(t, "bench.txt", benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := parse(writeTemp(t, "BENCH_2026-08-07.json", benchJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text) != 2 || len(js) != 2 {
+		t.Fatalf("parsed %d text / %d json entries, want 2 each", len(text), len(js))
+	}
+	for name, v := range js {
+		if text[name] != v {
+			t.Errorf("%s: text %v vs json %v", name, text[name], v)
+		}
+	}
+}
+
+func TestParseRejectsBrokenJSON(t *testing.T) {
+	if _, err := parse(writeTemp(t, "broken.json", `{"BenchmarkX": `)); err == nil {
+		t.Fatal("truncated JSON parsed without error")
+	}
+}

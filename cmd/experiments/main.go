@@ -11,11 +11,18 @@
 //
 //	experiments scenario-sweep [-scenarios a,b] [-budget N] [-iters N]
 //	                           [-seeds 1,2] [-horizon T] [-parallel N] [-quick]
+//	experiments placement-sweep [-scenarios a,b] [-method m] [-buffer-types t]
+//	                            [-cost-budget C] [-refine-top K] [-quick]
 //
 // scenario-sweep runs the full methodology on every named registry scenario
 // (all of them when -scenarios is empty) in parallel and prints one report
 // row per scenario; -budget overrides every scenario's budget (the CI smoke
 // run uses it to stay tiny).
+//
+// placement-sweep runs the buffer-placement DP (internal/placement; DESIGN.md
+// §7) on every named registry scenario and prints one row per scenario:
+// candidate and frontier sizes, DP pruning counters, and the chosen insertion
+// points. EXPERIMENTS.md documents the columns.
 //
 // -quick reduces iterations/seeds/horizon for a fast smoke pass. -parallel N
 // bounds the sweep engine's worker pool (default GOMAXPROCS); results are
@@ -43,6 +50,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,13 +58,21 @@ import (
 	"socbuf/internal/cliutil"
 	"socbuf/internal/engine"
 	"socbuf/internal/experiments"
+	"socbuf/internal/placement"
 	"socbuf/internal/report"
+	"socbuf/internal/scenario"
 	"socbuf/internal/solvecache"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scenario-sweep" {
 		if err := scenarioSweepCmd(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "placement-sweep" {
+		if err := placementSweepCmd(os.Args[2:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -254,6 +270,111 @@ func scenarioSweepCmd(args []string) error {
 		}
 	}
 	return err
+}
+
+// placementSweepCmd is the placement-sweep subcommand: run the buffer-
+// placement DP on every named registry scenario (all of them when
+// -scenarios is empty) and print one report row per scenario — frontier
+// size, DP pruning counters and the chosen insertion points. Scenarios run
+// sequentially; each placement's evaluations fan out across -parallel
+// workers internally. Partial failures follow the sweep contract: every
+// successful row prints, the error joins the per-scenario failures.
+func placementSweepCmd(args []string) error {
+	fs := flag.NewFlagSet("placement-sweep", flag.ExitOnError)
+	var (
+		names     = fs.String("scenarios", "", "comma-separated scenario names (empty = whole registry)")
+		budget    = fs.Int("budget", 0, "override every scenario's budget (0 = scenario's own)")
+		iters     = fs.Int("iters", 0, "override methodology iterations per evaluation (0 = scenario/default)")
+		horizon   = fs.Float64("horizon", 0, "override sim horizon (0 = scenario/default)")
+		quick     = fs.Bool("quick", false, "smaller iterations/seeds/horizon per evaluation")
+		bufTypes  = fs.String("buffer-types", "", "insertion catalogue as name:cost:delay,... (empty = lite/std/fast defaults)")
+		costBud   = fs.Float64("cost-budget", 0, "cap on summed insertion cost (0 = unbounded)")
+		latWeight = fs.Float64("latency-weight", 0, "screened latency weight in the DP objective (0 = 0.1 default)")
+		refineTop = fs.Int("refine-top", 0, "screened placements refined with -method per scenario (0 = 3 default)")
+	)
+	method := cliutil.AddMethodFlag(fs)
+	common := cliutil.AddCommonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := common.Validate(); err != nil {
+		return err
+	}
+	types, err := placement.ParseCatalogue(*bufTypes)
+	if err != nil {
+		return fmt.Errorf("%w: %v", engine.ErrInvalidRequest, err)
+	}
+	scs, err := scenario.Resolve(experiments.ParseNames(*names))
+	if err != nil {
+		return fmt.Errorf("%w: %v", engine.ErrInvalidRequest, err)
+	}
+
+	eng := engine.New(engine.Config{Workers: common.Parallel})
+	defer eng.Close()
+	ctx := context.Background()
+
+	var results []*engine.PlacementResult
+	var failures []error
+	var rows [][]string
+	for _, sc := range scs {
+		req := engine.PlacementRequest{
+			Scenario:      sc.Name,
+			Budget:        *budget,
+			Iterations:    *iters,
+			Horizon:       *horizon,
+			Method:        *method,
+			Types:         types,
+			CostBudget:    *costBud,
+			LatencyWeight: *latWeight,
+			RefineTop:     *refineTop,
+			UseCache:      common.UseCache(),
+		}
+		if *quick {
+			if req.Iterations == 0 {
+				req.Iterations = 2
+			}
+			req.Seeds = []int64{1}
+			if req.Horizon == 0 {
+				req.Horizon = 400
+			}
+			req.WarmUp = 50
+		}
+		res, err := eng.Placement(ctx, req)
+		if err != nil {
+			failures = append(failures, fmt.Errorf("%s: %w", sc.Name, err))
+			rows = append(rows, []string{sc.Name, "FAILED", "-", "-", "-", "-", "-", "-", err.Error()})
+			continue
+		}
+		results = append(results, res)
+		rows = append(rows, []string{
+			sc.Name,
+			res.Method,
+			fmt.Sprint(res.Candidates),
+			fmt.Sprint(len(res.Frontier)),
+			fmt.Sprint(res.Pruned),
+			fmt.Sprintf("%g", res.Chosen.Cost),
+			fmt.Sprint(res.Chosen.Bypassed),
+			fmt.Sprint(res.Chosen.Loss),
+			placement.DecisionString(res.Chosen.Decisions),
+		})
+	}
+
+	if common.JSON {
+		cliutil.PrintJSON("experiments", results)
+	} else {
+		fmt.Printf("Placement sweep — %d scenarios\n", len(scs))
+		headers := []string{"SCENARIO", "method", "cand", "frontier", "pruned", "cost", "bypassed", "loss", "placement"}
+		if err := report.Table(os.Stdout, headers, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if common.CacheStats {
+		if err := eng.WriteCacheStats(common.StatsWriter()); err != nil {
+			return err
+		}
+	}
+	return errors.Join(failures...)
 }
 
 func runFig3(budget int, opt experiments.Options) error {

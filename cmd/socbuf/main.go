@@ -8,6 +8,8 @@
 //	socbuf -arch netproc -sweep 160,320,640 -cache-stats
 //	socbuf -sweep 160,320,640 -method analytic -methods ,,exact
 //	socbuf -scenario chain6-bursty
+//	socbuf -scenario chain6 -place -method hybrid
+//	socbuf -place -buffer-types lite:1:0.5,fast:4:0.05 -cost-budget 8
 //	socbuf -list-scenarios
 //
 // -method selects the solver backend (exact | analytic | hybrid; see
@@ -29,6 +31,14 @@
 // model and budget); explicitly-set -budget/-iters/-horizon flags override
 // the scenario's own values. -list-scenarios prints the registry.
 //
+// -place makes buffer insertion itself the decision variable: instead of
+// buffering every bridge, a Van Ginneken-style dynamic program decides per
+// bridge whether to insert a decoupling buffer pair (and of which
+// -buffer-types catalogue entry) or to bypass it, merging its buses. The
+// frontier survivors are screened analytically and the best -refine-top of
+// them refined with -method. -cost-budget caps the summed insertion cost;
+// DESIGN.md §7 documents the placement contract.
+//
 // -json emits results as JSON instead of tables.
 //
 // socbuf is a thin client of internal/engine — the same request/response
@@ -45,6 +55,7 @@ import (
 	"socbuf/internal/cliutil"
 	"socbuf/internal/engine"
 	"socbuf/internal/experiments"
+	"socbuf/internal/placement"
 	"socbuf/internal/report"
 )
 
@@ -60,6 +71,12 @@ func main() {
 		sweep   = flag.String("sweep", "", "comma-separated budgets: sweep instead of a single run")
 		methods = flag.String("methods", "", "per-point solver backends for -sweep, comma-aligned with the budgets (empty entries inherit -method)")
 		refine  = flag.Bool("refine", false, "refine stationary distributions from the policy-induced chains (dense/sparse auto-selected)")
+
+		place     = flag.Bool("place", false, "run the buffer-placement DP instead of sizing a fixed insertion (see README \"Buffer placement\")")
+		bufTypes  = flag.String("buffer-types", "", "insertion catalogue for -place as name:cost:delay,... (empty = lite/std/fast defaults)")
+		costBud   = flag.Float64("cost-budget", 0, "cap on summed insertion cost for -place (0 = unbounded)")
+		latWeight = flag.Float64("latency-weight", 0, "screened latency weight in the -place DP objective (0 = 0.1 default)")
+		refineTop = flag.Int("refine-top", 0, "how many screened placements -place refines with -method (0 = 3 default)")
 	)
 	method := cliutil.AddMethodFlag(nil)
 	common := cliutil.AddCommonFlags(nil)
@@ -105,6 +122,57 @@ func main() {
 	// the user's explicit selection.
 	if *methods != "" && *sweep == "" {
 		fatal(fmt.Errorf("%w: -methods only applies to -sweep (use -method for a single run)", engine.ErrInvalidRequest))
+	}
+
+	if *place {
+		if *sweep != "" {
+			fatal(fmt.Errorf("%w: -place cannot be combined with -sweep", engine.ErrInvalidRequest))
+		}
+		types, err := placement.ParseCatalogue(*bufTypes)
+		if err != nil {
+			fatal(fmt.Errorf("%w: %v", engine.ErrInvalidRequest, err))
+		}
+		req := engine.PlacementRequest{
+			Method:        *method,
+			Types:         types,
+			CostBudget:    *costBud,
+			LatencyWeight: *latWeight,
+			RefineTop:     *refineTop,
+			UseCache:      common.UseCache(),
+		}
+		if *scen != "" {
+			if *file != "" {
+				fatal(fmt.Errorf("-scenario cannot be combined with -file"))
+			}
+			req.Scenario = *scen
+			// Explicitly-set flags override the scenario's own values.
+			set := cliutil.SetFlags(nil)
+			if set["budget"] {
+				req.Budget = *budget
+			}
+			if set["iters"] {
+				req.Iterations = *iters
+			}
+			if set["horizon"] {
+				req.Horizon = *horiz
+			}
+		} else {
+			req.Arch = archFor(*file, *name)
+			req.ArchJSON = archJSON
+			req.Budget = *budget
+			req.Iterations = *iters
+			req.Horizon = *horiz
+		}
+		res, err := eng.Placement(ctx, req)
+		if err != nil {
+			fatal(err)
+		}
+		if common.JSON {
+			cliutil.PrintJSON("socbuf", res)
+			return
+		}
+		printPlacement(res)
+		return
 	}
 
 	if *scen != "" {
@@ -213,6 +281,46 @@ func archFor(file, name string) string {
 }
 
 func fatal(err error) { cliutil.Fatal("socbuf", err) }
+
+// printPlacement renders the placement summary, the evaluated frontier and
+// the chosen placement.
+func printPlacement(res *engine.PlacementResult) {
+	if res.Scenario != "" {
+		fmt.Printf("scenario %s — %s, traffic %s\n", res.Scenario, res.Topology, res.Traffic)
+	}
+	fmt.Printf("architecture %s — buffer placement, budget %d, method %s\n",
+		res.Arch, res.Budget, res.Method)
+	if res.Cached {
+		fmt.Println("served from the placement cache tier (no new evaluations)")
+	}
+	fmt.Printf("candidates: %d bridges (%d bypassable), placement space %d\n",
+		res.Candidates, res.Bypassable, res.Enumerated)
+	fmt.Printf("DP partials: %d (%d pruned as dominated), %d capacity-infeasible, %d over cost budget\n\n",
+		res.Partials, res.Pruned, res.Infeasible, res.CostFiltered)
+
+	headers := []string{"COST", "buffers", "bypassed", "screenJ", "loss", "method", "placement"}
+	var rows [][]string
+	for _, pt := range res.Frontier {
+		m := pt.Method
+		if !pt.Refined {
+			m += " (screen)"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", pt.Cost),
+			fmt.Sprint(pt.Buffers),
+			fmt.Sprint(pt.Bypassed),
+			fmt.Sprintf("%.4f", pt.ScreenJ),
+			fmt.Sprint(pt.Loss),
+			m,
+			placement.DecisionString(pt.Decisions),
+		})
+	}
+	if err := report.Table(os.Stdout, headers, rows); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nchosen: cost %g, loss %d (%.1f%% sizing reduction) — %s\n",
+		res.Chosen.Cost, res.Chosen.Loss, res.Chosen.Improvement*100, placement.DecisionString(res.Chosen.Decisions))
+}
 
 // printResult renders the single-run summary and allocation table. The
 // solver method appears only when it is not the exact default, keeping the

@@ -10,6 +10,7 @@ import (
 
 	"socbuf/internal/engine"
 	"socbuf/internal/experiments"
+	"socbuf/internal/placement"
 )
 
 // server adapts the engine's typed API to HTTP. All solve composition lives
@@ -28,6 +29,7 @@ type server struct {
 //	POST /v1/solve          one methodology run (coalesced)    → JSON SolveResult
 //	POST /v1/sweep/budget   budget sweep                       → NDJSON rows + summary
 //	POST /v1/sweep/scenario scenario sweep                     → NDJSON rows + summary
+//	POST /v1/placement      buffer-placement run               → NDJSON evals + summary
 //	GET  /v1/stats          engine + cache counters            → JSON engine.Stats
 func newHandler(eng *engine.Engine, defaultCache bool) http.Handler {
 	s := &server{eng: eng, defaultCache: defaultCache}
@@ -35,6 +37,7 @@ func newHandler(eng *engine.Engine, defaultCache bool) http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.solve)
 	mux.HandleFunc("POST /v1/sweep/budget", s.budgetSweep)
 	mux.HandleFunc("POST /v1/sweep/scenario", s.scenarioSweep)
+	mux.HandleFunc("POST /v1/placement", s.placement)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	return mux
 }
@@ -143,6 +146,35 @@ func (s *server) scenarioSweep(w http.ResponseWriter, r *http.Request) {
 	st.send(struct {
 		Summary scenarioSummary `json:"summary"`
 	}{sum})
+}
+
+// placement runs one buffer-placement request, streaming every per-placement
+// solver evaluation as it completes (the same NDJSON machinery as the
+// sweeps) and closing with the full typed result. A request served from the
+// cache's placement tier streams no eval lines — only the summary, with its
+// cached flag set.
+func (s *server) placement(w http.ResponseWriter, r *http.Request) {
+	var req engine.PlacementRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.UseCache = req.UseCache || s.defaultCache
+
+	st := newStream(w)
+	req.OnEval = func(p placement.Point) {
+		st.send(struct {
+			Eval placement.Point `json:"eval"`
+		}{p})
+	}
+	res, err := s.eng.Placement(r.Context(), req)
+	if res == nil {
+		st.fail(s, w, r, err)
+		return
+	}
+	st.send(struct {
+		Summary *engine.PlacementResult `json:"summary"`
+	}{res})
 }
 
 // stream serialises NDJSON lines from concurrent sweep workers and flushes

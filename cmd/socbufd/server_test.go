@@ -16,6 +16,7 @@ import (
 
 	"socbuf/internal/engine"
 	"socbuf/internal/experiments"
+	"socbuf/internal/placement"
 )
 
 // fastSolveBody is a sub-second twobus methodology request shared by the
@@ -303,6 +304,74 @@ func TestScenarioSweepEndpointStreamsNDJSON(t *testing.T) {
 	}
 	if len(sum.Points) != 1 || sum.Error != "" {
 		t.Fatalf("summary out of shape: %+v", sum)
+	}
+}
+
+// TestPlacementEndpointStreamsNDJSON: /v1/placement streams one eval line
+// per solver evaluation and closes with the typed summary; a repeat request
+// under the default cache streams only a cached summary.
+func TestPlacementEndpointStreamsNDJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ts := startServer(t, engine.Config{}, true)
+	body := `{"scenario":"twobus","method":"analytic","iterations":1,"seeds":[1],"horizon":400,"warmUp":50}`
+	resp := postJSON(t, ts.URL+"/v1/placement", body)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	lines := ndjsonLines(t, resp)
+	if len(lines) < 2 {
+		t.Fatalf("lines = %d, want at least 1 eval + 1 summary: %v", len(lines), lines)
+	}
+	for _, l := range lines[:len(lines)-1] {
+		var pt placement.Point
+		if err := json.Unmarshal(l["eval"], &pt); err != nil {
+			t.Fatalf("eval line: %v", err)
+		}
+		if len(pt.Decisions) == 0 {
+			t.Fatalf("eval without decisions: %+v", pt)
+		}
+	}
+	var sum engine.PlacementResult
+	if err := json.Unmarshal(lines[len(lines)-1]["summary"], &sum); err != nil {
+		t.Fatalf("summary line: %v", err)
+	}
+	if sum.Scenario != "twobus" || len(sum.Frontier) == 0 || sum.Cached {
+		t.Fatalf("summary out of shape: %+v", sum)
+	}
+	if len(lines)-1 != len(sum.Frontier) {
+		t.Fatalf("streamed %d evals for a %d-point frontier", len(lines)-1, len(sum.Frontier))
+	}
+
+	// Same request again: served from the placement tier, no eval lines.
+	resp = postJSON(t, ts.URL+"/v1/placement", body)
+	lines = ndjsonLines(t, resp)
+	if len(lines) != 1 {
+		t.Fatalf("cached hit streamed %d lines, want summary only", len(lines))
+	}
+	var cached engine.PlacementResult
+	if err := json.Unmarshal(lines[0]["summary"], &cached); err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached {
+		t.Fatalf("repeat request not served from the cache: %+v", cached)
+	}
+}
+
+func TestPlacementEndpointBadRequest(t *testing.T) {
+	_, ts := startServer(t, engine.Config{}, false)
+	for _, body := range []string{
+		`{"scenario":"no-such"}`,
+		`{"arch":"twobus"}`, // missing budget
+		`{"scenario":"twobus","method":"bogus"}`,
+	} {
+		resp := postJSON(t, ts.URL+"/v1/placement", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
 	}
 }
 

@@ -32,6 +32,13 @@
 //     greedy, no LP, ~150× faster) and "hybrid" (analytic screening with
 //     gated exact refinement, same sizing as exact) — DESIGN.md §6
 //     records the backend contract;
+//   - internal/placement                  — buffer insertion as a decision
+//     variable: a Van Ginneken-style dynamic program over the bus graph
+//     decides, per bridge, whether to insert a decoupling buffer pair (and
+//     of which catalogue type) or to bypass the bridge, contracting its
+//     buses into one arbitration domain; frontier survivors are screened
+//     analytically and refined with the chosen backend — DESIGN.md §7
+//     records the placement contract;
 //   - internal/scenario                   — the scenario engine: seeded
 //     chain/star/tree/mesh topology generators, pluggable traffic models
 //     (Poisson / rate-preserving ON-OFF), and the registry of named
@@ -41,11 +48,11 @@
 //     budget- and scenario-sweep engines and the sweep planner that
 //     fingerprints points up front and prewarms the cache;
 //   - internal/engine, internal/cliutil   — the unified solve service
-//     behind every entry point (typed solve/sweep/simulate requests,
-//     coalescing, bounded admission, per-request cancellation, graceful
-//     drain — DESIGN.md §5) and the flag wiring the CLI clients share;
-//     cmd/socbufd serves the same API over HTTP with NDJSON sweep
-//     streaming.
+//     behind every entry point (typed solve/sweep/simulate/placement
+//     requests, coalescing, bounded admission, per-request cancellation,
+//     graceful drain — DESIGN.md §5) and the flag wiring the CLI clients
+//     share; cmd/socbufd serves the same API over HTTP with NDJSON sweep
+//     and placement-evaluation streaming.
 //
 // Stationary distributions of policy-induced chains are solved through two
 // interchangeable paths: an exact dense LU solve for small state spaces and
@@ -54,13 +61,15 @@
 // every fixture; see ctmdp.StationaryOptions. The methodology invokes this
 // refinement when core.Config.RefineStationary is set (socbuf -refine).
 //
-// See README.md for a tour (including "Choosing a solver method"),
-// DESIGN.md for the system inventory and modelling decisions (§4: the
-// solve-cache fingerprint contract; §6: the solver backend contract),
-// EXPERIMENTS.md for paper-vs-measured results, and PERFORMANCE.md for the
-// benchmark methodology and the measured solve-cache and backend numbers.
-// The benchmarks in bench_test.go regenerate every table and figure.
+// See README.md for a tour (including "Choosing a solver method" and
+// "Buffer placement"), DESIGN.md for the system inventory and modelling
+// decisions (§4: the solve-cache fingerprint contract; §6: the solver
+// backend contract; §7: the placement contract), EXPERIMENTS.md for
+// paper-vs-measured results, and PERFORMANCE.md for the benchmark
+// methodology and the measured solve-cache, backend and placement-DP
+// numbers. The benchmarks in bench_test.go regenerate every table and
+// figure.
 package socbuf
 
 // Version identifies the reproduction release.
-const Version = "1.4.0"
+const Version = "1.5.0"

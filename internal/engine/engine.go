@@ -110,6 +110,7 @@ type Engine struct {
 	solveRuns  atomic.Int64
 	sweepRuns  atomic.Int64
 	simRuns    atomic.Int64
+	placeRuns  atomic.Int64
 	busy       atomic.Int64
 	inFlight   atomic.Int64
 
@@ -295,6 +296,9 @@ type Stats struct {
 	SolveRuns int64 `json:"solveRuns"`
 	SweepRuns int64 `json:"sweepRuns"`
 	SimRuns   int64 `json:"simRuns"`
+	// PlacementRuns counts placement executions — a placement request served
+	// from the cache's placement tier never counts here.
+	PlacementRuns int64 `json:"placementRuns"`
 	// Busy counts requests rejected by the in-flight bound.
 	Busy int64 `json:"busyRejections"`
 	// InFlight is the number of currently executing requests.
@@ -323,15 +327,16 @@ func (e *Engine) Stats() Stats {
 		backends = nil
 	}
 	return Stats{
-		Requests:  e.requests.Load(),
-		Coalesced: e.coalesced.Load(),
-		SolveRuns: e.solveRuns.Load(),
-		SweepRuns: e.sweepRuns.Load(),
-		SimRuns:   e.simRuns.Load(),
-		Busy:      e.busy.Load(),
-		InFlight:  e.inFlight.Load(),
-		Cache:     e.Cache().Stats(),
-		Backends:  backends,
+		Requests:      e.requests.Load(),
+		Coalesced:     e.coalesced.Load(),
+		SolveRuns:     e.solveRuns.Load(),
+		SweepRuns:     e.sweepRuns.Load(),
+		SimRuns:       e.simRuns.Load(),
+		PlacementRuns: e.placeRuns.Load(),
+		Busy:          e.busy.Load(),
+		InFlight:      e.inFlight.Load(),
+		Cache:         e.Cache().Stats(),
+		Backends:      backends,
 	}
 }
 

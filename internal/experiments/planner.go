@@ -215,9 +215,9 @@ func SweepWithPlanCtx(ctx context.Context, w io.Writer, newArch func() *arch.Arc
 }
 
 // WriteCacheStats renders a cache-counter snapshot in the shared report
-// format (the body of both CLIs' -cache-stats flag). The analytic tier's
-// counters appear only once it has been touched, keeping exact-only
-// invocations' output unchanged.
+// format (the body of both CLIs' -cache-stats flag). The analytic and
+// placement tiers' counters appear only once each has been touched, keeping
+// exact-only invocations' output unchanged.
 func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
 	headers := []string{"HITS", "warm starts", "misses", "joint hits", "joint misses", "entries"}
 	rows := [][]string{{
@@ -226,11 +226,15 @@ func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
 		fmt.Sprint(s.Misses),
 		fmt.Sprint(s.JointHits),
 		fmt.Sprint(s.JointMisses),
-		fmt.Sprint(s.Entries + s.JointEntries + s.AnalyticEntries),
+		fmt.Sprint(s.Entries + s.JointEntries + s.AnalyticEntries + s.PlacementEntries),
 	}}
 	if s.AnalyticHits+s.AnalyticMisses > 0 {
 		headers = append(headers, "analytic hits", "analytic misses")
 		rows[0] = append(rows[0], fmt.Sprint(s.AnalyticHits), fmt.Sprint(s.AnalyticMisses))
+	}
+	if s.PlacementHits+s.PlacementMisses > 0 {
+		headers = append(headers, "placement hits", "placement misses")
+		rows[0] = append(rows[0], fmt.Sprint(s.PlacementHits), fmt.Sprint(s.PlacementMisses))
 	}
 	return report.Table(w, headers, rows)
 }

@@ -1,0 +1,401 @@
+package placement
+
+import "sort"
+
+// partial is one partial placement during the bottom-up DP: the processed
+// subtree's decisions, the still-open component containing the subtree
+// root, and the accumulated (cost, screened J) of everything already
+// closed. bypassed is the third dominance coordinate — partials that
+// contracted more bridges need fewer buffers, so a cheaper-and-better but
+// less-contracted partial must not evict one that alone can satisfy a tight
+// capacity budget (the budget-infeasible-subtree invariant, DESIGN.md §7).
+type partial struct {
+	comp     compKey
+	cost     float64
+	j        float64
+	bypassed int
+	dec      []int8
+}
+
+// scored is one complete placement on (or competing for) the frontier.
+type scored struct {
+	dec      []int8
+	cost     float64
+	j        float64
+	bypassed int
+}
+
+// dpStats counts the DP's work for the result's transparency counters.
+type dpStats struct {
+	partials   int // partials generated across all merges
+	pruned     int // of those, discarded as dominated
+	infeasible int // complete placements dropped by the capacity floor
+}
+
+// decLess orders decision vectors lexicographically — the deterministic
+// tie-break whenever two placements tie on every dominance coordinate.
+func decLess(a, b []int8) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// mergeDec overlays two disjoint partial decision vectors (each bridge is
+// decided by at most one side; the rest are optUndecided).
+func mergeDec(a, b []int8) []int8 {
+	out := make([]int8, len(a))
+	copy(out, a)
+	for i, d := range b {
+		if d != optUndecided {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// prune3 removes dominated partials within each open-component group. A
+// partial dominates another with the same component when its cost and J are
+// no worse and its bypass count no lower, with at least one coordinate
+// strict; exact ties on all three keep the lexicographically smallest
+// decision vector. Sorting by (cost asc, j asc, bypassed desc, dec lex)
+// places every potential dominator before its victims, so one forward sweep
+// suffices.
+func (p *problem) prune3(in []partial, st *dpStats) []partial {
+	groups := map[compKey][]partial{}
+	for _, s := range in {
+		groups[s.comp] = append(groups[s.comp], s)
+	}
+	keys := make([]compKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []partial
+	for _, k := range keys {
+		g := groups[k]
+		sort.Slice(g, func(i, j int) bool {
+			switch {
+			case g[i].cost != g[j].cost:
+				return g[i].cost < g[j].cost
+			case g[i].j != g[j].j:
+				return g[i].j < g[j].j
+			case g[i].bypassed != g[j].bypassed:
+				return g[i].bypassed > g[j].bypassed
+			default:
+				return decLess(g[i].dec, g[j].dec)
+			}
+		})
+		var kept []partial
+		for _, s := range g {
+			dominated := false
+			for _, q := range kept {
+				if q.cost <= s.cost && q.j <= s.j && q.bypassed >= s.bypassed {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				st.pruned++
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		out = append(out, kept...)
+	}
+	return out
+}
+
+// pruneScored removes 3D-dominated complete placements — same relation as
+// prune3 (cost ≤, J ≤, bypassed ≥, one strict; exact ties keep the
+// lex-smallest decision vector) without the component grouping. It prunes
+// the intermediate Minkowski folds, where bypassed must stay a dominance
+// coordinate: the capacity floor has not been applied yet, and a
+// (cost, J)-dominated point with more bypassed bridges needs fewer buffers,
+// so it may be the only point that fits a tight budget.
+func pruneScored(in []scored, st *dpStats) []scored {
+	sort.Slice(in, func(i, j int) bool {
+		switch {
+		case in[i].cost != in[j].cost:
+			return in[i].cost < in[j].cost
+		case in[i].j != in[j].j:
+			return in[i].j < in[j].j
+		case in[i].bypassed != in[j].bypassed:
+			return in[i].bypassed > in[j].bypassed
+		default:
+			return decLess(in[i].dec, in[j].dec)
+		}
+	})
+	var kept []scored
+	for _, s := range in {
+		dominated := false
+		for _, q := range kept {
+			if q.cost <= s.cost && q.j <= s.j && q.bypassed >= s.bypassed {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			st.pruned++
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// skyline keeps the 2D (cost, J) Pareto frontier of complete placements,
+// cost-ascending. Exact (cost, J) ties keep the lexicographically smallest
+// decision vector; the rest count as pruned.
+func skyline(in []scored, st *dpStats) []scored {
+	sort.Slice(in, func(i, j int) bool {
+		switch {
+		case in[i].cost != in[j].cost:
+			return in[i].cost < in[j].cost
+		case in[i].j != in[j].j:
+			return in[i].j < in[j].j
+		default:
+			return decLess(in[i].dec, in[j].dec)
+		}
+	})
+	var out []scored
+	for _, s := range in {
+		if len(out) > 0 && out[len(out)-1].j <= s.j {
+			st.pruned++
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// runDP executes the Van Ginneken-style bottom-up pass and returns the
+// feasible complete frontier, cost-ascending.
+func (p *problem) runDP() ([]scored, dpStats) {
+	var st dpStats
+	// Identity for the component fold: nothing decided, nothing spent.
+	base := make([]int8, len(p.bridges))
+	for i := range base {
+		base[i] = optUndecided
+	}
+	complete := []scored{{dec: base}}
+	// Prune between Minkowski folds but never after the last one, so the
+	// capacity filter below still sees — and counts — every complete
+	// placement the final fold produced.
+	totalFolds := len(p.roots) + len(p.nonTree)
+	folded := 0
+	foldPrune := func(next []scored) []scored {
+		st.partials += len(next)
+		folded++
+		if folded < totalFolds {
+			return pruneScored(next, &st)
+		}
+		return next
+	}
+	// Solve each spanning-forest tree independently and close its root's
+	// open component; fold the per-component frontiers by Minkowski sum
+	// (decision vectors are disjoint, and cost, J and bypassed all add).
+	for _, root := range p.roots {
+		sols := p.solveSubtree(root, &st)
+		closed := make([]scored, 0, len(sols))
+		for _, s := range sols {
+			closed = append(closed, scored{
+				dec:      s.dec,
+				cost:     s.cost,
+				j:        s.j + p.closeJ(s.comp),
+				bypassed: s.bypassed,
+			})
+		}
+		next := make([]scored, 0, len(complete)*len(closed))
+		for _, a := range complete {
+			for _, b := range closed {
+				next = append(next, scored{
+					dec:      mergeDec(a.dec, b.dec),
+					cost:     a.cost + b.cost,
+					j:        a.j + b.j,
+					bypassed: a.bypassed + b.bypassed,
+				})
+			}
+		}
+		complete = foldPrune(next)
+	}
+	// Fold the non-tree bridges (cycle closers — always inserted, type
+	// still free): each is an independent (cost, delay) mini-frontier,
+	// composed by Minkowski sum with pruning after each fold.
+	for _, nb := range p.nonTree {
+		next := make([]scored, 0, len(complete)*len(p.types))
+		for _, s := range complete {
+			for t := range p.types {
+				nd := make([]int8, len(s.dec))
+				copy(nd, s.dec)
+				nd[nb] = int8(t)
+				next = append(next, scored{
+					dec:      nd,
+					cost:     s.cost + p.types[t].Cost,
+					j:        s.j + p.insertTerm(nb, int8(t)),
+					bypassed: s.bypassed,
+				})
+			}
+		}
+		complete = foldPrune(next)
+	}
+	// Capacity-floor feasibility: the sizing budget must give every buffer
+	// of the contracted architecture its one-unit floor.
+	feasible := complete[:0]
+	for _, s := range complete {
+		if p.numAttach+2*(len(p.bridges)-s.bypassed) <= p.budget {
+			feasible = append(feasible, s)
+		} else {
+			st.infeasible++
+		}
+	}
+	return skyline(feasible, &st), st
+}
+
+// solveSubtree returns the pruned partial frontier of bus v's subtree with
+// v's component still open. Children merge one at a time in deterministic
+// order; each merge decides the connecting tree edge (every catalogue type,
+// plus bypass when the edge is a cut edge).
+func (p *problem) solveSubtree(v int, st *dpStats) []partial {
+	base := make([]int8, len(p.bridges))
+	for i := range base {
+		base[i] = optUndecided
+	}
+	sols := []partial{{comp: p.singletonComp(v), dec: base}}
+	for _, c := range p.children[v] {
+		csols := p.solveSubtree(c, st)
+		edge := p.parentBr[c]
+		options := len(p.types)
+		if p.cut[edge] {
+			options++
+		}
+		next := make([]partial, 0, len(sols)*len(csols)*options)
+		for _, sv := range sols {
+			for _, sc := range csols {
+				if p.cut[edge] {
+					nd := mergeDec(sv.dec, sc.dec)
+					nd[edge] = optBypass
+					next = append(next, partial{
+						comp:     unionComp(sv.comp, sc.comp),
+						cost:     sv.cost + sc.cost,
+						j:        sv.j + sc.j,
+						bypassed: sv.bypassed + sc.bypassed + 1,
+						dec:      nd,
+					})
+				}
+				for t := range p.types {
+					nd := mergeDec(sv.dec, sc.dec)
+					nd[edge] = int8(t)
+					next = append(next, partial{
+						comp:     sv.comp,
+						cost:     sv.cost + sc.cost + p.types[t].Cost,
+						j:        sv.j + sc.j + p.closeJ(sc.comp) + p.insertTerm(edge, int8(t)),
+						bypassed: sv.bypassed + sc.bypassed,
+						dec:      nd,
+					})
+				}
+			}
+		}
+		st.partials += len(next)
+		sols = p.prune3(next, st)
+	}
+	return sols
+}
+
+// bruteForce enumerates every complete placement (the same option space as
+// the DP: every type per bridge, bypass only on cut edges), prices each
+// with the identical closed-form objective, applies the same feasibility
+// floor, and returns the 2D skyline. It exists as the DP's correctness
+// oracle and as the exhaustive screening path of the pricing benchmark.
+func (p *problem) bruteForce() (front []scored, priced, infeasible int) {
+	dec := make([]int8, len(p.bridges))
+	var all []scored
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == len(p.bridges) {
+			priced++
+			cd := make([]int8, len(dec))
+			copy(cd, dec)
+			s := scored{dec: cd, cost: p.costOf(cd), j: p.totalJ(cd)}
+			for _, d := range cd {
+				if d == optBypass {
+					s.bypassed++
+				}
+			}
+			if p.buffersOf(cd) > p.budget {
+				infeasible++
+				return
+			}
+			all = append(all, s)
+			return
+		}
+		if p.cut[i] {
+			dec[i] = optBypass
+			recurse(i + 1)
+		}
+		for t := range p.types {
+			dec[i] = int8(t)
+			recurse(i + 1)
+		}
+	}
+	recurse(0)
+	var st dpStats
+	return skyline(all, &st), priced, infeasible
+}
+
+// totalJ prices one complete placement from scratch: union-find the
+// bypassed bridges into components, sum closeJ over the components and the
+// insertion term over the inserted bridges — the same summands the DP
+// accumulates incrementally.
+func (p *problem) totalJ(dec []int8) float64 {
+	n := len(p.buses)
+	uf := make([]int, n)
+	for i := range uf {
+		uf[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for i, d := range dec {
+		if d == optBypass {
+			a, b := find(p.busIdx[p.bridges[i].BusA]), find(p.busIdx[p.bridges[i].BusB])
+			if a != b {
+				if b < a {
+					a, b = b, a
+				}
+				uf[b] = a
+			}
+		}
+	}
+	comps := map[int]compKey{}
+	for v := 0; v < n; v++ {
+		r := find(v)
+		if _, ok := comps[r]; !ok {
+			comps[r] = p.singletonComp(v)
+		} else {
+			comps[r] = unionComp(comps[r], p.singletonComp(v))
+		}
+	}
+	reps := make([]int, 0, len(comps))
+	for r := range comps {
+		reps = append(reps, r)
+	}
+	sort.Ints(reps)
+	var j float64
+	for _, r := range reps {
+		j += p.closeJ(comps[r])
+	}
+	for i, d := range dec {
+		if d >= 0 {
+			j += p.insertTerm(i, d)
+		}
+	}
+	return j
+}

@@ -1,0 +1,323 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/scenario"
+)
+
+// buildTopology generates one of the registry topology families at a small
+// size — the same generator the scenario registry uses, so the gate runs on
+// exactly the architectures placements target.
+func buildTopology(t *testing.T, kind string, buses int, seed int64) *arch.Architecture {
+	t.Helper()
+	a, err := scenario.Topology{
+		Kind:        kind,
+		Buses:       buses,
+		FanOut:      2,
+		Utilisation: 0.85,
+		Skew:        2,
+		Seed:        seed,
+	}.Build()
+	if err != nil {
+		t.Fatalf("build %s/%d: %v", kind, buses, err)
+	}
+	return a
+}
+
+func testProblem(t *testing.T, a *arch.Architecture, budget int) *problem {
+	t.Helper()
+	cfg := Config{Arch: a, Types: DefaultCatalogue(), Budget: budget, LatencyWeight: 0.1}
+	p, err := newProblem(a, cfg)
+	if err != nil {
+		t.Fatalf("newProblem: %v", err)
+	}
+	return p
+}
+
+// sameFrontier asserts the two complete frontiers coincide: same length,
+// and pointwise equal (cost, J) within tolerance — the DP accumulates the
+// same summands as the brute-force recomputation, in a different order, so
+// roundoff-level differences are admissible, exact mismatches are not.
+func sameFrontier(t *testing.T, dp, bf []scored) {
+	t.Helper()
+	if len(dp) != len(bf) {
+		t.Fatalf("frontier sizes differ: DP %d, brute force %d", len(dp), len(bf))
+	}
+	const tol = 1e-9
+	for i := range dp {
+		if math.Abs(dp[i].cost-bf[i].cost) > tol || math.Abs(dp[i].j-bf[i].j) > tol {
+			t.Errorf("frontier[%d]: DP (%.12g, %.12g) vs brute force (%.12g, %.12g)",
+				i, dp[i].cost, dp[i].j, bf[i].cost, bf[i].j)
+		}
+	}
+}
+
+// assertPareto asserts no frontier point dominates another (the published
+// frontier must be an antichain) and that costs ascend.
+func assertPareto(t *testing.T, front []scored) {
+	t.Helper()
+	for i := range front {
+		if i > 0 && front[i].cost <= front[i-1].cost {
+			t.Errorf("frontier not cost-ascending at %d: %g after %g", i, front[i].cost, front[i-1].cost)
+		}
+		for k := range front {
+			if i == k {
+				continue
+			}
+			if front[k].cost <= front[i].cost && front[k].j <= front[i].j {
+				t.Errorf("frontier[%d] dominated by frontier[%d]", i, k)
+			}
+		}
+	}
+}
+
+// TestDPMatchesBruteForce is the exactness gate: on small generated
+// topologies of every family (≤12 candidate points), the pruned DP must
+// return the same Pareto frontier as exhaustive enumeration.
+func TestDPMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		kind  string
+		buses int
+		seed  int64
+	}{
+		{"chain", 4, 1},
+		{"chain", 6, 7},
+		{"star", 5, 3},
+		{"tree", 7, 5},
+		{"mesh", 4, 2},
+		{"mesh", 6, 4},
+	}
+	for _, tc := range cases {
+		a := buildTopology(t, tc.kind, tc.buses, tc.seed)
+		if len(a.Bridges) > 12 {
+			t.Fatalf("%s/%d: %d candidates exceeds the small-tree gate bound", tc.kind, tc.buses, len(a.Bridges))
+		}
+		// A budget generous enough that every placement is feasible: the
+		// gate tests dominance pruning, not the capacity floor.
+		p := testProblem(t, a, 1000)
+		dp, st := p.runDP()
+		bf, priced, _ := p.bruteForce()
+		if int64(priced) != p.enumerated {
+			t.Errorf("%s/%d: brute force priced %d of %d placements", tc.kind, tc.buses, priced, p.enumerated)
+		}
+		sameFrontier(t, dp, bf)
+		assertPareto(t, dp)
+		if st.partials <= st.pruned {
+			t.Errorf("%s/%d: %d partials, %d pruned — nothing survived?", tc.kind, tc.buses, st.partials, st.pruned)
+		}
+	}
+}
+
+// TestForestDPMatchesBruteForce: an architecture whose buses connect only
+// through a dual-homed processor has a bridge-disconnected bus graph (the
+// paper's Figure 1: bus "a" reaches "b" through master p2, not a bridge).
+// The DP must build a spanning forest, solve each component and fold the
+// component frontiers — and still match exhaustive enumeration.
+func TestForestDPMatchesBruteForce(t *testing.T) {
+	a := arch.Figure1()
+	p := testProblem(t, a, 1000)
+	if len(p.roots) < 2 {
+		t.Fatalf("figure1 bus graph has %d spanning-forest roots, want ≥2 (bus %q joins via a processor only)",
+			len(p.roots), "a")
+	}
+	dp, _ := p.runDP()
+	bf, priced, _ := p.bruteForce()
+	if int64(priced) != p.enumerated {
+		t.Errorf("brute force priced %d of %d placements", priced, p.enumerated)
+	}
+	sameFrontier(t, dp, bf)
+	assertPareto(t, dp)
+}
+
+// twoLegStar builds a hand-made symmetric architecture: two identical leaf
+// buses bridged to a hub, with mirrored traffic — every placement has a
+// mirror image with identical cost and screened J, forcing exact ties on
+// both frontier coordinates.
+func twoLegStar() *arch.Architecture {
+	return &arch.Architecture{
+		Name: "twoleg",
+		Buses: []arch.Bus{
+			{ID: "hub", ServiceRate: 40},
+			{ID: "leafA", ServiceRate: 20},
+			{ID: "leafB", ServiceRate: 20},
+		},
+		Processors: []arch.Processor{
+			{ID: "pa", Buses: []string{"leafA"}},
+			{ID: "pb", Buses: []string{"leafB"}},
+			{ID: "ph", Buses: []string{"hub"}},
+		},
+		Bridges: []arch.Bridge{
+			{ID: "brA", BusA: "hub", BusB: "leafA"},
+			{ID: "brB", BusA: "hub", BusB: "leafB"},
+		},
+		Flows: []arch.Flow{
+			{From: "pa", To: "ph", Rate: 8},
+			{From: "pb", To: "ph", Rate: 8},
+			{From: "ph", To: "pa", Rate: 3},
+			{From: "ph", To: "pb", Rate: 3},
+		},
+	}
+}
+
+// TestDominanceTiesBothCoordinates: mirrored placements tie exactly on cost
+// and J; the frontier must keep exactly one representative per tied class
+// (the lexicographically smallest decision vector) and still match brute
+// force.
+func TestDominanceTiesBothCoordinates(t *testing.T) {
+	p := testProblem(t, twoLegStar(), 1000)
+	dp, _ := p.runDP()
+	bf, _, _ := p.bruteForce()
+	sameFrontier(t, dp, bf)
+	assertPareto(t, dp)
+	seen := map[[2]float64]bool{}
+	for _, s := range dp {
+		k := [2]float64{s.cost, s.j}
+		if seen[k] {
+			t.Errorf("duplicate frontier point (%.12g, %.12g) — tie not collapsed", s.cost, s.j)
+		}
+		seen[k] = true
+	}
+	// Mirrored mixed placements (brA=lite,brB=std vs brA=std,brB=lite) tie;
+	// the canonical survivor must pick brA's option first in catalogue
+	// order, i.e. the lexicographically smallest decision vector.
+	for _, s := range dp {
+		mirror := make([]int8, len(s.dec))
+		mirror[0], mirror[1] = s.dec[1], s.dec[0]
+		if decLess(mirror, s.dec) {
+			t.Errorf("frontier kept %v over its lexicographically smaller mirror", s.dec)
+		}
+	}
+}
+
+// TestSingleCandidateNode: one bridge means the frontier is just the pruned
+// option list — bypass plus the non-dominated catalogue types.
+func TestSingleCandidateNode(t *testing.T) {
+	a := arch.TwoBusAMBA()
+	p := testProblem(t, a, 1000)
+	if len(p.bridges) != 1 {
+		t.Fatalf("twobus has %d bridges, want 1", len(p.bridges))
+	}
+	if !p.cut[0] {
+		t.Fatalf("the single bridge must be a cut edge")
+	}
+	dp, _ := p.runDP()
+	bf, priced, _ := p.bruteForce()
+	if priced != len(DefaultCatalogue())+1 {
+		t.Fatalf("priced %d options, want %d", priced, len(DefaultCatalogue())+1)
+	}
+	sameFrontier(t, dp, bf)
+	assertPareto(t, dp)
+	// Bypass costs nothing, so it is always the frontier's cheapest point.
+	if dp[0].cost != 0 || dp[0].bypassed != 1 {
+		t.Fatalf("cheapest frontier point should be the bypass: got cost %g, bypassed %d", dp[0].cost, dp[0].bypassed)
+	}
+}
+
+// TestBudgetInfeasibleSubtrees: a capacity budget below the full-insertion
+// floor must discard insertion-heavy placements — and when only the
+// all-bypass placement fits, the frontier is exactly that point. The DP's
+// third dominance coordinate is what keeps such placements alive through
+// the bottom-up merges (a cheaper-and-better partial with fewer bypasses
+// must not evict them).
+func TestBudgetInfeasibleSubtrees(t *testing.T) {
+	a := buildTopology(t, "chain", 4, 1)
+	attach := 0
+	for _, pr := range a.Processors {
+		attach += len(pr.Buses)
+	}
+	// Budget = attachment floor: only the all-bypass placement is feasible.
+	p := testProblem(t, a, attach)
+	dp, st := p.runDP()
+	if len(dp) != 1 || dp[0].bypassed != len(a.Bridges) || dp[0].cost != 0 {
+		t.Fatalf("tight budget: want the single all-bypass placement, got %+v", dp)
+	}
+	if st.infeasible == 0 {
+		t.Fatalf("tight budget discarded no placements")
+	}
+	bf, _, bfInfeasible := p.bruteForce()
+	sameFrontier(t, dp, bf)
+	if bfInfeasible == 0 {
+		t.Fatalf("brute force saw no infeasible placements")
+	}
+
+	// Room for exactly one inserted bridge: feasible placements bypass at
+	// least len(bridges)-1 edges.
+	p = testProblem(t, a, attach+2)
+	dp, _ = p.runDP()
+	bf, _, _ = p.bruteForce()
+	sameFrontier(t, dp, bf)
+	for _, s := range dp {
+		if s.bypassed < len(a.Bridges)-1 {
+			t.Errorf("placement with %d bypasses infeasible under budget %d yet on frontier", s.bypassed, attach+2)
+		}
+	}
+}
+
+// TestApplyContraction checks the contraction semantics: merged bus
+// identity, minimum-rate aggregation, and validity of every contracted
+// architecture on the frontier.
+func TestApplyContraction(t *testing.T) {
+	a := buildTopology(t, "chain", 4, 1)
+	p := testProblem(t, a, 1000)
+
+	// Full bypass: one merged bus named after the smallest member, at the
+	// slowest member's rate.
+	dec := make([]int8, len(p.bridges))
+	for i := range dec {
+		dec[i] = optBypass
+	}
+	merged, err := p.apply(dec)
+	if err != nil {
+		t.Fatalf("apply full bypass: %v", err)
+	}
+	if len(merged.Buses) != 1 || len(merged.Bridges) != 0 {
+		t.Fatalf("full bypass: got %d buses, %d bridges", len(merged.Buses), len(merged.Bridges))
+	}
+	if merged.Buses[0].ID != p.buses[0] {
+		t.Errorf("merged bus named %q, want smallest member %q", merged.Buses[0].ID, p.buses[0])
+	}
+	minRate := math.Inf(1)
+	for _, b := range a.Buses {
+		minRate = math.Min(minRate, b.ServiceRate)
+	}
+	if merged.Buses[0].ServiceRate != minRate {
+		t.Errorf("merged rate %g, want member minimum %g", merged.Buses[0].ServiceRate, minRate)
+	}
+
+	// Every frontier placement must contract to a valid architecture.
+	front, _ := p.runDP()
+	for _, s := range front {
+		c, err := p.apply(s.dec)
+		if err != nil {
+			t.Fatalf("apply %s: %v", p.signature(s.dec), err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("contracted %s invalid: %v", p.signature(s.dec), err)
+		}
+		if got := len(c.Bridges); got != len(p.bridges)-s.bypassed {
+			t.Errorf("%s: %d bridges survive, want %d", p.signature(s.dec), got, len(p.bridges)-s.bypassed)
+		}
+	}
+}
+
+// TestMeshHasNoBypassCandidates: every edge of a grid lies on a cycle, so
+// no bridge is a cut edge and contraction is never offered — placement
+// degrades to pure type selection, per the §7 contract.
+func TestMeshHasNoBypassCandidates(t *testing.T) {
+	a := buildTopology(t, "mesh", 9, 2)
+	p := testProblem(t, a, 1000)
+	for i, c := range p.cut {
+		if c {
+			t.Errorf("mesh bridge %s marked as cut edge", p.bridges[i].ID)
+		}
+	}
+	front, _ := p.runDP()
+	for _, s := range front {
+		if s.bypassed != 0 {
+			t.Errorf("mesh frontier placement bypasses %d bridges", s.bypassed)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package placement
+
+import (
+	"sort"
+
+	"socbuf/internal/queueing"
+)
+
+// compKey is a bitset over bus indices rendered as an immutable string —
+// the DP's open-component signature and the closeJ memo key.
+type compKey string
+
+func (p *problem) compBytes() int { return (len(p.buses) + 7) / 8 }
+
+func (p *problem) singletonComp(v int) compKey {
+	b := make([]byte, p.compBytes())
+	b[v/8] |= 1 << (v % 8)
+	return compKey(b)
+}
+
+func unionComp(a, b compKey) compKey {
+	out := []byte(a)
+	for i := 0; i < len(out); i++ {
+		out[i] |= b[i]
+	}
+	return compKey(out)
+}
+
+func (k compKey) has(v int) bool { return k[v/8]&(1<<(v%8)) != 0 }
+
+// members lists the component's bus indices, ascending.
+func (k compKey) members(n int) []int {
+	var out []int
+	for v := 0; v < n; v++ {
+		if k.has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// insertTerm is the screened latency price of inserting type t on bridge i:
+// LatencyWeight × type delay × crossing rate — by Little's law, the mean
+// packet population held in the bridge's forwarding stage.
+func (p *problem) insertTerm(i int, t int8) float64 {
+	return p.lw * p.types[t].Delay * p.brRate[i]
+}
+
+// closeJ prices one closed component: the merged bus (service rate = the
+// members' minimum) serves the members' traffic-carrying attachment buffers
+// plus the directional buffer of every inserted bridge draining into the
+// component, each approximated as an M/M/1/K queue at the provisional
+// uniform capacity k0 under the standard two-regime service share. The
+// score sums weighted loss rate (λ·B) and LatencyWeight-scaled mean queue
+// population (by Little's law, the latency term). Membership alone
+// determines the client set — every bridge with exactly one endpoint inside
+// is inserted in any placement that closes this component — which is what
+// makes the DP objective additive and the memo sound (DESIGN.md §7).
+func (p *problem) closeJ(key compKey) float64 {
+	if j, ok := p.fMemo[key]; ok {
+		return j
+	}
+	members := key.members(len(p.buses))
+	mu := p.muBus[members[0]]
+	for _, m := range members[1:] {
+		if p.muBus[m] < mu {
+			mu = p.muBus[m]
+		}
+	}
+	var clients []client
+	for _, m := range members {
+		clients = append(clients, p.egress[m]...)
+	}
+	for i := range p.bridges {
+		a := key.has(p.busIdx[p.bridges[i].BusA])
+		b := key.has(p.busIdx[p.bridges[i].BusB])
+		if a == b {
+			continue // internal (bypassed) or unrelated bridge
+		}
+		for _, cl := range p.brInto[i] {
+			if key.has(cl.bus) {
+				clients = append(clients, cl)
+			}
+		}
+	}
+	// Canonical client order keeps the float summation deterministic.
+	sort.Slice(clients, func(x, y int) bool { return clients[x].id < clients[y].id })
+	var load float64
+	for _, cl := range clients {
+		load += cl.lambda
+	}
+	var j float64
+	for _, cl := range clients {
+		// Two-regime share: residual capacity when underloaded, proportional
+		// floor when saturated — the same approximation the analytic sizing
+		// backend uses (internal/solver).
+		residual := mu - (load - cl.lambda)
+		prop := mu * cl.lambda / load
+		share := residual
+		if prop > share {
+			share = prop
+		}
+		q, err := queueing.NewMM1K(cl.lambda, share, p.k0)
+		if err != nil {
+			// λ and μ are constructed positive; unreachable in practice.
+			j += cl.lambda
+			continue
+		}
+		j += q.LossRate() + p.lw*q.MeanQueue()
+	}
+	if p.fMemo == nil {
+		p.fMemo = map[compKey]float64{}
+	}
+	p.fMemo[key] = j
+	return j
+}

@@ -57,10 +57,12 @@ type Cache struct {
 	structural map[Key]*entry
 	joint      map[Key]*jointEntry
 	analytic   map[Key]*AnalyticSolution
+	placement  map[Key][]byte
 
-	hits, misses, warm       atomic.Int64
-	jointHits, jointMiss     atomic.Int64
-	analyticHit, analyticMis atomic.Int64
+	hits, misses, warm         atomic.Int64
+	jointHits, jointMiss       atomic.Int64
+	analyticHit, analyticMis   atomic.Int64
+	placementHit, placementMis atomic.Int64
 }
 
 // entry is one cached sub-model solution, aligned to its canonical model.
@@ -91,6 +93,7 @@ func New() *Cache {
 		structural: map[Key]*entry{},
 		joint:      map[Key]*jointEntry{},
 		analytic:   map[Key]*AnalyticSolution{},
+		placement:  map[Key][]byte{},
 	}
 }
 
@@ -144,6 +147,44 @@ func (c *Cache) PutAnalytic(k Key, s *AnalyticSolution) {
 	c.mu.Unlock()
 }
 
+// LookupPlacement fetches a cached placement result by its
+// PlacementFingerprint key. The payload is the engine's serialised
+// placement result — opaque to this package (placement results are
+// deterministic functions of the key, so byte-level storage is sound and
+// keeps the dependency arrow pointing the right way). Returned bytes are a
+// fresh copy. A nil receiver (caching disabled) always misses without
+// counting.
+func (c *Cache) LookupPlacement(k Key) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	b := c.placement[k]
+	c.mu.Unlock()
+	if b == nil {
+		c.placementMis.Add(1)
+		return nil, false
+	}
+	c.placementHit.Add(1)
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, true
+}
+
+// PutPlacement stores one serialised placement result under its
+// PlacementFingerprint key. The payload is copied in; concurrent duplicate
+// stores are benign. A nil receiver or empty payload is a no-op.
+func (c *Cache) PutPlacement(k Key, b []byte) {
+	if c == nil || len(b) == 0 {
+		return
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	c.mu.Lock()
+	c.placement[k] = cp
+	c.mu.Unlock()
+}
+
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
 	// Hits counts sub-model solves answered by an exact fingerprint match.
@@ -160,9 +201,12 @@ type Stats struct {
 	// closed-form backend's sizing cache, keyed in a backend-tagged key
 	// space disjoint from every exact fingerprint.
 	AnalyticHits, AnalyticMisses int64
-	// Entries / JointEntries / AnalyticEntries are the stored solution
-	// counts per tier.
-	Entries, JointEntries, AnalyticEntries int
+	// PlacementHits / PlacementMisses count placement-tier lookups — whole
+	// placement runs (frontier + chosen), keyed by PlacementFingerprint.
+	PlacementHits, PlacementMisses int64
+	// Entries / JointEntries / AnalyticEntries / PlacementEntries are the
+	// stored solution counts per tier.
+	Entries, JointEntries, AnalyticEntries, PlacementEntries int
 }
 
 // Stats returns a snapshot of the counters.
@@ -177,19 +221,22 @@ func (c *Cache) Stats() Stats {
 	for _, e := range c.exact {
 		distinct[e] = struct{}{}
 	}
-	entries, jointEntries, analyticEntries := len(distinct), len(c.joint), len(c.analytic)
+	entries, jointEntries, analyticEntries, placementEntries := len(distinct), len(c.joint), len(c.analytic), len(c.placement)
 	c.mu.Unlock()
 	return Stats{
-		Hits:            c.hits.Load(),
-		WarmStarts:      c.warm.Load(),
-		Misses:          c.misses.Load(),
-		JointHits:       c.jointHits.Load(),
-		JointMisses:     c.jointMiss.Load(),
-		AnalyticHits:    c.analyticHit.Load(),
-		AnalyticMisses:  c.analyticMis.Load(),
-		Entries:         entries,
-		JointEntries:    jointEntries,
-		AnalyticEntries: analyticEntries,
+		Hits:             c.hits.Load(),
+		WarmStarts:       c.warm.Load(),
+		Misses:           c.misses.Load(),
+		JointHits:        c.jointHits.Load(),
+		JointMisses:      c.jointMiss.Load(),
+		AnalyticHits:     c.analyticHit.Load(),
+		AnalyticMisses:   c.analyticMis.Load(),
+		PlacementHits:    c.placementHit.Load(),
+		PlacementMisses:  c.placementMis.Load(),
+		Entries:          entries,
+		JointEntries:     jointEntries,
+		AnalyticEntries:  analyticEntries,
+		PlacementEntries: placementEntries,
 	}
 }
 

@@ -117,6 +117,13 @@ func (h *hasher) bool(v bool) {
 	}
 }
 
+// str serialises a length-prefixed string (self-delimiting, so adjacent
+// fields can never alias across a boundary shift).
+func (h *hasher) str(s string) {
+	h.i64(int64(len(s)))
+	h.buf = append(h.buf, s...)
+}
+
 func (h *hasher) sum() Key { return sha256.Sum256(h.buf) }
 
 // version tags the serialisation layout; bump on any change to what a
@@ -131,8 +138,9 @@ const version = 2
 // CTMDP/LP solution of the same model occupy disjoint key spaces by
 // construction.
 const (
-	backendExact    = 0
-	backendAnalytic = 1
+	backendExact     = 0
+	backendAnalytic  = 1
+	backendPlacement = 2
 )
 
 func (h *hasher) options(o SolveOptions) {
@@ -213,6 +221,61 @@ func AnalyticFingerprint(archBytes []byte, budget, boundaryIters int) Key {
 	h.i64(backendAnalytic)
 	h.i64(int64(budget))
 	h.i64(int64(boundaryIters))
+	h.i64(int64(len(archBytes)))
+	h.buf = append(h.buf, archBytes...)
+	return h.sum()
+}
+
+// PlacementMeta is everything besides the architecture that changes what a
+// placement run's outcome IS: the buffer-type catalogue, the budgets, the
+// screening weight, the refinement backend and depth, and the evaluation
+// knobs (iterations, seeds, horizon, warm-up — the frontier's evaluated
+// losses are simulated under them). See DESIGN.md §7 for how this extends
+// the §4 cache-key contract.
+type PlacementMeta struct {
+	Budget        int
+	CostBudget    float64
+	LatencyWeight float64
+	Method        string
+	RefineTop     int
+	Iterations    int
+	Seeds         []int64
+	Horizon       float64
+	WarmUp        float64
+	// Types is the flattened catalogue: (name, cost, delay) per entry, in
+	// request order (order is identity — it breaks frontier tie-breaks).
+	TypeNames  []string
+	TypeCosts  []float64
+	TypeDelays []float64
+}
+
+// PlacementFingerprint keys one full placement run: the canonical byte
+// serialisation of the ORIGINAL (pre-contraction) architecture plus the
+// placement metadata. The backendPlacement tag keeps these keys disjoint
+// from every exact and analytic fingerprint, so a cached placement result
+// can never rebind as a sizing solution (or vice versa).
+func PlacementFingerprint(archBytes []byte, meta PlacementMeta) Key {
+	h := &hasher{buf: make([]byte, 0, 128+len(archBytes))}
+	h.i64(version)
+	h.i64(backendPlacement)
+	h.i64(int64(meta.Budget))
+	h.f64(meta.CostBudget)
+	h.f64(meta.LatencyWeight)
+	h.str(meta.Method)
+	h.i64(int64(meta.RefineTop))
+	h.i64(int64(meta.Iterations))
+	h.i64(int64(len(meta.Seeds)))
+	for _, s := range meta.Seeds {
+		h.i64(s)
+	}
+	h.f64(meta.Horizon)
+	h.f64(meta.WarmUp)
+	h.i64(int64(len(meta.TypeNames)))
+	for i := range meta.TypeNames {
+		h.str(meta.TypeNames[i])
+		h.f64(meta.TypeCosts[i])
+		h.f64(meta.TypeDelays[i])
+	}
 	h.i64(int64(len(archBytes)))
 	h.buf = append(h.buf, archBytes...)
 	return h.sum()

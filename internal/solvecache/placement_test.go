@@ -1,0 +1,130 @@
+package solvecache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPlacementTierRoundTrip pins the placement cache tier's contract:
+// payload isolation (returned bytes are fresh copies), counters, and a nil
+// receiver as a valid disabled cache.
+func TestPlacementTierRoundTrip(t *testing.T) {
+	c := New()
+	meta := PlacementMeta{
+		Budget: 56, CostBudget: 8, LatencyWeight: 0.1,
+		Method: "hybrid", RefineTop: 3,
+		Iterations: 2, Seeds: []int64{1, 2}, Horizon: 400, WarmUp: 50,
+		TypeNames: []string{"lite", "std"}, TypeCosts: []float64{1, 2}, TypeDelays: []float64{0.5, 0.2},
+	}
+	key := PlacementFingerprint([]byte("arch-bytes"), meta)
+	if _, ok := c.LookupPlacement(key); ok {
+		t.Fatal("empty cache hit")
+	}
+	in := []byte(`{"frontier":[1,2,3]}`)
+	c.PutPlacement(key, in)
+	in[0] = 'X' // caller mutation after Put must not reach the store
+
+	got, ok := c.LookupPlacement(key)
+	if !ok || !bytes.Equal(got, []byte(`{"frontier":[1,2,3]}`)) {
+		t.Fatalf("lookup got %q, ok=%v", got, ok)
+	}
+	got[0] = 'Y' // and mutating a lookup must not poison later lookups
+	again, _ := c.LookupPlacement(key)
+	if !bytes.Equal(again, []byte(`{"frontier":[1,2,3]}`)) {
+		t.Fatalf("cached payload mutated through a reader: %q", again)
+	}
+
+	s := c.Stats()
+	if s.PlacementHits != 2 || s.PlacementMisses != 1 || s.PlacementEntries != 1 {
+		t.Fatalf("stats %+v, want 2 hits / 1 miss / 1 entry", s)
+	}
+
+	// Any metadata change is a different problem.
+	meta2 := meta
+	meta2.RefineTop = 4
+	if _, ok := c.LookupPlacement(PlacementFingerprint([]byte("arch-bytes"), meta2)); ok {
+		t.Fatal("metadata change aliased the cached placement")
+	}
+
+	var nilCache *Cache
+	if _, ok := nilCache.LookupPlacement(key); ok {
+		t.Fatal("nil cache hit")
+	}
+	nilCache.PutPlacement(key, in) // must not panic
+}
+
+// TestPlacementKeySpaceDisjoint: the backendPlacement tag must keep
+// placement fingerprints disjoint from analytic ones even when the hashed
+// content bytes line up — the same guarantee the analytic tag gives against
+// exact keys.
+func TestPlacementKeySpaceDisjoint(t *testing.T) {
+	archBytes := []byte("same-arch")
+	analytic := AnalyticFingerprint(archBytes, 56, 3)
+	placement := PlacementFingerprint(archBytes, PlacementMeta{Budget: 56})
+	if analytic == placement {
+		t.Fatal("analytic and placement fingerprints collide")
+	}
+	c := New()
+	c.PutAnalytic(analytic, &AnalyticSolution{Alloc: map[string]int{"a": 1}})
+	if _, ok := c.LookupPlacement(placement); ok {
+		t.Fatal("placement lookup answered from the analytic tier")
+	}
+}
+
+// TestPlacementFingerprintSensitivity: every PlacementMeta field is
+// identity — flipping any one of them must move the key.
+func TestPlacementFingerprintSensitivity(t *testing.T) {
+	base := PlacementMeta{
+		Budget: 56, CostBudget: 8, LatencyWeight: 0.1,
+		Method: "hybrid", RefineTop: 3,
+		Iterations: 2, Seeds: []int64{1, 2}, Horizon: 400, WarmUp: 50,
+		TypeNames: []string{"lite"}, TypeCosts: []float64{1}, TypeDelays: []float64{0.5},
+	}
+	arch := []byte("arch")
+	k0 := PlacementFingerprint(arch, base)
+	mutations := map[string]PlacementMeta{}
+	m := base
+	m.Budget++
+	mutations["budget"] = m
+	m = base
+	m.CostBudget++
+	mutations["costBudget"] = m
+	m = base
+	m.LatencyWeight = 0.2
+	mutations["latencyWeight"] = m
+	m = base
+	m.Method = "exact"
+	mutations["method"] = m
+	m = base
+	m.RefineTop++
+	mutations["refineTop"] = m
+	m = base
+	m.Iterations++
+	mutations["iterations"] = m
+	m = base
+	m.Seeds = []int64{1, 3}
+	mutations["seeds"] = m
+	m = base
+	m.Horizon++
+	mutations["horizon"] = m
+	m = base
+	m.WarmUp++
+	mutations["warmUp"] = m
+	m = base
+	m.TypeNames = []string{"fast"}
+	mutations["typeName"] = m
+	m = base
+	m.TypeCosts = []float64{2}
+	mutations["typeCost"] = m
+	m = base
+	m.TypeDelays = []float64{0.1}
+	mutations["typeDelay"] = m
+	for field, mm := range mutations {
+		if PlacementFingerprint(arch, mm) == k0 {
+			t.Errorf("changing %s did not change the fingerprint", field)
+		}
+	}
+	if PlacementFingerprint([]byte("other"), base) == k0 {
+		t.Error("changing the architecture bytes did not change the fingerprint")
+	}
+}
