@@ -4,6 +4,7 @@
 //
 //	benchdiff old.txt new.txt
 //	benchdiff -gate 'BenchmarkSweep32' -max-regress 10 old.txt new.txt
+//	benchdiff -gate 'BenchmarkSweep32' -gate 'BenchmarkSparseMatVec/=25' old.txt new.txt
 //	benchdiff -emit bench-results.txt > BENCH_2026-07-27.json
 //	benchdiff BENCH_2026-08-07.json bench-results.txt
 //
@@ -12,10 +13,15 @@
 // trajectory baseline") diff directly against fresh runs.
 //
 // Each benchmark present in both files is reported with its old/new ns/op
-// and the delta. With -gate, benchmarks whose name matches the regexp and
-// whose ns/op regressed by more than -max-regress percent fail the run
-// (exit 1). Benchmarks missing from either file are reported but never
-// gated, so renaming or adding benchmarks cannot break the nightly job.
+// and the delta. -gate may be repeated to build a gate list: benchmarks
+// whose name matches a gate's regexp and whose ns/op regressed by more than
+// that gate's threshold fail the run (exit 1). A gate is either a bare
+// regexp (threshold -max-regress) or RE=PCT, which overrides the threshold
+// for that gate alone — kernel micro-benchmarks are noisier than end-to-end
+// sweeps and get a looser gate without loosening the headline one. The
+// first matching gate wins, so order specific gates before broad ones.
+// Benchmarks missing from either file are reported but never gated, so
+// renaming or adding benchmarks cannot break the nightly job.
 //
 // -emit takes a single bench output file and writes it to stdout as one
 // sorted JSON object mapping benchmark name → ns/op — the machine-readable
@@ -34,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -42,6 +49,60 @@ import (
 
 	"socbuf/internal/report"
 )
+
+// gateSpec is one entry of the gate list: which benchmarks it covers and the
+// regression threshold that applies to them. max is NaN when the gate did not
+// name its own threshold and should inherit -max-regress.
+type gateSpec struct {
+	re  *regexp.Regexp
+	max float64
+}
+
+// gateList implements flag.Value so -gate can be repeated. Each value is a
+// regexp, optionally suffixed =PCT to carry a per-gate threshold. The split
+// is on the LAST '=' and only when the suffix parses as a number, so regexps
+// containing '=' still work as long as they don't end in one.
+type gateList []gateSpec
+
+func (g *gateList) String() string {
+	parts := make([]string, len(*g))
+	for i, s := range *g {
+		parts[i] = s.re.String()
+		if !math.IsNaN(s.max) {
+			parts[i] += fmt.Sprintf("=%g", s.max)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *gateList) Set(v string) error {
+	expr, max := v, math.NaN()
+	if i := strings.LastIndex(v, "="); i >= 0 {
+		if pct, err := strconv.ParseFloat(v[i+1:], 64); err == nil {
+			expr, max = v[:i], pct
+		}
+	}
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return err
+	}
+	*g = append(*g, gateSpec{re: re, max: max})
+	return nil
+}
+
+// threshold returns the regression limit for name, or NaN when no gate
+// covers it. The first matching gate wins.
+func (g gateList) threshold(name string, def float64) float64 {
+	for _, s := range g {
+		if s.re.MatchString(name) {
+			if math.IsNaN(s.max) {
+				return def
+			}
+			return s.max
+		}
+	}
+	return math.NaN()
+}
 
 // nsPerOp maps benchmark name to its (last seen) ns/op in one output file.
 type nsPerOp map[string]float64
@@ -96,9 +157,10 @@ func parse(path string) (nsPerOp, error) {
 }
 
 func main() {
+	var gates gateList
+	flag.Var(&gates, "gate", "regexp of benchmark names that fail the run on regression; repeatable; RE=PCT sets a per-gate threshold")
 	var (
-		gate       = flag.String("gate", "", "regexp of benchmark names that fail the run on regression")
-		maxRegress = flag.Float64("max-regress", 10, "maximum allowed ns/op regression percent for gated benchmarks")
+		maxRegress = flag.Float64("max-regress", 10, "default allowed ns/op regression percent for gated benchmarks")
 		emit       = flag.Bool("emit", false, "emit a single bench output as sorted JSON (benchmark name → ns/op) on stdout")
 	)
 	flag.Parse()
@@ -123,16 +185,8 @@ func main() {
 		return
 	}
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gate RE] [-max-regress PCT] old.txt new.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gate RE[=PCT]]... [-max-regress PCT] old.txt new.txt")
 		os.Exit(2)
-	}
-	var gateRE *regexp.Regexp
-	if *gate != "" {
-		var err error
-		if gateRE, err = regexp.Compile(*gate); err != nil {
-			fmt.Fprintln(os.Stderr, "benchdiff:", err)
-			os.Exit(2)
-		}
 	}
 	old, err := parse(flag.Arg(0))
 	if err != nil {
@@ -161,10 +215,10 @@ func main() {
 		}
 		delta := (cur[name] - prev) / prev * 100
 		verdict := ""
-		if gateRE != nil && gateRE.MatchString(name) {
+		if limit := gates.threshold(name, *maxRegress); !math.IsNaN(limit) {
 			verdict = "ok"
-			if delta > *maxRegress {
-				verdict = "FAIL"
+			if delta > limit {
+				verdict = fmt.Sprintf("FAIL >%g%%", limit)
 				failed = true
 			}
 		}
@@ -191,7 +245,7 @@ func main() {
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: gated benchmarks regressed more than %.1f%%\n", *maxRegress)
+		fmt.Fprintln(os.Stderr, "benchdiff: gated benchmarks regressed past their thresholds")
 		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -52,5 +53,64 @@ func TestParseTextAndJSONAgree(t *testing.T) {
 func TestParseRejectsBrokenJSON(t *testing.T) {
 	if _, err := parse(writeTemp(t, "broken.json", `{"BenchmarkX": `)); err == nil {
 		t.Fatal("truncated JSON parsed without error")
+	}
+}
+
+// TestGateListSet covers the -gate flag grammar: bare regexp, RE=PCT with a
+// per-gate threshold, and rejection of invalid regexps.
+func TestGateListSet(t *testing.T) {
+	var g gateList
+	if err := g.Set("BenchmarkSweep32"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Set("BenchmarkSparseMatVec/=25"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Set("Benchmark(Simplex|SolveJointCapped)=25"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Set("Benchmark[Unclosed"); err == nil {
+		t.Fatal("invalid regexp accepted")
+	}
+	if len(g) != 3 {
+		t.Fatalf("gate list has %d entries, want 3", len(g))
+	}
+	cases := []struct {
+		name string
+		want float64 // NaN means ungated
+	}{
+		{"BenchmarkSweep32/serial", 10},             // bare gate inherits the default
+		{"BenchmarkSparseMatVec/n=4096", 25},        // per-gate threshold
+		{"BenchmarkSimplexMedium", 25},              // alternation matches
+		{"BenchmarkSolveJointCapped", 25},           // alternation matches
+		{"BenchmarkPlacementDP/chain6", math.NaN()}, // no gate covers it
+	}
+	for _, c := range cases {
+		got := g.threshold(c.name, 10)
+		switch {
+		case math.IsNaN(c.want):
+			if !math.IsNaN(got) {
+				t.Errorf("%s: gated at %g%%, want ungated", c.name, got)
+			}
+		case got != c.want:
+			t.Errorf("%s: threshold %g%%, want %g%%", c.name, got, c.want)
+		}
+	}
+}
+
+// TestGateListFirstMatchWins: a specific loose gate listed before a broad
+// strict one must take precedence for the benchmarks it names.
+func TestGateListFirstMatchWins(t *testing.T) {
+	var g gateList
+	for _, v := range []string{"BenchmarkSimplexEqualityHeavy=40", "BenchmarkSimplex=15"} {
+		if err := g.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.threshold("BenchmarkSimplexEqualityHeavy", 10); got != 40 {
+		t.Fatalf("specific gate lost to broad one: threshold %g%%, want 40%%", got)
+	}
+	if got := g.threshold("BenchmarkSimplexSmall", 10); got != 15 {
+		t.Fatalf("broad gate threshold %g%%, want 15%%", got)
 	}
 }

@@ -54,10 +54,11 @@
 //     share; cmd/socbufd serves the same API over HTTP with NDJSON sweep
 //     and placement-evaluation streaming.
 //
-// Stationary distributions of policy-induced chains are solved through two
-// interchangeable paths: an exact dense LU solve for small state spaces and
-// a CSR sparse Gauss–Seidel solve (power-iteration fallback) above
-// ctmdp.SparseStateThreshold states. The two agree to better than 1e-8 on
+// Stationary distributions of policy-induced chains are solved through
+// three interchangeable paths: an exact dense LU solve for small state
+// spaces, a CSR sparse Gauss–Seidel solve (power-iteration fallback) for
+// mid-sized ones, and a two-level aggregation/disaggregation solve beyond
+// ctmdp.DefaultAggregationThreshold states. All agree to better than 1e-8 on
 // every fixture; see ctmdp.StationaryOptions. The methodology invokes this
 // refinement when core.Config.RefineStationary is set (socbuf -refine).
 //
@@ -72,4 +73,4 @@
 package socbuf
 
 // Version identifies the reproduction release.
-const Version = "1.5.0"
+const Version = "1.6.0"

@@ -108,8 +108,8 @@ type Config struct {
 	// package comment).
 	Cache *solvecache.Cache
 	// RefineStationary recomputes each subsystem's stationary distribution
-	// from its policy-induced chain after every LP solve (dense LU below
-	// ctmdp.SparseStateThreshold reachable states, sparse-iterative above),
+	// from its policy-induced chain after every LP solve (dense LU,
+	// Gauss–Seidel or aggregation, auto-picked by reachable-state count),
 	// tightening the LP's roundoff-level state probabilities before
 	// translation. Off by default; the two paths agree to 1e-8.
 	RefineStationary bool

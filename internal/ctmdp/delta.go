@@ -1,0 +1,114 @@
+package ctmdp
+
+import (
+	"errors"
+	"fmt"
+
+	"socbuf/internal/lp"
+)
+
+// CappedResolver re-solves the joint occupation-measure LP across a sequence
+// of occupancy caps — and capacity allocations that change only the models'
+// UnitsPerLevel — without re-running the simplex from scratch each time. It
+// wraps lp.Resolver around the assembled joint program: between adjacent
+// budget-sweep points only the linking occupancy row (its coefficients, from
+// the new allocation's unit scaling, and its right-hand side, the new cap)
+// changes, so each re-solve is a rank-one tableau update plus a handful of
+// dual pivots instead of a full two-phase solve.
+//
+// Correctness contract (see DESIGN.md §8): the models passed to Resolve MUST
+// be structurally identical to the constructor's — same client count and
+// order, same Levels, Lambda, LossWeight, ServiceRate and DownstreamFullProb
+// — differing at most in UnitsPerLevel. Those are exactly the fields outside
+// the occupancy row: the balance rows and the objective are then
+// bit-identical, so patching the occupancy row is the whole difference
+// between the two programs. Resolve checks shapes (model count, variable and
+// state counts) and leaves the structural identity to the caller; the
+// solvecache layer enforces it with structural fingerprints. The LP layer
+// guarantees the patched solve reaches the same optimum as a fresh one (its
+// residual self-check falls back to a cold solve otherwise), so chaining can
+// only change pivot counts and roundoff at the 1e-8 level, never the result.
+type CappedResolver struct {
+	models  []*Model
+	offsets []int
+	capRow  int
+	cfg     JointConfig
+	res     *lp.Resolver
+	row     []float64 // occupancy-coefficient scratch, one slot per LP variable
+}
+
+// NewCappedResolver assembles the joint LP under cfg (which must carry a
+// positive OccupancyCap and no Sequential flag), solves it, and returns the
+// resolver alongside the first solution. ErrInfeasible is reported through
+// the error, matching SolveJoint.
+func NewCappedResolver(models []*Model, cfg JointConfig) (*CappedResolver, *JointSolution, error) {
+	if len(models) == 0 {
+		return nil, nil, errors.New("ctmdp: no models")
+	}
+	if cfg.OccupancyCap <= 0 {
+		return nil, nil, errors.New("ctmdp: capped resolver needs a positive occupancy cap")
+	}
+	if cfg.Sequential {
+		return nil, nil, errors.New("ctmdp: capped resolver needs the joint program")
+	}
+	prob, offsets, err := assembleJoint(models, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := lp.NewResolver(prob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ctmdp: simplex: %w", err)
+	}
+	cr := &CappedResolver{
+		models:  models,
+		offsets: offsets,
+		capRow:  len(prob.Constraints) - 1, // assembleJoint appends the cap row last
+		cfg:     cfg,
+		res:     res,
+		row:     make([]float64, prob.NumVars()),
+	}
+	sol, err := extractJoint(models, offsets, cfg, res.Solution())
+	if err != nil {
+		if errors.Is(err, ErrInfeasible) {
+			// The tableau is dual-feasible and perfectly reusable: hand the
+			// resolver back alongside the error so a retry ladder can chain
+			// its looser caps through the fast path.
+			return cr, nil, err
+		}
+		return nil, nil, err
+	}
+	return cr, sol, nil
+}
+
+// Resolve re-solves under a new occupancy cap and (possibly re-scaled)
+// models, patching the linking row in place. models must satisfy the
+// structural contract in the type comment; pass the constructor's slice to
+// change only the cap. The returned solution is bound to the NEW models.
+func (cr *CappedResolver) Resolve(models []*Model, cap float64) (*JointSolution, error) {
+	if cap <= 0 {
+		return nil, errors.New("ctmdp: capped resolver needs a positive occupancy cap")
+	}
+	if len(models) != len(cr.models) {
+		return nil, fmt.Errorf("ctmdp: resolver built for %d models, got %d", len(cr.models), len(models))
+	}
+	for i, m := range models {
+		if m.NumVars() != cr.models[i].NumVars() || m.numStates != cr.models[i].numStates {
+			return nil, fmt.Errorf("ctmdp: model %d shape changed (%d vars / %d states, want %d / %d)",
+				i, m.NumVars(), m.numStates, cr.models[i].NumVars(), cr.models[i].numStates)
+		}
+	}
+	occupancyRow(models, cr.offsets, cr.row)
+	sol, err := cr.res.Resolve(cr.capRow, cr.row, cap)
+	if err != nil {
+		return nil, fmt.Errorf("ctmdp: simplex: %w", err)
+	}
+	cfg := cr.cfg
+	cfg.OccupancyCap = cap
+	return extractJoint(models, cr.offsets, cfg, sol)
+}
+
+// Stats reports how many Resolve calls took the rank-one fast path and how
+// many fell back to a full re-solve.
+func (cr *CappedResolver) Stats() (resolves, fallbacks int) {
+	return cr.res.Resolves, cr.res.Fallbacks
+}

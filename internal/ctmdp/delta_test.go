@@ -1,0 +1,148 @@
+package ctmdp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// deltaFixture builds a two-bus system with a meaningful joint occupancy
+// trade-off, parameterised by each bus's unit scaling so tests can emulate a
+// budget sweep's re-scaled allocations.
+func deltaFixture(t *testing.T, unitsA, unitsB float64) []*Model {
+	t.Helper()
+	return []*Model{
+		mustModel(t, "busA", 4, []Client{
+			{BufferID: "a1", Lambda: 2, Levels: 2, UnitsPerLevel: unitsA, LossWeight: 1},
+			{BufferID: "a2", Lambda: 1.2, Levels: 2, UnitsPerLevel: unitsA, LossWeight: 2},
+		}),
+		mustModel(t, "busB", 3, []Client{
+			{BufferID: "b1", Lambda: 1.5, Levels: 3, UnitsPerLevel: unitsB, LossWeight: 1},
+		}),
+	}
+}
+
+// TestCappedResolverMatchesFreshSolve chains a budget sweep's worth of cap
+// and unit-scaling changes through one CappedResolver and checks every point
+// against a fresh SolveJoint. Objectives must agree to 1e-8 — the delta
+// path's correctness gate; occupation measures may sit on a different optimal
+// vertex of a degenerate program, so the comparison is on the optimum, the
+// cap feasibility, and the binding flag, not per-variable.
+func TestCappedResolverMatchesFreshSolve(t *testing.T) {
+	models := deltaFixture(t, 1, 1)
+	free := mustSolve(t, models, JointConfig{})
+	if free.OccupancyUsed <= 0 {
+		t.Fatalf("degenerate fixture: free occupancy %v", free.OccupancyUsed)
+	}
+
+	cr, sol, err := NewCappedResolver(models, JointConfig{OccupancyCap: free.OccupancyUsed * 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(point string, cap float64, models []*Model, got *JointSolution) {
+		t.Helper()
+		want := mustSolve(t, models, JointConfig{OccupancyCap: cap})
+		if d := math.Abs(got.TotalLossRate - want.TotalLossRate); d > 1e-8 {
+			t.Fatalf("%s: resolver loss %v, fresh %v (Δ=%g)", point, got.TotalLossRate, want.TotalLossRate, d)
+		}
+		if got.OccupancyUsed > cap*(1+1e-9) {
+			t.Fatalf("%s: resolver occupancy %v exceeds cap %v", point, got.OccupancyUsed, cap)
+		}
+		if got.CapBinding != want.CapBinding {
+			t.Fatalf("%s: resolver CapBinding %v, fresh %v", point, got.CapBinding, want.CapBinding)
+		}
+	}
+	check("initial", free.OccupancyUsed*0.99, models, sol)
+
+	// Cap-only chain: tighter, tighter, looser — the budget sweep's shape.
+	// The feasible band is narrow (the occupancy floor sits near 0.96·free on
+	// this fixture, which is why core's retry ladder bottoms out at 0.97).
+	for _, f := range []float64{0.98, 0.97, 0.985, 0.995, 0.975} {
+		cap := free.OccupancyUsed * f
+		got, err := cr.Resolve(models, cap)
+		if err != nil {
+			t.Fatalf("cap %.2f·free: %v", f, err)
+		}
+		check("cap-only", cap, models, got)
+	}
+
+	// Unit-rescaled points: the same structural family (lambdas, levels,
+	// weights unchanged) under a different physical unit scaling, as produced
+	// by a capacity re-allocation between sweep points.
+	rescaled := deltaFixture(t, 2, 1)
+	freeR := mustSolve(t, rescaled, JointConfig{})
+	for _, f := range []float64{0.99, 0.975} {
+		cap := freeR.OccupancyUsed * f
+		got, err := cr.Resolve(rescaled, cap)
+		if err != nil {
+			t.Fatalf("rescaled cap %.2f: %v", f, err)
+		}
+		check("rescaled", cap, rescaled, got)
+		for i, ms := range got.PerModel {
+			if ms.Model != rescaled[i] {
+				t.Fatalf("rescaled point bound to stale model %d", i)
+			}
+		}
+	}
+
+	resolves, fallbacks := cr.Stats()
+	if resolves == 0 {
+		t.Fatal("no Resolve call took the rank-one fast path")
+	}
+	t.Logf("resolves=%d fallbacks=%d", resolves, fallbacks)
+}
+
+// TestCappedResolverInfeasibleThenRecover drives the resolver through the cap
+// retry ladder's shape: an unsatisfiable cap must surface ErrInfeasible and
+// the next, feasible cap must still match a fresh solve.
+func TestCappedResolverInfeasibleThenRecover(t *testing.T) {
+	models := deltaFixture(t, 1, 1)
+	free := mustSolve(t, models, JointConfig{})
+	cr, _, err := NewCappedResolver(models, JointConfig{OccupancyCap: free.OccupancyUsed * 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.9·free is below the chain's minimum achievable expected occupancy
+	// (see TestCappedResolverMatchesFreshSolve on the feasible band).
+	if _, err := cr.Resolve(models, free.OccupancyUsed*0.9); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("sub-floor cap: got %v, want ErrInfeasible", err)
+	}
+	cap := free.OccupancyUsed * 0.98
+	got, err := cr.Resolve(models, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustSolve(t, models, JointConfig{OccupancyCap: cap})
+	if d := math.Abs(got.TotalLossRate - want.TotalLossRate); d > 1e-8 {
+		t.Fatalf("post-infeasible resolve loss %v, fresh %v (Δ=%g)", got.TotalLossRate, want.TotalLossRate, d)
+	}
+}
+
+// TestCappedResolverRejectsBadInput pins the constructor and shape guards.
+func TestCappedResolverRejectsBadInput(t *testing.T) {
+	models := deltaFixture(t, 1, 1)
+	free := mustSolve(t, models, JointConfig{})
+	if _, _, err := NewCappedResolver(models, JointConfig{}); err == nil {
+		t.Fatal("cap-free construction accepted")
+	}
+	if _, _, err := NewCappedResolver(models, JointConfig{OccupancyCap: 1, Sequential: true}); err == nil {
+		t.Fatal("sequential construction accepted")
+	}
+	if _, _, err := NewCappedResolver(nil, JointConfig{OccupancyCap: 1}); err == nil {
+		t.Fatal("empty model list accepted")
+	}
+	cr, _, err := NewCappedResolver(models, JointConfig{OccupancyCap: free.OccupancyUsed * 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr.Resolve(models, 0); err == nil {
+		t.Fatal("non-positive cap accepted")
+	}
+	if _, err := cr.Resolve(models[:1], 1); err == nil {
+		t.Fatal("model count mismatch accepted")
+	}
+	other := []*Model{models[0], mustModel(t, "busB", 3, singleClient(1.5, 4))}
+	if _, err := cr.Resolve(other, 1); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

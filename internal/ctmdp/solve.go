@@ -115,6 +115,24 @@ func SolveJoint(models []*Model, cfg JointConfig) (*JointSolution, error) {
 		return out, nil
 	}
 
+	prob, offsets, err := assembleJoint(models, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("ctmdp: simplex: %w", err)
+	}
+	return extractJoint(models, offsets, cfg, sol)
+}
+
+// assembleJoint builds the occupation-measure LP of the models under cfg:
+// per-model balance and normalisation rows, warm seeds, and — appended LAST,
+// as the delta re-solve path (CappedResolver) and lp.Problem.WarmBasis both
+// rely on — the linking occupancy row when cfg.OccupancyCap > 0. It returns
+// the problem and the per-model variable offsets.
+func assembleJoint(models []*Model, cfg JointConfig) (*lp.Problem, []int, error) {
 	// Variable layout: models in order, each contributing NumVars variables.
 	offsets := make([]int, len(models))
 	total := 0
@@ -149,7 +167,7 @@ func SolveJoint(models []*Model, cfg JointConfig) (*JointSolution, error) {
 		}
 		for j := range rows {
 			if err := prob.AddConstraint(rows[j], lp.EQ, 0); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		// Normalisation: the model's measure is a probability distribution.
@@ -158,7 +176,7 @@ func SolveJoint(models []*Model, cfg JointConfig) (*JointSolution, error) {
 			norm[offsets[i]+v] = 1
 		}
 		if err := prob.AddConstraint(norm, lp.EQ, 1); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -205,20 +223,29 @@ func SolveJoint(models []*Model, cfg JointConfig) (*JointSolution, error) {
 	// Linking occupancy row.
 	if cfg.OccupancyCap > 0 {
 		row := make([]float64, total)
-		for i, m := range models {
-			for v, sv := range m.vars {
-				row[offsets[i]+v] = m.OccupancyUnits(sv.state)
-			}
-		}
+		occupancyRow(models, offsets, row)
 		if err := prob.AddConstraint(row, lp.LE, cfg.OccupancyCap); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	return prob, offsets, nil
+}
 
-	sol, err := lp.Solve(prob)
-	if err != nil {
-		return nil, fmt.Errorf("ctmdp: simplex: %w", err)
+// occupancyRow fills row (length = total variable count, pre-zeroed or fully
+// overwritten here) with the linking constraint's coefficients: each
+// variable's state occupancy in physical units.
+func occupancyRow(models []*Model, offsets []int, row []float64) {
+	for i, m := range models {
+		for v, sv := range m.vars {
+			row[offsets[i]+v] = m.OccupancyUnits(sv.state)
+		}
 	}
+}
+
+// extractJoint maps the LP outcome back to the model layer: status check,
+// per-model occupation measures, policies, and the optional stationary
+// refinement pass.
+func extractJoint(models []*Model, offsets []int, cfg JointConfig, sol *lp.Solution) (*JointSolution, error) {
 	switch sol.Status {
 	case lp.Optimal:
 	case lp.Infeasible:

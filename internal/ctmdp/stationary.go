@@ -13,8 +13,9 @@ import (
 type SolveMethod int
 
 const (
-	// MethodAuto picks MethodDenseLU below SparseStateThreshold reachable
-	// states and MethodSparseIterative at or above it.
+	// MethodAuto picks by reachable-state count: dense LU below
+	// StationaryOptions.DenseThreshold, aggregation at or above
+	// StationaryOptions.AggregationThreshold, Gauss–Seidel in between.
 	MethodAuto SolveMethod = iota
 	// MethodDenseLU solves the balance equations directly with the dense LU
 	// factorisation (exact up to roundoff, O(n³)).
@@ -24,15 +25,37 @@ const (
 	// sweep; the CTMDP chains have O(n) transitions, so this is the scalable
 	// path.
 	MethodSparseIterative
+	// MethodAggregation runs the two-level iterative aggregation/
+	// disaggregation solver (linalg.StationaryAggregation): Gauss–Seidel
+	// smoothing plus an exact solve of a block-aggregated chain each cycle.
+	// On slowly mixing chains — the birth–death-like shape policy-induced
+	// queues take — plain Gauss–Seidel moves probability mass one state per
+	// sweep and can exhaust its sweep budget without converging, while the
+	// aggregate solve redistributes mass globally every cycle. Falls back to
+	// Gauss–Seidel/power if the aggregation cycle itself fails.
+	MethodAggregation
 )
 
-// SparseStateThreshold is the reachable-state count at which MethodAuto
-// switches from dense LU to the sparse iterative solver.
-const SparseStateThreshold = 400
+// Measured auto-path thresholds (reference container, 2026-08-08; see
+// PERFORMANCE.md "Kernels, measured"). Dense LU ties the iterative solvers
+// around 32–48 reachable states and is 4× slower by 64; Gauss–Seidel and
+// aggregation are comparable on fast-mixing chains up to ~512 states, beyond
+// which aggregation's robustness on slow-mixing chains dominates (Gauss–
+// Seidel can fail to converge outright on 512-state birth–death chains that
+// aggregation solves in milliseconds).
+const (
+	// DefaultDenseThreshold is MethodAuto's dense-LU ceiling when
+	// StationaryOptions.DenseThreshold is zero. (Previously a hardcoded
+	// SparseStateThreshold = 400 — far past the measured crossover.)
+	DefaultDenseThreshold = 48
+	// DefaultAggregationThreshold is MethodAuto's aggregation floor when
+	// StationaryOptions.AggregationThreshold is zero.
+	DefaultAggregationThreshold = 512
+)
 
 // StationaryOptions tunes the stationary solves of policy-induced chains.
-// The zero value (auto method, solver-default tolerance) is what the
-// pipeline uses.
+// The zero value (auto method, solver-default tolerance, measured default
+// thresholds) is what the pipeline uses.
 type StationaryOptions struct {
 	Method SolveMethod
 	// Tol is the iterative solver's residual tolerance; ≤ 0 picks the
@@ -41,6 +64,14 @@ type StationaryOptions struct {
 	Tol float64
 	// MaxIters bounds iterative sweeps; ≤ 0 picks the default.
 	MaxIters int
+	// DenseThreshold is the reachable-state count below which MethodAuto
+	// picks dense LU; ≤ 0 picks DefaultDenseThreshold. Fingerprinted by the
+	// solve cache (it changes which solver produced a cached payload).
+	DenseThreshold int
+	// AggregationThreshold is the reachable-state count at which MethodAuto
+	// switches from Gauss–Seidel to the aggregation solver; ≤ 0 picks
+	// DefaultAggregationThreshold. Fingerprinted like DenseThreshold.
+	AggregationThreshold int
 	// Warm optionally seeds the iterative solvers with a prior stationary
 	// distribution over the FULL model state space (the shape StateProb and
 	// StationaryUnderPolicy use); it is restricted to the policy chain's
@@ -126,6 +157,21 @@ func (ms *ModelSolution) PolicyChain() (*PolicyChain, error) {
 	return &PolicyChain{States: states, Gen: b.Build()}, nil
 }
 
+// iterOptions builds the iterative-solver options for a policy chain,
+// restricting a full-state warm prior to the chain's reachable states;
+// IterOptions.initial renormalises and falls back to uniform if the
+// restriction carries no mass.
+func (ms *ModelSolution) iterOptions(opts StationaryOptions, chain *PolicyChain) linalg.IterOptions {
+	var init []float64
+	if len(opts.Warm) == ms.Model.numStates {
+		init = make([]float64, len(chain.States))
+		for k, s := range chain.States {
+			init[k] = opts.Warm[s]
+		}
+	}
+	return linalg.IterOptions{Tol: opts.Tol, MaxIters: opts.MaxIters, Init: init}
+}
+
 // policyTransitions invokes fn for every outgoing transition of state s under
 // the solved policy: client arrivals below capacity, and service split across
 // non-empty clients by the conditional grant probabilities.
@@ -167,10 +213,21 @@ func (ms *ModelSolution) StationaryUnderPolicy(opts StationaryOptions) ([]float6
 
 	method := opts.Method
 	if method == MethodAuto {
-		if n >= SparseStateThreshold {
-			method = MethodSparseIterative
-		} else {
+		denseTh := opts.DenseThreshold
+		if denseTh <= 0 {
+			denseTh = DefaultDenseThreshold
+		}
+		aggTh := opts.AggregationThreshold
+		if aggTh <= 0 {
+			aggTh = DefaultAggregationThreshold
+		}
+		switch {
+		case n < denseTh:
 			method = MethodDenseLU
+		case n >= aggTh:
+			method = MethodAggregation
+		default:
+			method = MethodSparseIterative
 		}
 	}
 
@@ -189,17 +246,15 @@ func (ms *ModelSolution) StationaryUnderPolicy(opts StationaryOptions) ([]float6
 		}
 		pi, err = g.Stationary()
 	case MethodSparseIterative:
-		var init []float64
-		if len(opts.Warm) == ms.Model.numStates {
-			// Restrict the full-state prior to the chain's reachable states;
-			// IterOptions.initial renormalises and falls back to uniform if
-			// the restriction carries no mass.
-			init = make([]float64, n)
-			for k, s := range chain.States {
-				init[k] = opts.Warm[s]
-			}
+		pi, err = linalg.StationarySparse(chain.Gen, ms.iterOptions(opts, chain))
+	case MethodAggregation:
+		pi, err = linalg.StationaryAggregation(chain.Gen, ms.iterOptions(opts, chain))
+		if err != nil {
+			// The aggregation cycle can fail on pathological chains (e.g. a
+			// nearly reducible aggregate); the Gauss–Seidel/power chain is
+			// slower but has no coarse solve to go singular.
+			pi, err = linalg.StationarySparse(chain.Gen, ms.iterOptions(opts, chain))
 		}
-		pi, err = linalg.StationarySparse(chain.Gen, linalg.IterOptions{Tol: opts.Tol, MaxIters: opts.MaxIters, Init: init})
 	default:
 		return nil, fmt.Errorf("ctmdp: unknown stationary method %d", method)
 	}

@@ -113,40 +113,62 @@ func longestQueueSolution(m *Model) *ModelSolution {
 }
 
 func TestStationaryAutoPicksByStateCount(t *testing.T) {
-	// A three-client model with deep levels crosses the sparse threshold:
-	// (L+1)^3 with L=7 is 512 > 400. The LP would take minutes here, so the
-	// chain comes from a synthetic longest-queue policy instead.
+	// A three-client model with deep levels reaches the aggregation band:
+	// (L+1)^3 with L=7 is 512 = DefaultAggregationThreshold. The LP would
+	// take minutes here, so the chain comes from a synthetic longest-queue
+	// policy instead.
 	big := mustModel(t, "b", 8, []Client{
 		{BufferID: "a", Lambda: 2, Levels: 7, UnitsPerLevel: 1, LossWeight: 1},
 		{BufferID: "b", Lambda: 2.5, Levels: 7, UnitsPerLevel: 1, LossWeight: 1},
 		{BufferID: "c", Lambda: 1.5, Levels: 7, UnitsPerLevel: 1, LossWeight: 1},
 	})
-	if big.NumStates() < SparseStateThreshold {
+	if big.NumStates() < DefaultAggregationThreshold {
 		t.Fatalf("fixture too small: %d states", big.NumStates())
 	}
 	ms := longestQueueSolution(big)
-	auto, err := ms.StationaryUnderPolicy(StationaryOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sparse, err := ms.StationaryUnderPolicy(StationaryOptions{Method: MethodSparseIterative})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for s := range auto {
-		if auto[s] != sparse[s] {
-			t.Fatalf("auto did not take the sparse path above threshold (state %d: %v vs %v)",
-				s, auto[s], sparse[s])
+
+	// Each auto band must route to exactly the method it advertises: the
+	// answers are bit-identical to the explicit method's, not just close.
+	for _, tc := range []struct {
+		band string
+		opts StationaryOptions
+		want SolveMethod
+	}{
+		{"aggregation", StationaryOptions{}, MethodAggregation},
+		{"sparse", StationaryOptions{AggregationThreshold: 1024}, MethodSparseIterative},
+		{"dense", StationaryOptions{DenseThreshold: 1024, AggregationThreshold: 2048}, MethodDenseLU},
+	} {
+		auto, err := ms.StationaryUnderPolicy(tc.opts)
+		if err != nil {
+			t.Fatalf("%s band: %v", tc.band, err)
+		}
+		explicit, err := ms.StationaryUnderPolicy(StationaryOptions{Method: tc.want})
+		if err != nil {
+			t.Fatalf("%s explicit: %v", tc.band, err)
+		}
+		for s := range auto {
+			if auto[s] != explicit[s] {
+				t.Fatalf("auto did not take the %s path (state %d: %v vs %v)",
+					tc.band, s, auto[s], explicit[s])
+			}
 		}
 	}
-	// Dense and sparse must agree to 1e-8 at this scale too.
+
+	// All three methods must agree to 1e-8 at this scale.
 	dense, err := ms.StationaryUnderPolicy(StationaryOptions{Method: MethodDenseLU})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for s := range dense {
-		if d := math.Abs(dense[s] - sparse[s]); d > 1e-8 {
-			t.Fatalf("512-state chain: dense %v sparse %v at state %d (Δ=%g)", dense[s], sparse[s], s, d)
+	for _, method := range []SolveMethod{MethodSparseIterative, MethodAggregation} {
+		got, err := ms.StationaryUnderPolicy(StationaryOptions{Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range dense {
+			if d := math.Abs(dense[s] - got[s]); d > 1e-8 {
+				t.Fatalf("512-state chain: dense %v vs method %d %v at state %d (Δ=%g)",
+					dense[s], method, got[s], s, d)
+			}
 		}
 	}
 	// And the small fixture must take the dense path (exact match with LU).

@@ -34,6 +34,13 @@ type SweepPlan struct {
 	// UniqueStructural counts distinct structural fingerprints — the number
 	// of cold solves needed to warm-start every point's first iteration.
 	UniqueStructural int
+	// DeltaFamilies counts distinct capped-program structural families
+	// (JointStructuralFingerprint) across the points' initial models — the
+	// number of retained-tableau constructions the sweep's first wave needs
+	// when the delta tier is enabled. Budget points share their boundary
+	// trajectory, so this is typically 1: every point's capped solves chain
+	// through the same resolver.
+	DeltaFamilies int
 
 	// representatives holds one model per structural class, in first-seen
 	// order, for Prewarm.
@@ -55,6 +62,7 @@ func PlanBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Optio
 	plan := &SweepPlan{}
 	exact := map[solvecache.Key]bool{}
 	structural := map[solvecache.Key]bool{}
+	families := map[solvecache.Key]bool{}
 	for _, b := range budgets {
 		models, err := initialModels(newArch(), b)
 		if err != nil {
@@ -63,6 +71,7 @@ func PlanBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Optio
 		}
 		plan.Budgets = append(plan.Budgets, b)
 		plan.Models += len(models)
+		families[solvecache.JointStructuralFingerprint(models, opts)] = true
 		for _, m := range models {
 			exact[solvecache.Fingerprint(m, opts)] = true
 			sk := solvecache.StructuralFingerprint(m, opts)
@@ -74,6 +83,7 @@ func PlanBudgetSweep(newArch func() *arch.Architecture, budgets []int, opt Optio
 	}
 	plan.UniqueExact = len(exact)
 	plan.UniqueStructural = len(structural)
+	plan.DeltaFamilies = len(families)
 	if len(plan.Budgets) == 0 {
 		return plan, fmt.Errorf("experiments: no plannable budgets: %w", plan.Skipped[0].Err)
 	}
@@ -118,12 +128,13 @@ func (p *SweepPlan) PrewarmCtx(ctx context.Context, c *solvecache.Cache, workers
 
 // WriteSummary renders the plan in the shared report format.
 func (p *SweepPlan) WriteSummary(w io.Writer) error {
-	headers := []string{"POINTS", "sub-models", "unique", "structural"}
+	headers := []string{"POINTS", "sub-models", "unique", "structural", "delta families"}
 	rows := [][]string{{
 		fmt.Sprint(len(p.Budgets)),
 		fmt.Sprint(p.Models),
 		fmt.Sprint(p.UniqueExact),
 		fmt.Sprint(p.UniqueStructural),
+		fmt.Sprint(p.DeltaFamilies),
 	}}
 	if err := report.Table(w, headers, rows); err != nil {
 		return err
@@ -166,6 +177,9 @@ func usesExactTier(opt Options, points int) bool {
 func CachedBudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budgets []int, opt Options) (*BudgetSweepResult, *SweepPlan, error) {
 	if opt.Cache == nil {
 		opt.Cache = solvecache.New()
+	}
+	if opt.Delta {
+		opt.Cache.EnableDelta()
 	}
 	if !usesExactTier(opt, len(budgets)) {
 		res, err := BudgetSweepCtx(ctx, newArch, budgets, opt)
@@ -235,6 +249,10 @@ func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
 	if s.PlacementHits+s.PlacementMisses > 0 {
 		headers = append(headers, "placement hits", "placement misses")
 		rows[0] = append(rows[0], fmt.Sprint(s.PlacementHits), fmt.Sprint(s.PlacementMisses))
+	}
+	if s.DeltaResolves+s.DeltaFallbacks+int64(s.DeltaEntries) > 0 {
+		headers = append(headers, "delta resolves", "delta fallbacks")
+		rows[0] = append(rows[0], fmt.Sprint(s.DeltaResolves), fmt.Sprint(s.DeltaFallbacks))
 	}
 	return report.Table(w, headers, rows)
 }

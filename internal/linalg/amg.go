@@ -1,0 +1,212 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aggregation solver defaults. The block size was tuned on the reference
+// container against policy-induced birth–death-like chains (see
+// PERFORMANCE.md "Kernels, measured"): blocks much smaller than 16 push work
+// into the coarse solve (O(G³) per cycle), much larger ones slow the
+// smoothing's error transfer.
+const (
+	aggBlockSize    = 32 // states per aggregate (contiguous index blocks)
+	aggPreSmooth    = 1  // Gauss–Seidel sweeps before each aggregation step
+	aggPostSmooth   = 2  // sweeps after each disaggregation
+	aggMinAggregate = 4  // below this many aggregates, plain Gauss–Seidel wins
+)
+
+// StationaryAggregation computes the stationary distribution of the CTMC
+// generator q by two-level iterative aggregation/disaggregation (the
+// Koury–McAllister–Stewart scheme; Stewart, "Introduction to the Numerical
+// Solution of Markov Chains", ch. 6). States are grouped into contiguous
+// index blocks of aggBlockSize; each cycle (1) pre-smooths the current
+// iterate with Gauss–Seidel, (2) forms the G×G aggregated generator
+// C_IJ = Σ_{i∈I} (π_i/π_I) Σ_{j∈J} q_ij, (3) solves the small dense
+// aggregated chain exactly, (4) disaggregates — rescales each block to the
+// aggregate mass, keeping the within-block shape — and (5) post-smooths.
+// Smoothing kills the high-frequency (within-block) error while the
+// aggregate solve moves probability mass between blocks globally, which is
+// exactly what plain Gauss–Seidel is slow at on large state spaces: its
+// information travels one state per sweep, so sweep counts grow with n,
+// while the aggregation cycle redistributes mass across the whole chain
+// every cycle.
+//
+// The converged answer satisfies the same residual tolerance as the other
+// iterative solvers (opts.Tol relative to the largest exit rate), so the
+// auto path's 1e-8 agreement gate applies unchanged. Chains too small to
+// aggregate delegate to Gauss–Seidel.
+func StationaryAggregation(q *CSR, opts IterOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := q.Rows
+	if n == 0 || q.Cols != n {
+		return nil, fmt.Errorf("%w: generator %dx%d", ErrShape, q.Rows, q.Cols)
+	}
+	groups := (n + aggBlockSize - 1) / aggBlockSize
+	if groups < aggMinAggregate {
+		return StationaryGaussSeidel(q, opts)
+	}
+	qt := q.T()
+	diag, err := generatorDiag(qt)
+	if err != nil {
+		return nil, err
+	}
+
+	pi := opts.initial(n)
+	res := make([]float64, n)
+	w := make([]float64, n)         // within-block weights π_i/π_I
+	mass := make([]float64, groups) // block masses π_I
+	coarse := make([]float64, groups*groups)
+	z := make([]float64, groups) // aggregated stationary distribution
+	lu := make([]float64, groups*groups)
+	perm := make([]int, groups)
+	back := make([]float64, groups)
+	scale := rateScale(q)
+
+	// One outer "iteration" is a full aggregation cycle; the smoothing sweeps
+	// inside are charged against the same budget so MaxIters keeps comparable
+	// meaning across the iterative solvers.
+	cycles := opts.MaxIters/(aggPreSmooth+aggPostSmooth+1) + 1
+	for cyc := 0; cyc < cycles; cyc++ {
+		for s := 0; s < aggPreSmooth; s++ {
+			gsSweep(qt, diag, pi)
+		}
+		if s := Sum(pi); s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("linalg: aggregation smoothing collapsed (mass %v)", s)
+		} else {
+			Scale(1/s, pi)
+		}
+
+		// Within-block weights. An (almost) empty block gets uniform weights:
+		// the aggregate solve may still assign it mass, and the weights decide
+		// where that mass lands.
+		for g := range mass {
+			mass[g] = 0
+		}
+		for i, v := range pi {
+			mass[i/aggBlockSize] += v
+		}
+		for i := range w {
+			g := i / aggBlockSize
+			if mass[g] > 1e-300 {
+				w[i] = pi[i] / mass[g]
+			} else {
+				lo := g * aggBlockSize
+				hi := min(lo+aggBlockSize, n)
+				w[i] = 1 / float64(hi-lo)
+			}
+		}
+
+		// Aggregated generator: C[I][J] = Σ_{i∈I} w_i Σ_{j∈J} q_ij. Rows of Q
+		// sum to zero, so rows of C do too — C is itself a generator.
+		for k := range coarse {
+			coarse[k] = 0
+		}
+		for i := 0; i < n; i++ {
+			wi := w[i]
+			if wi == 0 {
+				continue
+			}
+			gi := i / aggBlockSize
+			row := coarse[gi*groups : (gi+1)*groups]
+			for k := q.RowPtr[i]; k < q.RowPtr[i+1]; k++ {
+				row[q.Col[k]/aggBlockSize] += wi * q.Val[k]
+			}
+		}
+		if err := coarseStationary(coarse, groups, z, lu, perm, back); err != nil {
+			return nil, err
+		}
+
+		// Disaggregate and post-smooth.
+		for i := range pi {
+			pi[i] = z[i/aggBlockSize] * w[i]
+		}
+		for s := 0; s < aggPostSmooth; s++ {
+			gsSweep(qt, diag, pi)
+		}
+		s := Sum(pi)
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("linalg: aggregation cycle collapsed (mass %v)", s)
+		}
+		Scale(1/s, pi)
+		if stationaryResidual(q, pi, res) <= opts.Tol*scale {
+			return pi, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// coarseStationary solves the aggregated chain: zC = 0, Σz = 1, via dense LU
+// with partial pivoting on A = Cᵀ with the last equation replaced by the
+// normalisation. lu (g×g), perm (g) and x (g) are caller-owned scratch; the
+// result lands in z.
+func coarseStationary(c []float64, g int, z, lu []float64, perm []int, x []float64) error {
+	// A = Cᵀ, then row g-1 ← ones, rhs = e_{g-1}.
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			lu[i*g+j] = c[j*g+i]
+		}
+	}
+	for j := 0; j < g; j++ {
+		lu[(g-1)*g+j] = 1
+	}
+	for i := range z {
+		z[i] = 0
+	}
+	z[g-1] = 1
+	for i := range perm {
+		perm[i] = i
+	}
+	// In-place LU with partial pivoting, solving as we factor (forward
+	// elimination applied to z alongside).
+	for col := 0; col < g; col++ {
+		p, best := col, math.Abs(lu[perm[col]*g+col])
+		for r := col + 1; r < g; r++ {
+			if a := math.Abs(lu[perm[r]*g+col]); a > best {
+				p, best = r, a
+			}
+		}
+		if best == 0 {
+			return fmt.Errorf("linalg: aggregated generator is singular (column %d)", col)
+		}
+		perm[col], perm[p] = perm[p], perm[col]
+		prow := perm[col] * g
+		inv := 1 / lu[prow+col]
+		for r := col + 1; r < g; r++ {
+			rrow := perm[r] * g
+			f := lu[rrow+col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col + 1; j < g; j++ {
+				lu[rrow+j] -= f * lu[prow+j]
+			}
+			z[perm[r]] -= f * z[perm[col]]
+		}
+	}
+	// Back substitution x[col] = (b[perm[col]] − Σ_{j>col} U[col][j]·x[j]) /
+	// U[col][col], then clamp the roundoff negatives a nearly reducible
+	// aggregate can produce and renormalise.
+	for col := g - 1; col >= 0; col-- {
+		prow := perm[col] * g
+		v := z[perm[col]]
+		for j := col + 1; j < g; j++ {
+			v -= lu[prow+j] * x[j]
+		}
+		x[col] = v / lu[prow+col]
+	}
+	var mass float64
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+		mass += x[i]
+	}
+	if mass <= 0 || math.IsNaN(mass) || math.IsInf(mass, 0) {
+		return fmt.Errorf("linalg: aggregated solve produced mass %v", mass)
+	}
+	copy(z, x)
+	Scale(1/mass, z)
+	return nil
+}

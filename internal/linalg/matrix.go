@@ -4,12 +4,14 @@
 //
 //   - dense: row-major matrices, LU decomposition with partial pivoting,
 //     linear solves, and a handful of vector helpers — the exact path for
-//     small systems (policy chains below ctmdp.SparseStateThreshold);
+//     small systems (policy chains below ctmdp.StationaryOptions'
+//     dense threshold);
 //   - sparse: CSR matrices (SparseBuilder, CSR) and the iterative
 //     stationary solvers of CTMC generators — StationaryGaussSeidel with
 //     StationaryPower as the unconditionally stable fallback, combined in
-//     StationarySparse. O(nnz) per sweep, which is what scales: the
-//     pipeline's chains have a handful of transitions per state.
+//     StationarySparse, plus the two-level StationaryAggregation solver for
+//     large, slowly mixing chains. O(nnz) per sweep, which is what scales:
+//     the pipeline's chains have a handful of transitions per state.
 //
 // The iterative solvers accept a warm-start prior (IterOptions.Init), the
 // hook the solve cache uses to seed a re-solve from a neighbouring cached

@@ -83,8 +83,33 @@ func StationaryGaussSeidel(q *CSR, opts IterOptions) ([]float64, error) {
 		return nil, fmt.Errorf("%w: generator %dx%d", ErrShape, q.Rows, q.Cols)
 	}
 	qt := q.T() // row i of qt holds incoming rates q_ji plus the diagonal q_ii
+	diag, err := generatorDiag(qt)
+	if err != nil {
+		return nil, err
+	}
 
-	// Diagonal lookup per row of qt (the diagonal of Q).
+	pi := opts.initial(n)
+	res := make([]float64, n)
+	scale := rateScale(q)
+	for it := 0; it < opts.MaxIters; it++ {
+		gsSweep(qt, diag, pi)
+		s := Sum(pi)
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("linalg: Gauss–Seidel collapsed (mass %v)", s)
+		}
+		Scale(1/s, pi)
+		if stationaryResidual(q, pi, res) <= opts.Tol*scale {
+			return pi, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// generatorDiag extracts the diagonal of Q from its transpose, rejecting
+// states with no exit rate (absorbing states make the stationary distribution
+// degenerate and break the division by the diagonal).
+func generatorDiag(qt *CSR) ([]float64, error) {
+	n := qt.Rows
 	diag := make([]float64, n)
 	for i := 0; i < n; i++ {
 		found := false
@@ -96,35 +121,26 @@ func StationaryGaussSeidel(q *CSR, opts IterOptions) ([]float64, error) {
 			}
 		}
 		if !found || diag[i] >= 0 {
-			// A state with no exit rate is absorbing; the stationary
-			// distribution is degenerate and Gauss–Seidel's division by the
-			// diagonal breaks down.
 			return nil, fmt.Errorf("linalg: state %d has no exit rate (absorbing or empty row)", i)
 		}
 	}
+	return diag, nil
+}
 
-	pi := opts.initial(n)
-	scale := rateScale(q)
-	for it := 0; it < opts.MaxIters; it++ {
-		for i := 0; i < n; i++ {
-			var in float64
-			for k := qt.RowPtr[i]; k < qt.RowPtr[i+1]; k++ {
-				if j := qt.Col[k]; j != i {
-					in += qt.Val[k] * pi[j]
-				}
+// gsSweep runs one in-place Gauss–Seidel sweep π_i ← (Σ_{j≠i} q_ji·π_j)/(−q_ii)
+// over the transposed generator. Shared by the plain Gauss–Seidel solver and
+// the aggregation solver's smoothing steps.
+func gsSweep(qt *CSR, diag, pi []float64) {
+	n := qt.Rows
+	for i := 0; i < n; i++ {
+		var in float64
+		for k := qt.RowPtr[i]; k < qt.RowPtr[i+1]; k++ {
+			if j := qt.Col[k]; j != i {
+				in += qt.Val[k] * pi[j]
 			}
-			pi[i] = in / -diag[i]
 		}
-		s := Sum(pi)
-		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-			return nil, fmt.Errorf("linalg: Gauss–Seidel collapsed (mass %v)", s)
-		}
-		Scale(1/s, pi)
-		if stationaryResidual(q, pi) <= opts.Tol*scale {
-			return pi, nil
-		}
+		pi[i] = in / -diag[i]
 	}
-	return nil, ErrNoConvergence
 }
 
 // StationaryPower computes the stationary distribution of the CTMC with
@@ -151,6 +167,7 @@ func StationaryPower(q *CSR, opts IterOptions) ([]float64, error) {
 
 	pi := opts.initial(n)
 	next := make([]float64, n)
+	res := make([]float64, n)
 	scale := rateScale(q)
 	for it := 0; it < opts.MaxIters; it++ {
 		// next = π·P = π + (π·Q)/Λ, computed via the transpose:
@@ -168,7 +185,7 @@ func StationaryPower(q *CSR, opts IterOptions) ([]float64, error) {
 			return nil, fmt.Errorf("linalg: power iteration collapsed (mass %v)", s)
 		}
 		Scale(1/s, pi)
-		if stationaryResidual(q, pi) <= opts.Tol*scale {
+		if stationaryResidual(q, pi, res) <= opts.Tol*scale {
 			return pi, nil
 		}
 	}
@@ -191,9 +208,13 @@ func StationarySparse(q *CSR, opts IterOptions) ([]float64, error) {
 }
 
 // stationaryResidual returns max_j |(πQ)_j|, the unbalance of the candidate
-// distribution.
-func stationaryResidual(q *CSR, pi []float64) float64 {
-	res := make([]float64, q.Cols)
+// distribution. res is caller-owned scratch of length q.Cols — the check runs
+// once per sweep, and allocating it there dominated the solvers' allocation
+// profiles.
+func stationaryResidual(q *CSR, pi, res []float64) float64 {
+	for j := range res {
+		res[j] = 0
+	}
 	for i := 0; i < q.Rows; i++ {
 		v := pi[i]
 		if v == 0 {

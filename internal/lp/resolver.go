@@ -1,0 +1,346 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resolver retains the final simplex tableau of a solved Problem so that
+// closely related programs — identical except for ONE constraint row whose
+// coefficients and/or RHS changed — can be re-solved by a rank-one tableau
+// update plus a handful of repair pivots, instead of a fresh two-phase (or
+// even warm-started) solve.
+//
+// This is the LP half of the delta re-solve tier (DESIGN.md §8): in the
+// buffer-sizing sweeps, adjacent budget points share the entire balance
+// system bit for bit and differ only in the linking occupancy row
+// (capacity quanta and cap). Re-solving from the previous point's tableau
+// costs O(m·n) for the algebraic update and typically one or two pivots,
+// against the hundreds a warm-started solve spends reconstructing the basis.
+//
+// Correctness contract: the fast path is attempted only from an optimal (or
+// dual-feasible infeasible) retained tableau, requires the stored and new RHS
+// to be non-negative (build() would re-orient a negative-RHS row, which the
+// in-place update cannot express) and the same constraint Relation, rebuilds
+// the objective row from scratch, verifies dual feasibility before repairing,
+// and — after extraction — checks the primal residual of the claimed optimum
+// against every constraint. ANY doubt falls back to a full re-solve of the
+// updated problem, so Resolve can change only the pivot count, never the
+// reported optimum (up to the roundoff the residual gate bounds, see
+// deltaResidualTol).
+type Resolver struct {
+	p     *Problem
+	state *tabState
+	sol   *Solution
+
+	// Resolves counts Resolve calls answered by the rank-one fast path;
+	// Fallbacks counts the ones that went through a full re-solve instead.
+	// The split is the delta tier's effectiveness metric (cache stats).
+	Resolves  int
+	Fallbacks int
+
+	// scratch buffers reused across Resolve calls (hot loop: zero-alloc
+	// besides the extracted Solution itself).
+	u, v []float64
+}
+
+// deltaResidualTol bounds the relative primal residual a delta-resolved
+// optimum may carry before the Resolver distrusts its own tableau and falls
+// back to a full re-solve.
+const deltaResidualTol = 1e-6
+
+// NewResolver solves p (warm-started when seeds are present, exactly like
+// Solve) and retains the final tableau for subsequent Resolve calls. The
+// initial solution is available via Solution. Non-optimal outcomes
+// (infeasible, unbounded) are returned as solutions just like Solve's; the
+// resolver then has no reusable tableau and the first Resolve re-solves cold.
+func NewResolver(p *Problem) (*Resolver, error) {
+	r := &Resolver{p: p}
+	if err := r.refactor(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Solution returns the most recent solve's result.
+func (r *Resolver) Solution() *Solution { return r.sol }
+
+// refactor fully re-solves the current problem and retains the tableau.
+func (r *Resolver) refactor() error {
+	if r.p.NumVars() == 0 {
+		return ErrNoVariables
+	}
+	r.state = nil
+	if len(r.p.WarmBasis) > 0 || len(r.p.Warm) == r.p.NumVars() {
+		if sol, st, ok := solveWarmKeep(r.p); ok {
+			r.sol, r.state = sol, st
+			return nil
+		}
+	}
+	sol, st, err := solveColdKeep(r.p)
+	if err != nil {
+		return err
+	}
+	r.sol, r.state = sol, st
+	return nil
+}
+
+// setRow installs the new coefficients and RHS into the problem (coefficients
+// are copied, matching AddConstraint's ownership contract).
+func (r *Resolver) setRow(row int, coeffs []float64, rhs float64) {
+	c := &r.p.Constraints[row]
+	if len(c.Coeffs) == len(coeffs) {
+		copy(c.Coeffs, coeffs)
+	} else {
+		c.Coeffs = append([]float64(nil), coeffs...)
+	}
+	c.RHS = rhs
+}
+
+// Resolve replaces constraint `row`'s coefficients and RHS (its Relation is
+// kept) and re-solves, preferring the rank-one fast path over the retained
+// tableau. The returned Solution is exactly what Solve would report for the
+// updated problem, up to roundoff bounded by the residual gate.
+func (r *Resolver) Resolve(row int, coeffs []float64, rhs float64) (*Solution, error) {
+	n := r.p.NumVars()
+	if row < 0 || row >= len(r.p.Constraints) {
+		return nil, fmt.Errorf("lp: resolver: row %d out of range", row)
+	}
+	if len(coeffs) != n {
+		return nil, fmt.Errorf("lp: resolver: row has %d coefficients, problem has %d variables", len(coeffs), n)
+	}
+	if sol, ok := r.tryDelta(row, coeffs, rhs); ok {
+		r.Resolves++
+		r.sol = sol
+		return sol, nil
+	}
+	r.Fallbacks++
+	r.setRow(row, coeffs, rhs)
+	if err := r.refactor(); err != nil {
+		return nil, err
+	}
+	return r.sol, nil
+}
+
+// tryDelta attempts the rank-one update. It must be called BEFORE the new row
+// is installed into r.p (it needs the old coefficients for the delta); on
+// success it installs the row itself. ok=false means the caller must fall
+// back to a full re-solve — the tableau may then be inconsistent and is
+// discarded by refactor.
+func (r *Resolver) tryDelta(row int, coeffs []float64, rhs float64) (*Solution, bool) {
+	st := r.state
+	if st == nil || r.sol == nil {
+		return nil, false
+	}
+	// A dual-feasible primal-infeasible tableau (a previous Resolve hit an
+	// over-tight cap) is still a valid starting point: dual simplex picks up
+	// exactly where it certified.
+	if r.sol.Status != Optimal && r.sol.Status != Infeasible {
+		return nil, false
+	}
+	old := r.p.Constraints[row]
+	if old.RHS < 0 || rhs < 0 {
+		return nil, false // build() re-orients negative-RHS rows
+	}
+	t, artStart, lay := st.t, st.artStart, st.lay
+	nVars := r.p.NumVars()
+
+	// The row's auxiliary column started as exactly e_row (artificial +1, or
+	// the slack +1 of a non-negated LE row), so its current tableau column IS
+	// B⁻¹e_row — the u vector of the Sherman–Morrison update.
+	aux := lay.rowArt[row]
+	if aux < 0 {
+		if old.Rel != LE {
+			return nil, false // GE/EQ rows always own an artificial; anything else is malformed
+		}
+		aux = lay.rowSlack[row]
+	}
+	if aux < 0 {
+		return nil, false
+	}
+	if aux >= t.width {
+		// A previous Resolve narrowed the maintained width past this
+		// (artificial) column, so it may have gone stale and no longer hold
+		// B⁻¹e_row. LE rows — the delta tier's cap rows — use their slack,
+		// which lives below artStart and never goes stale.
+		return nil, false
+	}
+	if cap(r.u) < t.m {
+		r.u = make([]float64, t.m)
+	}
+	u := r.u[:t.m]
+	singular := true
+	for i := 0; i < t.m; i++ {
+		u[i] = t.a[i][aux]
+		if math.Abs(u[i]) > pivotEps {
+			singular = false
+		}
+	}
+	if singular {
+		return nil, false
+	}
+
+	// Δ: the change to the row over structural columns plus the RHS.
+	dr := rhs - old.RHS
+	// δᵀu over the basic columns, for the denominator s = 1 + δᵀu. The basis
+	// matrix gains e_row·δᵀ restricted to basic columns; Sherman–Morrison
+	// needs s safely away from zero (a vanishing s means the new basis matrix
+	// is singular at this vertex).
+	s := 1.0
+	for i := 0; i < t.m; i++ {
+		if b := t.basis[i]; b < nVars {
+			if d := coeffs[b] - old.Coeffs[b]; d != 0 {
+				s += d * u[i]
+			}
+		}
+	}
+	if math.Abs(s) < 1e-9 {
+		return nil, false
+	}
+
+	// T_mid = T + u·Δᵀ  (columns: structural deltas and the RHS delta).
+	for i := 0; i < t.m; i++ {
+		ui := u[i]
+		if ui == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j < nVars; j++ {
+			if d := coeffs[j] - old.Coeffs[j]; d != 0 {
+				ri[j] += ui * d
+			}
+		}
+		ri[t.n] += ui * dr
+	}
+	// From here on the tableau only ever serves delta re-solves: phase 1 and
+	// basis crashes — the only consumers of the artificial block — rebuild
+	// from scratch in refactor(), so stop maintaining those columns. Repair
+	// pivots below (and in every later Resolve) then stream width·m instead
+	// of n·m, which on CTMDP programs drops ~a quarter of every pivot's work.
+	t.width = artStart
+	w := t.width
+	// v = δᵀ·T_mid, then T_new = T_mid − u·v/s (maintained columns + RHS).
+	if cap(r.v) < t.n+1 {
+		r.v = make([]float64, t.n+1)
+	}
+	v := r.v[:t.n+1]
+	for j := range v {
+		v[j] = 0
+	}
+	anyDelta := false
+	for i := 0; i < t.m; i++ {
+		b := t.basis[i]
+		if b >= nVars {
+			continue
+		}
+		d := coeffs[b] - old.Coeffs[b]
+		if d == 0 {
+			continue
+		}
+		anyDelta = true
+		ri := t.a[i]
+		for j := 0; j < w; j++ {
+			v[j] += d * ri[j]
+		}
+		v[t.n] += d * ri[t.n]
+	}
+	if anyDelta {
+		inv := 1 / s
+		for i := 0; i < t.m; i++ {
+			f := u[i] * inv
+			if f == 0 {
+				continue
+			}
+			ri := t.a[i]
+			for j := 0; j < w; j++ {
+				ri[j] -= f * v[j]
+			}
+			ri[t.n] -= f * v[t.n]
+		}
+	}
+	r.setRow(row, coeffs, rhs)
+
+	// The constraint rows now represent the updated system under the same
+	// basis. Rebuild the reduced costs, confirm the basis is still dual
+	// feasible, repair primal feasibility by dual simplex, then clean up.
+	t.phase2Objective(r.p)
+	obj := t.a[t.m]
+	dualFeasible := true
+	for j := 0; j < artStart; j++ {
+		if obj[j] < -1e-7 {
+			dualFeasible = false
+			break
+		}
+	}
+	primalFeasible := t.minRHS() >= -1e-9
+	maxIters := 200 * (t.m + t.n + 10)
+	iters := 0
+	switch {
+	case !primalFeasible && !dualFeasible:
+		// A coefficient patch broke dual feasibility while the new RHS broke
+		// primal feasibility — the sweep's usual shape when both the unit
+		// scalings and the cap move between points. Run dual simplex anyway:
+		// its ratio test clamps negative reduced costs to zero, which is dual
+		// phase 1 by implicit cost shifting, except the true costs keep
+		// steering every other column, so the vertex it reaches is far closer
+		// to the new optimum than an explicitly shifted objective would land.
+		// Feasibility repair — or the infeasibility certificate — is about
+		// the constraint rows only, so the dual infeasibility cannot
+		// invalidate either outcome; leftover negative reduced costs are the
+		// primal cleanup's job below. Phase 1 is skipped entirely either way.
+		fallthrough
+	case !primalFeasible:
+		// The usual case: the patched row cut the old optimum off. Dual
+		// simplex repairs it in a handful of pivots.
+		it, err := t.dualIterate(maxIters, artStart)
+		iters += it
+		switch err {
+		case nil:
+		case errInfeasible:
+			return &Solution{Status: Infeasible, Iters: iters, Warmed: true}, true
+		default:
+			return nil, false
+		}
+		// A dual-infeasible but primal-feasible basis falls through: the
+		// primal cleanup below is then a full phase-2 re-optimisation, which
+		// still skips phase 1 — the expensive half.
+	}
+	it, err := t.iterate(maxIters, artStart)
+	iters += it
+	if err != nil {
+		// Unbounded cannot be trusted off a patched tableau — certify cold.
+		return nil, false
+	}
+	sol := t.extract(r.p, iters)
+	if mv := maxViolation(r.p, sol.X); mv > deltaResidualTol {
+		return nil, false // accumulated roundoff: refactorise
+	}
+	sol.Warmed = true
+	sol.Basis = t.encodeBasis(nVars, lay)
+	return sol, true
+}
+
+// maxViolation returns the largest relative constraint violation of x — the
+// Resolver's post-extraction self check.
+func maxViolation(p *Problem, x []float64) float64 {
+	worst := 0.0
+	for _, c := range p.Constraints {
+		var ax float64
+		for j, a := range c.Coeffs {
+			ax += a * x[j]
+		}
+		var viol float64
+		switch c.Rel {
+		case EQ:
+			viol = math.Abs(ax - c.RHS)
+		case LE:
+			viol = ax - c.RHS
+		case GE:
+			viol = c.RHS - ax
+		}
+		if rel := viol / (1 + math.Abs(c.RHS)); rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

@@ -1,0 +1,209 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so the resolver tests cover many
+// instances without flaking.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(*l>>11) / float64(1<<53)
+}
+
+// blockProblem builds the shape the delta tier actually resolves: per-block
+// "normalisation" equalities (each block of variables sums to 1) plus one
+// trailing LE linking row with weights w and bound cap — a toy of the
+// occupation-measure LP with its occupancy cap.
+func blockProblem(blocks, per int, costs, w []float64, capacity float64) *Problem {
+	n := blocks * per
+	p := NewProblem(n)
+	copy(p.Objective, costs)
+	for b := 0; b < blocks; b++ {
+		row := make([]float64, n)
+		for j := 0; j < per; j++ {
+			row[b*per+j] = 1
+		}
+		if err := p.AddConstraint(row, EQ, 1); err != nil {
+			panic(err)
+		}
+	}
+	if err := p.AddConstraint(w, LE, capacity); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestResolverMatchesFreshSolve chains many (weights, cap) updates through
+// one Resolver and checks every answer — status and objective — against a
+// fresh two-phase solve of the same program, to 1e-8. This is the delta
+// path's agreement gate at the LP layer.
+func TestResolverMatchesFreshSolve(t *testing.T) {
+	rng := lcg(1)
+	const blocks, per = 4, 5
+	n := blocks * per
+	costs := make([]float64, n)
+	for j := range costs {
+		costs[j] = rng.next()
+	}
+	w := make([]float64, n)
+	for j := range w {
+		w[j] = 1 + 4*rng.next()
+	}
+	p := blockProblem(blocks, per, costs, w, float64(blocks)*3)
+	r, err := NewResolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Solution().Status != Optimal {
+		t.Fatalf("initial solve: %v", r.Solution().Status)
+	}
+	capRow := blocks // the LE row index
+
+	for step := 0; step < 60; step++ {
+		// Perturb the linking row's weights (a new capacity quantum) and move
+		// the cap across the feasible/binding/infeasible range.
+		for j := range w {
+			w[j] = 1 + 4*rng.next()
+		}
+		minUnits, maxUnits := 0.0, 0.0
+		for b := 0; b < blocks; b++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for j := 0; j < per; j++ {
+				lo = math.Min(lo, w[b*per+j])
+				hi = math.Max(hi, w[b*per+j])
+			}
+			minUnits += lo
+			maxUnits += hi
+		}
+		capacity := minUnits + (rng.next()*1.4-0.2)*(maxUnits-minUnits)
+
+		got, err := r.Resolve(capRow, w, capacity)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, err := Solve(blockProblem(blocks, per, costs, w, capacity))
+		if err != nil {
+			t.Fatalf("step %d: fresh solve: %v", step, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("step %d (cap %.4f in [%.4f, %.4f]): status %v, fresh solve %v",
+				step, capacity, minUnits, maxUnits, got.Status, want.Status)
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-8*(1+math.Abs(want.Objective)) {
+			t.Fatalf("step %d: objective %.12f, fresh solve %.12f", step, got.Objective, want.Objective)
+		}
+		if v := maxViolation(r.p, got.X); v > 1e-8 {
+			t.Fatalf("step %d: residual %.3e", step, v)
+		}
+	}
+	if r.Resolves == 0 {
+		t.Fatalf("rank-one fast path never engaged (%d fallbacks)", r.Fallbacks)
+	}
+	t.Logf("resolves=%d fallbacks=%d", r.Resolves, r.Fallbacks)
+}
+
+// TestResolverRHSOnlyIsFast pins the retry-ladder case: same coefficients,
+// only the cap moves. Every such resolve must take the fast path and cost at
+// most a few pivots.
+func TestResolverRHSOnlyIsFast(t *testing.T) {
+	rng := lcg(7)
+	const blocks, per = 3, 4
+	n := blocks * per
+	costs := make([]float64, n)
+	for j := range costs {
+		costs[j] = rng.next()
+	}
+	w := make([]float64, n)
+	for j := range w {
+		w[j] = 1 + 2*rng.next()
+	}
+	p := blockProblem(blocks, per, costs, w, 7)
+	r, err := NewResolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, capacity := range []float64{6.5, 6.0, 5.5, 6.2, 7.5} {
+		sol, err := r.Resolve(blocks, w, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(blockProblem(blocks, per, costs, w, capacity))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != want.Status {
+			t.Fatalf("cap %.1f: status %v, want %v", capacity, sol.Status, want.Status)
+		}
+		if sol.Status == Optimal && math.Abs(sol.Objective-want.Objective) > 1e-8 {
+			t.Fatalf("cap %.1f: objective %.12f, want %.12f", capacity, sol.Objective, want.Objective)
+		}
+		if r.Fallbacks != 0 {
+			t.Fatalf("RHS-only resolve %d fell back to a full solve", i)
+		}
+		if sol.Iters > 10 {
+			t.Fatalf("cap %.1f: %d pivots — the fast path should need only repair pivots", capacity, sol.Iters)
+		}
+	}
+}
+
+// TestResolverInfeasibleThenRecover drives the cap below the feasible floor
+// and back, mirroring the methodology's cap retry ladder.
+func TestResolverInfeasibleThenRecover(t *testing.T) {
+	const blocks, per = 2, 3
+	costs := []float64{3, 2, 1, 1, 2, 3}
+	w := []float64{2, 3, 4, 4, 3, 2}
+	p := blockProblem(blocks, per, costs, w, 8)
+	r, err := NewResolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasible floor is 2+2=4.
+	sol, err := r.Resolve(blocks, w, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("cap 3.5: %v, want infeasible", sol.Status)
+	}
+	sol, err = r.Resolve(blocks, w, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("cap 4.5 after infeasible: %v, want optimal", sol.Status)
+	}
+	want, err := Solve(blockProblem(blocks, per, costs, w, 4.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-want.Objective) > 1e-8 {
+		t.Fatalf("objective %.12f, want %.12f", sol.Objective, want.Objective)
+	}
+	for j, v := range sol.X {
+		if v < -1e-9 {
+			t.Fatalf("x[%d] = %g < 0", j, v)
+		}
+	}
+}
+
+// TestResolverRejectsBadInput covers the argument validation.
+func TestResolverRejectsBadInput(t *testing.T) {
+	p := blockProblem(1, 2, []float64{1, 2}, []float64{1, 1}, 5)
+	r, err := NewResolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(9, []float64{1, 1}, 5); err == nil {
+		t.Fatal("row out of range accepted")
+	}
+	if _, err := r.Resolve(1, []float64{1}, 5); err == nil {
+		t.Fatal("short coefficient row accepted")
+	}
+}

@@ -21,6 +21,13 @@ type tableau struct {
 	m, n  int
 	a     [][]float64 // (m+1) x (n+1)
 	basis []int       // basis[i] = variable index basic in row i
+	// width is how many leading columns pivots maintain (the RHS column is
+	// always maintained). build() sets it to n; the Resolver narrows it to
+	// artStart once phase 1 can never run again, so repair pivots stop
+	// streaming the dead artificial block. Columns in [width, n) then go
+	// stale — EXCEPT basic ones, which stay exact identity columns without
+	// any update (their pivot-row entry is zero, so every update is a no-op).
+	width int
 }
 
 // layout records which auxiliary column each constraint row owns, for the
@@ -132,10 +139,14 @@ func build(p *Problem) (t *tableau, artStart int, lay layout) {
 	}
 
 	total := n + nSlack + nArt
-	t = &tableau{m: m, n: total}
+	t = &tableau{m: m, n: total, width: total}
+	// One contiguous arena backs every row: simplex pivots stream the whole
+	// tableau, and row-contiguous storage keeps that streaming prefetchable
+	// (and cuts the m+2 row allocations to one).
 	t.a = make([][]float64, m+1)
+	arena := make([]float64, (m+1)*(total+1))
 	for i := range t.a {
-		t.a[i] = make([]float64, total+1)
+		t.a[i], arena = arena[:total+1:total+1], arena[total+1:]
 	}
 	t.basis = make([]int, m)
 
@@ -273,6 +284,13 @@ func Solve(p *Problem) (*Solution, error) {
 
 // solveCold is the ordinary two-phase primal simplex.
 func solveCold(p *Problem) (*Solution, error) {
+	sol, _, err := solveColdKeep(p)
+	return sol, err
+}
+
+// solveColdKeep is solveCold retaining the final tableau state for callers —
+// the Resolver — that will keep re-solving nearby programs against it.
+func solveColdKeep(p *Problem) (*Solution, *tabState, error) {
 	t, artStart, lay := build(p)
 	total := t.n
 	nArt := total - artStart
@@ -300,10 +318,10 @@ func solveCold(p *Problem) (*Solution, error) {
 		it, err := t.iterate(maxIters, artStart)
 		iters += it
 		if err != nil {
-			return nil, fmt.Errorf("lp: phase 1: %w", err)
+			return nil, nil, fmt.Errorf("lp: phase 1: %w", err)
 		}
 		if -t.a[t.m][total] > feasEps {
-			return &Solution{Status: Infeasible, Iters: iters}, nil
+			return &Solution{Status: Infeasible, Iters: iters}, nil, nil
 		}
 		iters += t.clearArtificials(artStart)
 	}
@@ -314,13 +332,22 @@ func solveCold(p *Problem) (*Solution, error) {
 	iters += it
 	if err != nil {
 		if err == errUnbounded {
-			return &Solution{Status: Unbounded, Iters: iters}, nil
+			return &Solution{Status: Unbounded, Iters: iters}, nil, nil
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	sol := t.extract(p, iters)
 	sol.Basis = t.encodeBasis(p.NumVars(), lay)
-	return sol, nil
+	return sol, &tabState{t: t, artStart: artStart, lay: lay}, nil
+}
+
+// tabState bundles a tableau with the layout facts needed to keep working on
+// it after a solve: the first artificial column (pivot bans) and the
+// auxiliary-column ownership map (basis encoding).
+type tabState struct {
+	t        *tableau
+	artStart int
+	lay      layout
 }
 
 // solveWarm establishes a starting basis from the donor solve and solves
@@ -337,10 +364,17 @@ func solveCold(p *Problem) (*Solution, error) {
 // pivot count (degenerate programs may surface a different optimal vertex
 // of equal objective).
 func solveWarm(p *Problem) (*Solution, bool) {
+	sol, _, ok := solveWarmKeep(p)
+	return sol, ok
+}
+
+// solveWarmKeep is solveWarm retaining the final tableau state (see
+// solveColdKeep).
+func solveWarmKeep(p *Problem) (*Solution, *tabState, bool) {
 	n := p.NumVars()
 	for _, v := range p.Warm {
 		if v < -1e-9 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, false
+			return nil, nil, false
 		}
 	}
 	t, artStart, lay := build(p)
@@ -350,11 +384,11 @@ func solveWarm(p *Problem) (*Solution, bool) {
 	if len(p.WarmBasis) > 0 {
 		// Strong seed: reconstruct the donor basis set.
 		if len(p.WarmBasis) > t.m {
-			return nil, false
+			return nil, nil, false
 		}
 		target, ok := decodeBasis(p.WarmBasis, n, lay)
 		if !ok {
-			return nil, false
+			return nil, nil, false
 		}
 		// The donor's basis matrix is nonsingular over the donor's own rows,
 		// so reconstruction is confined to them; appended rows keep their own
@@ -362,7 +396,7 @@ func solveWarm(p *Problem) (*Solution, bool) {
 		it, ok := t.crashBasis(target, len(p.WarmBasis))
 		iters += it
 		if !ok {
-			return nil, false
+			return nil, nil, false
 		}
 		// No artificial may survive in the basis outside the donor's own
 		// (degenerate, zero-level) entries — an appended equality row would
@@ -373,7 +407,7 @@ func solveWarm(p *Problem) (*Solution, bool) {
 		}
 		for _, b := range t.basis {
 			if b >= artStart && !inTarget[b] {
-				return nil, false
+				return nil, nil, false
 			}
 		}
 	} else {
@@ -397,7 +431,7 @@ func solveWarm(p *Problem) (*Solution, bool) {
 			return support[i].j < support[j].j
 		})
 		if len(support) > t.m {
-			return nil, false // not a vertex of this system
+			return nil, nil, false // not a vertex of this system
 		}
 		for _, s := range support {
 			best, bestAbs := -1, crashEps
@@ -410,7 +444,7 @@ func solveWarm(p *Problem) (*Solution, bool) {
 				}
 			}
 			if best == -1 {
-				return nil, false // support is dependent; let phase 1 sort it out
+				return nil, nil, false // support is dependent; let phase 1 sort it out
 			}
 			t.pivot(best, s.j)
 			iters++
@@ -435,7 +469,7 @@ func solveWarm(p *Problem) (*Solution, bool) {
 				continue
 			}
 			if math.Abs(t.a[i][t.n]) > 1e-9 {
-				return nil, false // inconsistent dependent row
+				return nil, nil, false // inconsistent dependent row
 			}
 			for j := 0; j <= t.n; j++ {
 				t.a[i][j] = 0 // redundant row: can never constrain phase 2
@@ -452,7 +486,7 @@ func solveWarm(p *Problem) (*Solution, bool) {
 	if t.minRHS() < -1e-9 {
 		for j := 0; j < artStart; j++ {
 			if t.a[t.m][j] < -1e-7 {
-				return nil, false // not dual feasible: cold path
+				return nil, nil, false // not dual feasible: cold path
 			}
 		}
 		it, err := t.dualIterate(maxIters, artStart)
@@ -460,9 +494,9 @@ func solveWarm(p *Problem) (*Solution, bool) {
 		switch err {
 		case nil:
 		case errInfeasible:
-			return &Solution{Status: Infeasible, Iters: iters, Warmed: true}, true
+			return &Solution{Status: Infeasible, Iters: iters, Warmed: true}, nil, true
 		default:
-			return nil, false
+			return nil, nil, false
 		}
 	}
 
@@ -470,15 +504,15 @@ func solveWarm(p *Problem) (*Solution, bool) {
 	it, err := t.iterate(maxIters, artStart)
 	iters += it
 	if err == errUnbounded {
-		return &Solution{Status: Unbounded, Iters: iters, Warmed: true}, true
+		return &Solution{Status: Unbounded, Iters: iters, Warmed: true}, nil, true
 	}
 	if err != nil {
-		return nil, false
+		return nil, nil, false
 	}
 	sol := t.extract(p, iters)
 	sol.Warmed = true
 	sol.Basis = t.encodeBasis(n, lay)
-	return sol, true
+	return sol, &tabState{t: t, artStart: artStart, lay: lay}, true
 }
 
 // crashBasis pivots the target basis SET into place by multi-pass Gaussian
@@ -572,18 +606,31 @@ func (t *tableau) dualIterate(maxIters, banFrom int) (int, error) {
 		if leave == -1 {
 			return iters, nil // primal feasible
 		}
-		// Entering column: dual ratio test over negative entries, lowest
-		// index on ties (Bland-style, for termination on degenerate duals).
+		// Entering column: dual ratio test over negative entries. Ties —
+		// ubiquitous on degenerate CTMDP duals — break towards the largest
+		// pivot magnitude: bigger pivots both bound tableau growth and take
+		// longer steps out of the degenerate vertex than Bland's lowest
+		// index, which crawls. Termination is still safeguarded by maxIters
+		// (and every caller treats that as "go re-solve cold").
 		enter := -1
 		bestRatio := math.Inf(1)
+		bestPivot := 0.0
 		for j := 0; j < t.n && j < banFrom; j++ {
 			aij := t.a[leave][j]
 			if aij >= -pivotEps {
 				continue
 			}
 			ratio := math.Max(obj[j], 0) / -aij
-			if ratio < bestRatio-1e-12 {
+			switch {
+			case ratio < bestRatio-1e-12:
 				bestRatio = ratio
+				bestPivot = -aij
+				enter = j
+			case ratio <= bestRatio+1e-12 && -aij > bestPivot:
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+				bestPivot = -aij
 				enter = j
 			}
 		}
@@ -714,27 +761,41 @@ func (t *tableau) iterate(maxIters, banFrom int) (int, error) {
 	}
 }
 
-// pivot makes column `col` basic in row `row`.
+// pivot makes column `col` basic in row `row`. Only the leading t.width
+// columns plus the RHS are maintained (see the width field); the eliminate
+// loop is unrolled 4-wide over slices re-sliced to the width so the bounds
+// checks hoist — this saxpy is the single hottest loop in the module.
 func (t *tableau) pivot(row, col int) {
-	p := t.a[row][col]
-	inv := 1 / p
+	w := t.width
 	prow := t.a[row]
-	for j := 0; j <= t.n; j++ {
+	inv := 1 / prow[col]
+	for j := 0; j < w; j++ {
 		prow[j] *= inv
 	}
+	prow[t.n] *= inv
 	prow[col] = 1 // exact
+	ps := prow[:w]
 	for i := 0; i <= t.m; i++ {
 		if i == row {
 			continue
 		}
-		f := t.a[i][col]
+		ri := t.a[i]
+		f := ri[col]
 		if f == 0 {
 			continue
 		}
-		ri := t.a[i]
-		for j := 0; j <= t.n; j++ {
-			ri[j] -= f * prow[j]
+		rs := ri[:w]
+		j := 0
+		for ; j+3 < w; j += 4 {
+			rs[j] -= f * ps[j]
+			rs[j+1] -= f * ps[j+1]
+			rs[j+2] -= f * ps[j+2]
+			rs[j+3] -= f * ps[j+3]
 		}
+		for ; j < w; j++ {
+			rs[j] -= f * ps[j]
+		}
+		ri[t.n] -= f * prow[t.n]
 		ri[col] = 0 // exact
 	}
 	t.basis[row] = col

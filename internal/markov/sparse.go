@@ -12,6 +12,14 @@ import (
 // per state make CSR + Gauss–Seidel both smaller and faster.
 const SparseThreshold = 256
 
+// AggregationThreshold is the state count at which StationaryAuto moves from
+// plain Gauss–Seidel to the aggregation/disaggregation solver. Gauss–Seidel's
+// information travels one state per sweep, so on slowly mixing chains of this
+// size it can exhaust its sweep budget without converging; the aggregation
+// solver redistributes mass globally every cycle (see
+// linalg.StationaryAggregation and ctmdp.DefaultAggregationThreshold).
+const AggregationThreshold = 512
+
 // CSR converts the generator to compressed sparse row form (diagonal
 // included).
 func (g *Generator) CSR() *linalg.CSR {
@@ -42,14 +50,38 @@ func (g *Generator) StationaryIterative(tol float64) ([]float64, error) {
 	return checkDistribution(pi)
 }
 
-// StationaryAuto computes the stationary distribution, choosing the dense LU
-// solve for chains below SparseThreshold states and the sparse iterative
-// solver above it. Both paths agree to well below 1e-8 on irreducible chains.
+// StationaryAuto computes the stationary distribution: dense LU below
+// SparseThreshold states, sparse Gauss–Seidel up to AggregationThreshold, and
+// the aggregation/disaggregation solver beyond. All paths agree to well below
+// 1e-8 on irreducible chains.
 func (g *Generator) StationaryAuto() ([]float64, error) {
-	if g.N() < SparseThreshold {
+	switch {
+	case g.N() < SparseThreshold:
 		return g.Stationary()
+	case g.N() < AggregationThreshold:
+		return g.StationaryIterative(0)
+	default:
+		return g.StationaryAggregation(0)
 	}
-	return g.StationaryIterative(0)
+}
+
+// StationaryAggregation computes the stationary distribution with the
+// two-level aggregation/disaggregation solver, falling back to the
+// Gauss–Seidel/power chain if the aggregation cycle fails, and validating the
+// result the same way Stationary does. tol ≤ 0 picks the solver default.
+func (g *Generator) StationaryAggregation(tol float64) ([]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	csr := g.CSR()
+	pi, err := linalg.StationaryAggregation(csr, linalg.IterOptions{Tol: tol})
+	if err != nil {
+		pi, err = linalg.StationarySparse(csr, linalg.IterOptions{Tol: tol})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("markov: aggregation stationary solve: %w", err)
+	}
+	return checkDistribution(pi)
 }
 
 // checkDistribution enforces the non-negativity and unit-mass invariants on a

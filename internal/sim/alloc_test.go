@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"socbuf/internal/arch"
+)
+
+// TestEventHeapZeroAlloc pins the scheduler primitives at zero allocations
+// per event (ISSUE 7's AllocsPerRun gate). The hand-rolled heap exists
+// precisely because container/heap boxes every element; a regression here
+// re-taxes every simulated packet twice (arrival + departure).
+func TestEventHeapZeroAlloc(t *testing.T) {
+	h := make(eventHeap, 0, 64)
+	seq := uint64(0)
+	at := 1.0
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			at = at*1.13 + 0.01
+			if at > 100 {
+				at -= 100
+			}
+			h.push(event{at: at, seq: seq, kind: evArrival, flow: i})
+			seq++
+		}
+		for len(h) > 0 {
+			h.pop()
+		}
+	}); allocs != 0 {
+		t.Fatalf("event heap push/pop allocates %.0f objects per cycle, want 0", allocs)
+	}
+}
+
+// TestDispatchZeroAlloc pins the per-event work of the simulator's hot loop:
+// once the event heap and every queue have reached their high-water marks, a
+// full arrival-dispatch-departure step must not allocate (the arbitration
+// views are per-bus scratch, not per-call slices).
+func TestDispatchZeroAlloc(t *testing.T) {
+	a := arch.TwoBusAMBA()
+	a.InsertBridgeBuffers()
+	alloc, err := arch.UniformAllocation(a, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Arch: a, Alloc: alloc, Horizon: 1e9, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the flows and warm every buffer, bus and the heap's backing
+	// array by simulating a few thousand events by hand.
+	for i := range s.routes {
+		gap, err := s.srcs[i].Next(s.rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.schedule(event{at: gap, kind: evArrival, flow: i})
+	}
+	step := func() {
+		e := s.events.pop()
+		s.now = e.at
+		var err error
+		switch e.kind {
+		case evArrival:
+			err = s.handleArrival(e.flow)
+		case evDeparture:
+			err = s.handleDeparture(e.bus)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		step()
+	}); allocs != 0 {
+		t.Fatalf("event step allocates %.0f objects, want 0", allocs)
+	}
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // eventKind discriminates the two event types of the simulator.
 type eventKind int
 
@@ -20,29 +18,67 @@ type event struct {
 	bus  int // evDeparture: index into buses
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq).
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// deliberately does not implement container/heap: that interface boxes every
+// pushed element into an interface{} (one heap allocation per scheduled
+// event, the busiest call site of the whole simulator); monomorphic push/pop
+// over []event keep the event loop allocation-free once the backing array
+// has grown to the run's high-water mark.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push inserts e, sifting it up to its heap position.
+func (h *eventHeap) push(e event) {
+	a := append(*h, e)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+	*h = a
+}
+
+// pop removes and returns the minimum element. Callers must check len first.
+func (h *eventHeap) pop() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	// Sift the displaced tail element down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && a.less(r, l) {
+			child = r
+		}
+		if !a.less(child, i) {
+			break
+		}
+		a[i], a[child] = a[child], a[i]
+		i = child
+	}
+	*h = a
+	return top
 }
 
 // schedule pushes an event, assigning the next sequence number.
 func (s *Simulator) schedule(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -148,6 +147,10 @@ type busState struct {
 	arbiter Arbiter
 	busy    bool
 	serving packet
+	// views is the arbitration scratch passed to the arbiter each dispatch,
+	// preallocated to len(clients): dispatch runs once per simulated event
+	// and must not allocate (see TestDispatchZeroAlloc).
+	views []ClientView
 }
 
 // Simulator holds one run's mutable state. Create with New, run with Run.
@@ -250,6 +253,7 @@ func New(cfg Config) (*Simulator, error) {
 		} else {
 			st.arbiter = LongestQueue{}
 		}
+		st.views = make([]ClientView, len(st.clients))
 		s.bIndex[id] = len(s.buses)
 		s.buses = append(s.buses, st)
 	}
@@ -288,8 +292,8 @@ func (s *Simulator) Run() (*Results, error) {
 		s.schedule(event{at: gap, kind: evArrival, flow: i})
 	}
 
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 {
+		e := s.events.pop()
 		if e.at > s.cfg.Horizon {
 			break
 		}
@@ -435,7 +439,7 @@ func (s *Simulator) dispatch(busIdx int) error {
 		}
 	}
 
-	views := make([]ClientView, len(b.clients))
+	views := b.views
 	any := false
 	for i, qi := range b.clients {
 		q := s.queues[qi]

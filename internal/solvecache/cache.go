@@ -63,7 +63,33 @@ type Cache struct {
 	jointHits, jointMiss       atomic.Int64
 	analyticHit, analyticMis   atomic.Int64
 	placementHit, placementMis atomic.Int64
+
+	// Delta tier (opt-in, see EnableDelta): capped-program resolvers keyed by
+	// JointStructuralFingerprint, each holding a retained simplex tableau
+	// that re-solves sibling programs (new cap and/or unit scalings) by a
+	// rank-one row patch instead of a fresh warm-started solve.
+	deltaEnabled         bool
+	delta                map[Key]*deltaEntry
+	deltaHit, deltaShrug atomic.Int64
 }
+
+// deltaEntry serialises chained re-solves of one structural program family.
+// The per-entry lock (not the cache-wide mu) is held across the whole LP
+// re-solve: concurrent solves of different families proceed in parallel,
+// while two solves of the same family queue — the second usually turns the
+// first's result into an exact joint hit anyway.
+type deltaEntry struct {
+	mu  sync.Mutex
+	res *ctmdp.CappedResolver
+}
+
+// maxDeltaEntries bounds the delta tier: retained tableaus are dense
+// (rows × variables floats — MBs for the big joint programs), unlike the
+// few-KB payload entries, so this tier cannot be unbounded like the others.
+// A sweep has one structural family per methodology-iteration index (the
+// boundary trajectory is allocation-independent), so a handful suffice;
+// once full, new families simply solve without delta reuse.
+const maxDeltaEntries = 32
 
 // entry is one cached sub-model solution, aligned to its canonical model.
 // Entries are immutable after insertion; readers always rebind into freshly
@@ -94,6 +120,28 @@ func New() *Cache {
 		joint:      map[Key]*jointEntry{},
 		analytic:   map[Key]*AnalyticSolution{},
 		placement:  map[Key][]byte{},
+		delta:      map[Key]*deltaEntry{},
+	}
+}
+
+// EnableDelta turns on the delta re-solve tier for capped joint programs:
+// joint misses within a known structural family (same models up to unit
+// scalings, any cap) are answered by patching the family's retained simplex
+// tableau — a rank-one update plus a few dual pivots — instead of assembling
+// and warm-solving a fresh program. The LP layer's residual self-check falls
+// back to a cold solve whenever a patched tableau does not certify, so a
+// delta answer can differ from a fresh solve only in which optimal vertex a
+// degenerate program reports, within the 1e-8 agreement gate.
+//
+// Off by default: chaining makes a capped solve's exact bit pattern depend
+// on which sibling programs the resolver saw first, so with concurrent
+// workers the roundoff-level bits of delta-tier answers can vary with
+// schedule — a deliberate relaxation of the cache's bit-purity contract that
+// callers must opt into (serial sweeps remain fully deterministic). Call
+// before solving; toggling mid-flight is not synchronised.
+func (c *Cache) EnableDelta() {
+	if c != nil {
+		c.deltaEnabled = true
 	}
 }
 
@@ -204,9 +252,14 @@ type Stats struct {
 	// PlacementHits / PlacementMisses count placement-tier lookups — whole
 	// placement runs (frontier + chosen), keyed by PlacementFingerprint.
 	PlacementHits, PlacementMisses int64
-	// Entries / JointEntries / AnalyticEntries / PlacementEntries are the
-	// stored solution counts per tier.
-	Entries, JointEntries, AnalyticEntries, PlacementEntries int
+	// DeltaResolves counts capped joint misses answered through the delta
+	// tier's retained tableaus; DeltaFallbacks counts delta attempts that had
+	// to fall back to the ordinary solve path (patch rejected or resolver
+	// error). Both stay zero unless EnableDelta was called.
+	DeltaResolves, DeltaFallbacks int64
+	// Entries / JointEntries / AnalyticEntries / PlacementEntries /
+	// DeltaEntries are the stored solution counts per tier.
+	Entries, JointEntries, AnalyticEntries, PlacementEntries, DeltaEntries int
 }
 
 // Stats returns a snapshot of the counters.
@@ -221,7 +274,7 @@ func (c *Cache) Stats() Stats {
 	for _, e := range c.exact {
 		distinct[e] = struct{}{}
 	}
-	entries, jointEntries, analyticEntries, placementEntries := len(distinct), len(c.joint), len(c.analytic), len(c.placement)
+	entries, jointEntries, analyticEntries, placementEntries, deltaEntries := len(distinct), len(c.joint), len(c.analytic), len(c.placement), len(c.delta)
 	c.mu.Unlock()
 	return Stats{
 		Hits:             c.hits.Load(),
@@ -233,10 +286,13 @@ func (c *Cache) Stats() Stats {
 		AnalyticMisses:   c.analyticMis.Load(),
 		PlacementHits:    c.placementHit.Load(),
 		PlacementMisses:  c.placementMis.Load(),
+		DeltaResolves:    c.deltaHit.Load(),
+		DeltaFallbacks:   c.deltaShrug.Load(),
 		Entries:          entries,
 		JointEntries:     jointEntries,
 		AnalyticEntries:  analyticEntries,
 		PlacementEntries: placementEntries,
+		DeltaEntries:     deltaEntries,
 	}
 }
 

@@ -25,8 +25,9 @@ type SolveOptions struct {
 	// Refine mirrors ctmdp.JointConfig.RefineStationary: refined and
 	// unrefined solutions are different payloads.
 	Refine bool
-	// Stationary's Method/Tol/MaxIters are fingerprinted; its Warm prior is
-	// NOT (a warm start cannot change the converged answer).
+	// Stationary's Method/Tol/MaxIters and auto-path thresholds are
+	// fingerprinted (they change which solver produced the payload); its
+	// Warm prior is NOT (a warm start cannot change the converged answer).
 	Stationary ctmdp.StationaryOptions
 }
 
@@ -128,8 +129,9 @@ func (h *hasher) sum() Key { return sha256.Sum256(h.buf) }
 
 // version tags the serialisation layout; bump on any change to what a
 // fingerprint covers so stale cross-process caches can never alias.
-// Version 2 introduced the backend tag below.
-const version = 2
+// Version 2 introduced the backend tag below; version 3 added the stationary
+// auto-path thresholds to the fingerprinted options.
+const version = 3
 
 // Backend domain-separation tags. Every fingerprint serialises the solver
 // backend that produced (or will produce) the payload immediately after the
@@ -148,6 +150,8 @@ func (h *hasher) options(o SolveOptions) {
 	h.i64(int64(o.Stationary.Method))
 	h.f64(o.Stationary.Tol)
 	h.i64(int64(o.Stationary.MaxIters))
+	h.i64(int64(o.Stationary.DenseThreshold))
+	h.i64(int64(o.Stationary.AggregationThreshold))
 }
 
 // fingerprint serialises the model in canonical client order. withUnits
@@ -205,6 +209,26 @@ func JointFingerprint(models []*ctmdp.Model, cap float64, opts SolveOptions) Key
 		h.buf = append(h.buf, k[:]...)
 	}
 	h.f64(cap)
+	return h.sum()
+}
+
+// JointStructuralFingerprint keys the delta-resolve tier: the ordered
+// structural fingerprints of a capped joint program's blocks, with the cap
+// and the capacity quanta excluded. Two capped programs sharing this key have
+// bit-identical balance rows and objectives — they differ at most in the
+// linking occupancy row's coefficients (unit scalings) and right-hand side
+// (the cap), which is exactly the one-row patch ctmdp.CappedResolver applies.
+// Block order matters, as in JointFingerprint.
+func JointStructuralFingerprint(models []*ctmdp.Model, opts SolveOptions) Key {
+	h := &hasher{}
+	h.i64(version)
+	h.i64(backendExact)
+	h.str("joint-delta")
+	h.i64(int64(len(models)))
+	for _, m := range models {
+		k := StructuralFingerprint(m, opts)
+		h.buf = append(h.buf, k[:]...)
+	}
 	return h.sum()
 }
 

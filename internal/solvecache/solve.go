@@ -1,6 +1,7 @@
 package solvecache
 
 import (
+	"errors"
 	"fmt"
 
 	"socbuf/internal/ctmdp"
@@ -188,7 +189,14 @@ func (c *Cache) solveCapped(models []*ctmdp.Model, cfg ctmdp.JointConfig, opts S
 	if seeded == len(models) {
 		inner.WarmBasis = warmBasis
 	}
-	sol, err := ctmdp.SolveJoint(cms, inner)
+	var sol *ctmdp.JointSolution
+	var err error
+	if c.deltaEnabled {
+		sol, err = c.solveDelta(cms, cfg, inner, opts)
+	}
+	if sol == nil && err == nil {
+		sol, err = ctmdp.SolveJoint(cms, inner)
+	}
 	if err != nil {
 		// Includes ctmdp.ErrInfeasible untouched in the chain: the caller's
 		// cap retry ladder matches with errors.Is.
@@ -230,6 +238,58 @@ func (c *Cache) solveCapped(models []*ctmdp.Model, cfg ctmdp.JointConfig, opts S
 	}
 	out.Iters = sol.Iters
 	return out, nil
+}
+
+// solveDelta answers a capped joint miss through the delta tier: the first
+// miss of a structural family constructs and retains a ctmdp.CappedResolver
+// over the canonical clones; every later miss of the same family — a sibling
+// program differing only in unit scalings and/or cap — patches the retained
+// tableau instead of solving afresh. Returns (nil, nil) to decline (tier
+// full, or the patch path errored for a non-infeasibility reason), in which
+// case the caller runs the ordinary solve; ctmdp.ErrInfeasible propagates
+// unwrapped so the cap retry ladder sees it.
+func (c *Cache) solveDelta(cms []*ctmdp.Model, cfg, inner ctmdp.JointConfig, opts SolveOptions) (*ctmdp.JointSolution, error) {
+	key := JointStructuralFingerprint(cms, opts)
+	c.mu.Lock()
+	de := c.delta[key]
+	if de == nil && len(c.delta) < maxDeltaEntries {
+		de = &deltaEntry{}
+		c.delta[key] = de
+	}
+	c.mu.Unlock()
+	if de == nil {
+		return nil, nil // tier full: solve without delta reuse
+	}
+
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	if de.res == nil {
+		cr, sol, err := ctmdp.NewCappedResolver(cms, inner)
+		if cr != nil {
+			de.res = cr // retained even when the first cap was infeasible
+		}
+		if err != nil {
+			if errors.Is(err, ctmdp.ErrInfeasible) {
+				return nil, err
+			}
+			c.deltaShrug.Add(1)
+			return nil, nil
+		}
+		return sol, nil // the construction itself is an ordinary cold solve
+	}
+	sol, err := de.res.Resolve(cms, cfg.OccupancyCap)
+	if err != nil {
+		if errors.Is(err, ctmdp.ErrInfeasible) {
+			// The fast path answered: infeasibility at this cap is a result,
+			// and the resolver stays primed for the ladder's next cap.
+			c.deltaHit.Add(1)
+			return nil, err
+		}
+		c.deltaShrug.Add(1)
+		return nil, nil
+	}
+	c.deltaHit.Add(1)
+	return sol, nil
 }
 
 // assemble rebinds a cached joint entry onto the requesting models.
