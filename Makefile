@@ -16,9 +16,10 @@ BENCH_GATES = \
 	-gate 'BenchmarkSparseMatVec/=25' \
 	-gate 'BenchmarkSimplex=25' \
 	-gate 'BenchmarkStationaryDenseVsSparse/=25' \
-	-gate 'BenchmarkSolveJointCapped=25'
+	-gate 'BenchmarkSolveJointCapped=25' \
+	-gate 'BenchmarkRobustSweep=25'
 
-.PHONY: build test race bench bench-compare profile lint fmt scenario-smoke serve-smoke placement-smoke
+.PHONY: build test race bench bench-compare profile lint fmt scenario-smoke serve-smoke placement-smoke robust-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -78,7 +79,7 @@ fmt:
 # Catches generator, traffic-wiring or backend-dispatch regressions in
 # seconds; CI runs it on every push.
 scenario-smoke:
-	@for m in exact analytic hybrid; do \
+	@for m in exact analytic hybrid robust; do \
 		echo "== scenario-smoke ($$m) =="; \
 		$(GO) run ./cmd/experiments scenario-sweep -method $$m \
 			-scenarios twobus,chain6-bursty -budget 48 -iters 2 -seeds 1 -horizon 600 -parallel 2 \
@@ -107,3 +108,45 @@ placement-smoke:
 # shutdown. CI runs it on every push next to scenario-smoke.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve-smoke.sh
+
+# Tiny end-to-end pass through the robust backend: a quick robust-sweep over
+# two registry scenarios, asserting the chance-constraint yield columns made
+# it to the JSON output. Catches sampler, screening or selection regressions
+# in seconds; CI runs it on every push next to scenario-smoke.
+robust-smoke:
+	@echo "== robust-smoke =="
+	@out=$$($(GO) run ./cmd/experiments robust-sweep \
+		-scenarios twobus,chain6 -quick -samples 16 -parallel 2 -json) || exit 1; \
+	echo "$$out" | grep -q '"yield":' || { \
+		echo "robust-smoke: no yield in output"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q '"yieldLow":' || { \
+		echo "robust-smoke: no Wilson bound in output"; echo "$$out"; exit 1; }
+
+# Brief run of every native fuzz target (strict-parser robustness: the
+# uncertainty-spec decoder and the two CLI list parsers). Ten seconds per
+# target is enough to shake out panics and round-trip violations on new
+# code; the targets also run as plain tests (corpus seeds) under make test.
+fuzz-smoke:
+	@for t in FuzzParseSpec=./internal/uncertain \
+		FuzzParseMethods=./internal/experiments \
+		FuzzParseCatalogue=./internal/placement; do \
+		name=$${t%=*}; pkg=$${t#*=}; \
+		echo "== fuzz-smoke ($$name) =="; \
+		$(GO) test -run '^$$' -fuzz "^$$name$$" -fuzztime 10s $$pkg || exit 1; \
+	done
+
+# Per-package coverage floors on the solver seam and the uncertainty model.
+# Starting coverage at the floors' introduction (2026-08): internal/solver
+# 80.3%, internal/uncertain 92.1% — the floors sit a few points below so
+# honest refactors don't trip them, but a test-free feature dump does.
+cover:
+	@set -e; \
+	for spec in internal/solver:75 internal/uncertain:85; do \
+		pkg=$${spec%:*}; floor=$${spec#*:}; \
+		line=$$($(GO) test -cover ./$$pkg/ | tail -1); \
+		echo "$$line"; \
+		pct=$$(echo "$$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		[ -n "$$pct" ] || { echo "cover: no coverage line for $$pkg"; exit 1; }; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit (p + 0 >= f + 0) ? 0 : 1 }' || { \
+			echo "cover: $$pkg coverage $$pct% below floor $$floor%"; exit 1; }; \
+	done

@@ -19,6 +19,7 @@ import (
 	"socbuf/internal/experiments"
 	"socbuf/internal/scenario"
 	"socbuf/internal/solvecache"
+	"socbuf/internal/uncertain"
 )
 
 // benchOpt keeps one benchmark iteration around a second.
@@ -411,4 +412,75 @@ func BenchmarkJointLPSolve(b *testing.B) {
 		}
 		b.ReportMetric(float64(sol.Iters), "pivots")
 	}
+}
+
+// BenchmarkRobustSweep is the robust backend's acceptance benchmark
+// (PERFORMANCE.md "Robust backend throughput" records its measured numbers;
+// the nightly benchdiff gate covers it at the kernel tier's 25%): the same
+// 8-point chain6 budget sweep as BenchmarkSweepColdVsCached, run under
+// -method robust with 64 common-random-number perturbation samples per
+// point. The headline metric is Monte-Carlo throughput in samples/sec —
+// points × samples ÷ elapsed, counting each sample once even though the
+// screen evaluates it against every candidate sizing — so a sampler or
+// screening regression moves the number directly. The cached variant runs
+// the sweep twice over one shared cache and reports the robust tier's
+// traffic: the first pass misses all 8 structural keys, the second answers
+// every point from the cache. Serial workers, as everywhere in this file,
+// so the ratio measures the backend, not scheduling.
+func BenchmarkRobustSweep(b *testing.B) {
+	sc, ok := scenario.Get("chain6")
+	if !ok {
+		b.Fatal("scenario chain6 not registered")
+	}
+	newArch := func() *arch.Architecture {
+		a, err := sc.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	budgets := make([]int, 8)
+	for i := range budgets {
+		budgets[i] = sc.Budget + 8*i
+	}
+	spec := &uncertain.Spec{RateSigma: 0.2, Samples: 64, Confidence: 0.95, Seed: 1}
+	opt := experiments.Options{
+		Iterations: 3, Seeds: []int64{1}, Horizon: 300, WarmUp: 50,
+		Workers: 1, Method: "robust", Uncertainty: spec,
+	}
+	samplesPerSweep := float64(len(budgets) * spec.Samples)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.BudgetSweep(newArch, budgets, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Robust) != len(budgets) {
+				b.Fatalf("robust reports lost: %d/%d", len(res.Robust), len(budgets))
+			}
+		}
+		b.ReportMetric(samplesPerSweep*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh cache per iteration, two identical passes over it: the
+			// second pass must answer every point from the robust tier.
+			opt := opt
+			opt.Cache = solvecache.New()
+			for pass := 0; pass < 2; pass++ {
+				res, err := experiments.BudgetSweep(newArch, budgets, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Robust) != len(budgets) {
+					b.Fatalf("robust reports lost: %d/%d", len(res.Robust), len(budgets))
+				}
+			}
+			s := opt.Cache.Stats()
+			b.ReportMetric(float64(s.RobustHits), "robust-hits")
+			b.ReportMetric(float64(s.RobustMisses), "robust-misses")
+		}
+		b.ReportMetric(2*samplesPerSweep*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	})
 }

@@ -11,6 +11,8 @@
 //
 //	experiments scenario-sweep [-scenarios a,b] [-budget N] [-iters N]
 //	                           [-seeds 1,2] [-horizon T] [-parallel N] [-quick]
+//	experiments robust-sweep   [-scenarios a,b] [-samples N] [-confidence p]
+//	                           [-rate-sigma s] [-quick]
 //	experiments placement-sweep [-scenarios a,b] [-method m] [-buffer-types t]
 //	                            [-cost-budget C] [-refine-top K] [-quick]
 //
@@ -28,8 +30,17 @@
 // bounds the sweep engine's worker pool (default GOMAXPROCS); results are
 // identical for every worker count.
 //
+// robust-sweep is scenario-sweep pinned to the robust backend: every
+// scenario is sized by the Monte-Carlo chance-constrained method
+// (internal/uncertain; DESIGN.md §9) and the report grows yield columns —
+// the empirical fraction of traffic perturbations the chosen sizing
+// survives, its Wilson lower bound, and whether the requested confidence
+// was met. -samples/-confidence/-rate-sigma/-uncertainty-seed tune the
+// spec (defaults 64 / 0.95 / 0.2 / 1); they are also accepted by
+// scenario-sweep and the budget -sweep for points that run -method robust.
+//
 // -method selects the solver backend for every methodology run (exact |
-// analytic | hybrid; README "Choosing a solver method" has the
+// analytic | hybrid | robust; README "Choosing a solver method" has the
 // speed/accuracy table); -sweep additionally accepts -methods, a
 // comma-separated per-point list aligned with -budgets, so one sweep can
 // screen most points analytically and refine only the interesting budgets
@@ -74,6 +85,12 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "robust-sweep" {
+		if err := scenarioSweepRun("robust-sweep", os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "placement-sweep" {
 		if err := placementSweepCmd(os.Args[2:]); err != nil {
 			fatal(err)
@@ -95,6 +112,7 @@ func main() {
 		delta    = flag.Bool("delta", false, "with -cache: chain capped solves point-to-point through the cache's delta re-solve tier (serial runs stay deterministic; see solvecache.Cache.EnableDelta)")
 	)
 	method := cliutil.AddMethodFlag(nil)
+	robust := cliutil.AddRobustFlags(nil)
 	common := cliutil.AddCommonFlags(nil)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -140,6 +158,7 @@ func main() {
 	// -method applies to every methodology run the invocation performs:
 	// the figure/table regenerators and the sweep queries alike.
 	opt.Method = *method
+	opt.Uncertainty = robust.Spec(cliutil.SetFlags(nil))
 	// Under -json the counters go to stderr so stdout stays one parseable
 	// document.
 	defer func() {
@@ -185,13 +204,14 @@ func main() {
 // outcome (plan summary first when the cache planned it).
 func runSweep(eng *engine.Engine, budgets []int, opt experiments.Options, methods []string, common *cliutil.CommonFlags) error {
 	res, err := eng.BudgetSweep(context.Background(), engine.BudgetSweepRequest{
-		Budgets:    budgets,
-		Iterations: opt.Iterations,
-		Seeds:      opt.Seeds,
-		Horizon:    opt.Horizon,
-		Method:     opt.Method,
-		Methods:    methods,
-		UseCache:   common.UseCache(),
+		Budgets:     budgets,
+		Iterations:  opt.Iterations,
+		Seeds:       opt.Seeds,
+		Horizon:     opt.Horizon,
+		Method:      opt.Method,
+		Methods:     methods,
+		Uncertainty: opt.Uncertainty,
+		UseCache:    common.UseCache(),
 	})
 	if res == nil {
 		return err
@@ -223,7 +243,15 @@ func fatal(err error) { cliutil.Fatal("experiments", err) }
 // over registry scenarios through the engine and print a per-scenario
 // report table.
 func scenarioSweepCmd(args []string) error {
-	fs := flag.NewFlagSet("scenario-sweep", flag.ExitOnError)
+	return scenarioSweepRun("scenario-sweep", args)
+}
+
+// scenarioSweepRun backs both scenario-sweep and robust-sweep. robust-sweep
+// is scenario-sweep pinned to the robust backend: every point runs the
+// Monte-Carlo chance-constrained sizing and the report grows the yield
+// columns (-method is therefore not accepted; the robust tuning flags are).
+func scenarioSweepRun(name string, args []string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	var (
 		names   = fs.String("scenarios", "", "comma-separated scenario names (empty = whole registry)")
 		budget  = fs.Int("budget", 0, "override every scenario's budget (0 = scenario's own)")
@@ -232,7 +260,14 @@ func scenarioSweepCmd(args []string) error {
 		horizon = fs.Float64("horizon", 0, "override sim horizon (0 = scenario/default)")
 		quick   = fs.Bool("quick", false, "smaller iterations/seeds/horizon")
 	)
-	method := cliutil.AddMethodFlag(fs)
+	var method *string
+	if name == "robust-sweep" {
+		pinned := "robust"
+		method = &pinned
+	} else {
+		method = cliutil.AddMethodFlag(fs)
+	}
+	robust := cliutil.AddRobustFlags(fs)
 	common := cliutil.AddCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -252,14 +287,15 @@ func scenarioSweepCmd(args []string) error {
 	defer eng.Close()
 	scNames := experiments.ParseNames(*names)
 	res, err := eng.ScenarioSweep(context.Background(), engine.ScenarioSweepRequest{
-		Scenarios:  scNames,
-		Budget:     *budget,
-		Iterations: *iters,
-		Seeds:      sd,
-		Horizon:    *horizon,
-		Method:     *method,
-		Quick:      *quick,
-		UseCache:   common.UseCache(),
+		Scenarios:   scNames,
+		Budget:      *budget,
+		Iterations:  *iters,
+		Seeds:       sd,
+		Horizon:     *horizon,
+		Method:      *method,
+		Uncertainty: robust.Spec(cliutil.SetFlags(fs)),
+		Quick:       *quick,
+		UseCache:    common.UseCache(),
 	})
 	if res == nil {
 		return err
@@ -269,7 +305,11 @@ func scenarioSweepCmd(args []string) error {
 			return werr
 		}
 	} else {
-		fmt.Printf("Scenario sweep — %d scenarios\n", len(res.Sweep.Points)+len(res.Sweep.Failed))
+		title := "Scenario sweep"
+		if name == "robust-sweep" {
+			title = "Robust sweep"
+		}
+		fmt.Printf("%s — %d scenarios\n", title, len(res.Sweep.Points)+len(res.Sweep.Failed))
 		if werr := res.Sweep.WriteTable(os.Stdout); werr != nil {
 			return werr
 		}

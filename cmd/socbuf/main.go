@@ -12,7 +12,7 @@
 //	socbuf -place -buffer-types lite:1:0.5,fast:4:0.05 -cost-budget 8
 //	socbuf -list-scenarios
 //
-// -method selects the solver backend (exact | analytic | hybrid; see
+// -method selects the solver backend (exact | analytic | hybrid | robust; see
 // README "Choosing a solver method"). -methods overrides it per sweep
 // point — the example above screens the first two budgets analytically and
 // solves only the last exactly.
@@ -79,6 +79,7 @@ func main() {
 		refineTop = flag.Int("refine-top", 0, "how many screened placements -place refines with -method (0 = 3 default)")
 	)
 	method := cliutil.AddMethodFlag(nil)
+	robust := cliutil.AddRobustFlags(nil)
 	common := cliutil.AddCommonFlags(nil)
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -187,6 +188,7 @@ func main() {
 		}
 		// Explicitly-set flags override the scenario's own values.
 		set := cliutil.SetFlags(nil)
+		req.Uncertainty = robust.Spec(set)
 		if set["budget"] {
 			req.Budget = *budget
 		}
@@ -215,14 +217,15 @@ func main() {
 			fatal(err)
 		}
 		res, err := eng.BudgetSweep(ctx, engine.BudgetSweepRequest{
-			Arch:       archFor(*file, *name),
-			ArchJSON:   archJSON,
-			Budgets:    budgets,
-			Iterations: *iters,
-			Horizon:    *horiz,
-			Method:     *method,
-			Methods:    experiments.ParseMethods(*methods),
-			UseCache:   common.UseCache(),
+			Arch:        archFor(*file, *name),
+			ArchJSON:    archJSON,
+			Budgets:     budgets,
+			Iterations:  *iters,
+			Horizon:     *horiz,
+			Method:      *method,
+			Methods:     experiments.ParseMethods(*methods),
+			Uncertainty: robust.Spec(cliutil.SetFlags(nil)),
+			UseCache:    common.UseCache(),
 		})
 		if res == nil {
 			fatal(err)
@@ -252,14 +255,15 @@ func main() {
 	}
 
 	res, err := eng.Solve(ctx, engine.SolveRequest{
-		Arch:       archFor(*file, *name),
-		ArchJSON:   archJSON,
-		Budget:     *budget,
-		Iterations: *iters,
-		Horizon:    *horiz,
-		Method:     *method,
-		Refine:     *refine,
-		UseCache:   common.UseCache(),
+		Arch:        archFor(*file, *name),
+		ArchJSON:    archJSON,
+		Budget:      *budget,
+		Iterations:  *iters,
+		Horizon:     *horiz,
+		Method:      *method,
+		Uncertainty: robust.Spec(cliutil.SetFlags(nil)),
+		Refine:      *refine,
+		UseCache:    common.UseCache(),
 	})
 	if err != nil {
 		fatal(err)
@@ -334,8 +338,13 @@ func printResult(res *engine.SolveResult) {
 	fmt.Printf("baseline (uniform) loss: %d\n", res.UniformLoss)
 	fmt.Printf("best sized loss:         %d  (%.1f%% reduction, iteration %d)\n",
 		res.SizedLoss, res.Improvement*100, res.BestIteration)
-	fmt.Printf("occupancy cap binding: %v, randomised states: %d\n\n",
+	fmt.Printf("occupancy cap binding: %v, randomised states: %d\n",
 		res.CapBinding, res.RandomisedStates)
+	if r := res.Robust; r != nil {
+		fmt.Printf("chance constraint: yield %.3f (Wilson low %.3f) at confidence %.2f over %d samples — met: %v, budget used %d\n",
+			r.Yield, r.YieldLow, r.Confidence, r.Samples, r.Met, r.BudgetUsed)
+	}
+	fmt.Println()
 
 	headers := []string{"buffer", "uniform", "sized"}
 	var rows [][]string

@@ -193,7 +193,7 @@ func TestSolveMethodRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown method: status %d, want 400", resp.StatusCode)
 	}
-	want := `unknown method "bogus" (valid methods: analytic | exact | hybrid)`
+	want := `unknown method "bogus" (valid methods: analytic | exact | hybrid | robust)`
 	if !strings.Contains(e["error"], want) {
 		t.Fatalf("error %q does not carry the uniform message %q", e["error"], want)
 	}

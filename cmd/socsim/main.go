@@ -6,7 +6,7 @@
 //	socsim -arch netproc -budget 160 -policy sized -method analytic
 //
 // The "sized" policy first runs the full buffer-sizing methodology under
-// the -method solver backend (exact | analytic | hybrid) and simulates its
+// the -method solver backend (exact | analytic | hybrid | robust) and simulates its
 // chosen allocation; the other policies ignore -method (it is still
 // validated, so an unknown backend fails with the repo-wide uniform
 // message and exit code 2).

@@ -16,6 +16,7 @@ import (
 
 	"socbuf/internal/engine"
 	"socbuf/internal/solver"
+	"socbuf/internal/uncertain"
 )
 
 // CommonFlags is the flag group every solve-capable CLI shares.
@@ -118,4 +119,43 @@ func AddMethodFlag(fs *flag.FlagSet) *string {
 		fs = flag.CommandLine
 	}
 	return fs.String("method", "", "solver backend: "+solver.MethodList()+" (default exact; see README \"Choosing a solver method\")")
+}
+
+// RobustFlags is the -samples/-confidence/-rate-sigma/-uncertainty-seed
+// group tuning the robust backend's Monte-Carlo chance constraint.
+type RobustFlags struct {
+	Samples    int
+	Confidence float64
+	RateSigma  float64
+	Seed       int64
+}
+
+// AddRobustFlags registers the robust-backend tuning group on fs (nil = the
+// default CommandLine set). Zero/unset values inherit the spec defaults
+// (internal/uncertain), so the group is inert unless -method robust runs.
+func AddRobustFlags(fs *flag.FlagSet) *RobustFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	r := &RobustFlags{}
+	fs.IntVar(&r.Samples, "samples", 0, "robust backend: Monte-Carlo perturbation samples (0 = default 64)")
+	fs.Float64Var(&r.Confidence, "confidence", 0, "robust backend: chance-constraint confidence in [0,1) (0 = default 0.95)")
+	fs.Float64Var(&r.RateSigma, "rate-sigma", 0, "robust backend: lognormal rate perturbation sigma (0 = default 0.2)")
+	fs.Int64Var(&r.Seed, "uncertainty-seed", 0, "robust backend: sampler seed (0 = default 1)")
+	return r
+}
+
+// Spec assembles the uncertainty spec the flag group describes — nil when
+// no flag in the group was set, so scenario-attached specs are not
+// clobbered by defaults.
+func (r *RobustFlags) Spec(set map[string]bool) *uncertain.Spec {
+	if !set["samples"] && !set["confidence"] && !set["rate-sigma"] && !set["uncertainty-seed"] {
+		return nil
+	}
+	return &uncertain.Spec{
+		Samples:    r.Samples,
+		Confidence: r.Confidence,
+		RateSigma:  r.RateSigma,
+		Seed:       r.Seed,
+	}
 }

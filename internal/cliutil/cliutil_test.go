@@ -66,7 +66,7 @@ func TestAddMethodFlag(t *testing.T) {
 	// The help text must enumerate the registry, so all three CLIs (and
 	// their docs) stay in sync with internal/solver automatically.
 	f := fs.Lookup("method")
-	if f == nil || !strings.Contains(f.Usage, "analytic | exact | hybrid") {
+	if f == nil || !strings.Contains(f.Usage, "analytic | exact | hybrid | robust") {
 		t.Fatalf("method flag usage out of sync with the solver registry: %+v", f)
 	}
 	if f.DefValue != "" {

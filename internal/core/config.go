@@ -26,6 +26,7 @@ import (
 	"socbuf/internal/sim"
 	"socbuf/internal/solvecache"
 	"socbuf/internal/trace"
+	"socbuf/internal/uncertain"
 )
 
 // SourceFactory builds the per-flow arrival processes of one evaluation
@@ -107,6 +108,12 @@ type Config struct {
 	// differ from the uncached path at roundoff level (see the solvecache
 	// package comment).
 	Cache *solvecache.Cache
+	// Uncertainty attaches a traffic-uncertainty spec for the robust
+	// backend's chance-constrained sizing (internal/solver's "robust"
+	// method). The exact path carries it untouched — only the robust
+	// backend consumes it; nil means "spec defaults" there. Validated here
+	// so a bad spec fails every entry point uniformly.
+	Uncertainty *uncertain.Spec
 	// RefineStationary recomputes each subsystem's stationary distribution
 	// from its policy-induced chain after every LP solve (dense LU,
 	// Gauss–Seidel or aggregation, auto-picked by reachable-state count),
@@ -176,6 +183,11 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.BoundaryIters < 1 {
 		return c, fmt.Errorf("core: boundary iterations %d < 1", c.BoundaryIters)
+	}
+	if c.Uncertainty != nil {
+		if err := c.Uncertainty.Validate(); err != nil {
+			return c, fmt.Errorf("core: %w", err)
+		}
 	}
 	return c, nil
 }

@@ -11,6 +11,7 @@ import (
 	"socbuf/internal/parallel"
 	"socbuf/internal/sim"
 	"socbuf/internal/trace"
+	"socbuf/internal/uncertain"
 )
 
 // Iteration records one pass of the size→solve→resimulate loop.
@@ -58,6 +59,10 @@ type Result struct {
 	// occupancy distributions, switching structure). Nil when the run was
 	// produced by a backend that never solved a CTMDP (analytic).
 	FinalSolution *ctmdp.JointSolution
+	// Robust is the chance-constraint report of a robust-backend run (the
+	// empirical yield, Wilson bound and budget the selection used). Nil for
+	// every other backend.
+	Robust *uncertain.Report
 }
 
 // Improvement returns 1 − best/baseline, the fractional loss reduction of

@@ -11,6 +11,7 @@ import (
 	"socbuf/internal/core"
 	"socbuf/internal/experiments"
 	"socbuf/internal/scenario"
+	"socbuf/internal/uncertain"
 )
 
 // SolveRequest asks for one methodology run — the paper's pure function from
@@ -35,11 +36,15 @@ type SolveRequest struct {
 	Seeds      []int64 `json:"seeds,omitempty"`
 	Horizon    float64 `json:"horizon,omitempty"`
 	WarmUp     float64 `json:"warmUp,omitempty"`
-	// Method selects the solver backend ("exact" | "analytic" | "hybrid";
-	// empty inherits the scenario's own method, or the exact default).
-	// Unknown names fail request validation (HTTP 400 / CLI exit 2) with
-	// the uniform message listing the valid methods.
+	// Method selects the solver backend ("exact" | "analytic" | "hybrid" |
+	// "robust"; empty inherits the scenario's own method, or the exact
+	// default). Unknown names fail request validation (HTTP 400 / CLI exit
+	// 2) with the uniform message listing the valid methods.
 	Method string `json:"method,omitempty"`
+	// Uncertainty attaches a traffic-uncertainty spec for the robust
+	// backend (nil inherits the scenario's spec, or that backend's
+	// defaults). It is part of the coalescing identity.
+	Uncertainty *uncertain.Spec `json:"uncertainty,omitempty"`
 	// Refine enables the post-LP stationary refinement
 	// (core.Config.RefineStationary).
 	Refine bool `json:"refine,omitempty"`
@@ -127,6 +132,9 @@ func (r SolveRequest) coreConfig() (core.Config, solveMeta, error) {
 		if r.Method != "" {
 			cfg.Method = r.Method
 		}
+		if r.Uncertainty != nil {
+			cfg.Uncertainty = r.Uncertainty
+		}
 		cfg.RefineStationary = r.Refine
 		cfg.Workers = r.Workers
 		return cfg, meta, nil
@@ -144,6 +152,7 @@ func (r SolveRequest) coreConfig() (core.Config, solveMeta, error) {
 		Horizon:          r.Horizon,
 		WarmUp:           r.WarmUp,
 		Method:           r.Method,
+		Uncertainty:      r.Uncertainty,
 		RefineStationary: r.Refine,
 		Workers:          r.Workers,
 	}, meta, nil
@@ -210,6 +219,9 @@ type SolveResult struct {
 	// Alloc pairs every buffer's uniform and sized capacity, sorted by
 	// buffer ID.
 	Alloc []AllocRow `json:"alloc"`
+	// Robust carries the chance-constraint report of a robust-backend run
+	// (empirical yield, Wilson bound, budget used). Nil for other backends.
+	Robust *uncertain.Report `json:"robust,omitempty"`
 }
 
 // BudgetSweepRequest fans the methodology across budgets on one architecture
@@ -231,7 +243,10 @@ type BudgetSweepRequest struct {
 	// points analytically and refine only the Pareto knee exactly.
 	Method  string   `json:"method,omitempty"`
 	Methods []string `json:"methods,omitempty"`
-	Workers int      `json:"workers,omitempty"`
+	// Uncertainty applies one traffic-uncertainty spec to every point that
+	// runs the robust backend.
+	Uncertainty *uncertain.Spec `json:"uncertainty,omitempty"`
+	Workers     int             `json:"workers,omitempty"`
 	// UseCache shares the engine cache across all points and plans/prewarms
 	// the sweep first (experiments.CachedBudgetSweep).
 	UseCache bool `json:"useCache,omitempty"`
@@ -266,10 +281,13 @@ type ScenarioSweepRequest struct {
 	Horizon    float64 `json:"horizon,omitempty"`
 	// Method overrides every scenario's solver backend (empty keeps each
 	// scenario's own method, or the exact default).
-	Method   string `json:"method,omitempty"`
-	Quick    bool   `json:"quick,omitempty"`
-	Workers  int    `json:"workers,omitempty"`
-	UseCache bool   `json:"useCache,omitempty"`
+	Method string `json:"method,omitempty"`
+	// Uncertainty overrides every scenario's traffic-uncertainty spec
+	// (nil keeps each scenario's own, or the robust defaults).
+	Uncertainty *uncertain.Spec `json:"uncertainty,omitempty"`
+	Quick       bool            `json:"quick,omitempty"`
+	Workers     int             `json:"workers,omitempty"`
+	UseCache    bool            `json:"useCache,omitempty"`
 
 	// OnRow streams per-scenario rows as they complete; see
 	// BudgetSweepRequest.OnRow for the contract. Not part of the wire shape.

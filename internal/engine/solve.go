@@ -135,7 +135,7 @@ func validMethod(name string) error {
 // cacheHitCount folds a cache snapshot's hit counters (all tiers) for the
 // per-backend delta attribution.
 func cacheHitCount(s solvecache.Stats) int64 {
-	return s.Hits + s.WarmStarts + s.JointHits + s.AnalyticHits
+	return s.Hits + s.WarmStarts + s.JointHits + s.AnalyticHits + s.RobustHits
 }
 
 // runSolver executes one methodology run through the backend registry,
@@ -175,6 +175,7 @@ func newSolveResult(meta solveMeta, method string, res *core.Result) *SolveResul
 		BestIteration:    res.Best.Index,
 		CapBinding:       res.Best.CapBinding,
 		RandomisedStates: res.Best.RandomisedStates,
+		Robust:           res.Robust,
 	}
 	for _, id := range report.SortedKeys(res.Best.Alloc) {
 		out.Alloc = append(out.Alloc, AllocRow{
@@ -230,6 +231,7 @@ func (e *Engine) BudgetSweep(ctx context.Context, req BudgetSweepRequest) (*Budg
 		OnBudgetRow:  req.OnRow,
 		Method:       req.Method,
 		PointMethods: req.Methods,
+		Uncertainty:  req.Uncertainty,
 		Observer:     e.sweepObserver(),
 	}
 	if req.UseCache {
@@ -274,6 +276,7 @@ func (e *Engine) ScenarioSweep(ctx context.Context, req ScenarioSweepRequest) (*
 	opt := experiments.Options{
 		Workers:       e.requestWorkers(req.Workers),
 		OnScenarioRow: req.OnRow,
+		Uncertainty:   req.Uncertainty,
 		Observer:      e.sweepObserver(),
 	}
 	if req.UseCache {

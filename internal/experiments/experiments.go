@@ -21,6 +21,7 @@ import (
 	"socbuf/internal/sim"
 	"socbuf/internal/solvecache"
 	"socbuf/internal/solver"
+	"socbuf/internal/uncertain"
 )
 
 // Options tunes experiment cost. Zero values pick the defaults used by the
@@ -69,6 +70,11 @@ type Options struct {
 	// device that lets one sweep screen most points analytically and refine
 	// only the Pareto knee exactly.
 	PointMethods []string
+	// Uncertainty is the traffic-uncertainty spec handed to every
+	// methodology run (the robust backend consumes it; others carry it
+	// untouched). A scenario's own Uncertainty field wins over this
+	// default, mirroring Method.
+	Uncertainty *uncertain.Spec
 	// Observer, when non-nil, is invoked after every methodology run a
 	// sweep executes, with the resolved backend name and the run's wall
 	// time (failed runs included — they consumed the time). Called from

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMethods checks the per-point method-list parser's invariants on
+// arbitrary input: never panics, nil exactly for blank input, one segment
+// per comma otherwise, every segment trimmed, and parsing idempotent —
+// re-joining the output and parsing again reproduces it.
+func FuzzParseMethods(f *testing.F) {
+	f.Add("")
+	f.Add("analytic,analytic,exact")
+	f.Add("analytic,,hybrid")
+	f.Add("robust")
+	f.Add(" exact ,\trobust\n")
+	f.Add(",,,")
+	f.Add("a,b,c,d,e,f,g,h")
+	f.Fuzz(func(t *testing.T, s string) {
+		got := ParseMethods(s)
+		if strings.TrimSpace(s) == "" {
+			if got != nil {
+				t.Fatalf("blank input %q parsed to %v, want nil", s, got)
+			}
+			return
+		}
+		if want := strings.Count(s, ",") + 1; len(got) != want {
+			t.Fatalf("%q: %d segments, want %d", s, len(got), want)
+		}
+		for i, m := range got {
+			if m != strings.TrimSpace(m) {
+				t.Fatalf("%q: segment %d %q not trimmed", s, i, m)
+			}
+			if strings.ContainsRune(m, ',') {
+				t.Fatalf("%q: segment %d %q contains a separator", s, i, m)
+			}
+		}
+		again := ParseMethods(strings.Join(got, ","))
+		if len(again) != len(got) {
+			// A fully-blank list (",," → ["","",""]) re-parses to nil; that
+			// asymmetry is the documented blank-input rule, not a bug.
+			if strings.TrimSpace(strings.Join(got, ",")) == "" {
+				return
+			}
+			t.Fatalf("%q: not idempotent: %v vs %v", s, got, again)
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("%q: not idempotent at %d: %q vs %q", s, i, got[i], again[i])
+			}
+		}
+	})
+}

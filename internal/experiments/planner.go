@@ -240,11 +240,15 @@ func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
 		fmt.Sprint(s.Misses),
 		fmt.Sprint(s.JointHits),
 		fmt.Sprint(s.JointMisses),
-		fmt.Sprint(s.Entries + s.JointEntries + s.AnalyticEntries + s.PlacementEntries),
+		fmt.Sprint(s.Entries + s.JointEntries + s.AnalyticEntries + s.RobustEntries + s.PlacementEntries),
 	}}
 	if s.AnalyticHits+s.AnalyticMisses > 0 {
 		headers = append(headers, "analytic hits", "analytic misses")
 		rows[0] = append(rows[0], fmt.Sprint(s.AnalyticHits), fmt.Sprint(s.AnalyticMisses))
+	}
+	if s.RobustHits+s.RobustMisses > 0 {
+		headers = append(headers, "robust hits", "robust misses")
+		rows[0] = append(rows[0], fmt.Sprint(s.RobustHits), fmt.Sprint(s.RobustMisses))
 	}
 	if s.PlacementHits+s.PlacementMisses > 0 {
 		headers = append(headers, "placement hits", "placement misses")

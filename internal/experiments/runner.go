@@ -13,6 +13,7 @@ import (
 	"socbuf/internal/core"
 	"socbuf/internal/parallel"
 	"socbuf/internal/report"
+	"socbuf/internal/uncertain"
 )
 
 // BudgetSweepResult holds a parallel budget sweep of the full methodology on
@@ -29,6 +30,10 @@ type BudgetSweepResult struct {
 	// Method records each point's solver backend, keyed by budget; points
 	// on the exact default are omitted.
 	Method map[int]string
+	// Robust records the chance-constraint report of each robust-backend
+	// point, keyed by budget; other points are absent. When non-empty the
+	// rendered table grows yield columns.
+	Robust map[int]*uncertain.Report
 	// Failed pairs each failing budget with its error, in input order; the
 	// successful points above are still populated.
 	Failed []BudgetError
@@ -52,7 +57,10 @@ type BudgetRow struct {
 	UniformLoss int64   `json:"uniformLoss"`
 	SizedLoss   int64   `json:"sizedLoss"`
 	Improvement float64 `json:"improvement"`
-	Error       string  `json:"error,omitempty"`
+	// Robust carries a robust-backend point's chance-constraint report
+	// (empirical yield, Wilson bound, budget used); omitted otherwise.
+	Robust *uncertain.Report `json:"robust,omitempty"`
+	Error  string            `json:"error,omitempty"`
 }
 
 // Rows flattens the sweep into machine-readable rows: successful points in
@@ -66,6 +74,7 @@ func (r *BudgetSweepResult) Rows() []BudgetRow {
 			UniformLoss: r.Pre[b],
 			SizedLoss:   r.Post[b],
 			Improvement: r.Improvement[b],
+			Robust:      r.Robust[b],
 		})
 	}
 	for _, f := range r.Failed {
@@ -140,6 +149,9 @@ func (r *BudgetSweepResult) WriteTable(w io.Writer) error {
 	if len(r.Method) > 0 {
 		headers = append(headers, "method")
 	}
+	if len(r.Robust) > 0 {
+		headers = append(headers, "yield", "yield low", "met")
+	}
 	var rows [][]string
 	for _, b := range r.Budgets {
 		row := []string{
@@ -154,6 +166,9 @@ func (r *BudgetSweepResult) WriteTable(w io.Writer) error {
 				m = "exact"
 			}
 			row = append(row, m)
+		}
+		if len(r.Robust) > 0 {
+			row = append(row, yieldCells(r.Robust[b])...)
 		}
 		rows = append(rows, row)
 	}
@@ -199,15 +214,16 @@ func BudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budg
 	// so a sweep can mix backends point by point (Options.PointMethods).
 	points, err := parallel.MapCtx(ctx, len(budgets), opt.Workers, func(i int) (*core.Result, error) {
 		res, err := runMethod(ctx, core.Config{
-			Arch:       newArch(),
-			Budget:     budgets[i],
-			Iterations: opt.Iterations,
-			Seeds:      opt.Seeds,
-			Horizon:    opt.Horizon,
-			WarmUp:     opt.WarmUp,
-			Workers:    1,
-			Cache:      opt.Cache,
-			Method:     opt.pointMethod(i),
+			Arch:        newArch(),
+			Budget:      budgets[i],
+			Iterations:  opt.Iterations,
+			Seeds:       opt.Seeds,
+			Horizon:     opt.Horizon,
+			WarmUp:      opt.WarmUp,
+			Workers:     1,
+			Cache:       opt.Cache,
+			Method:      opt.pointMethod(i),
+			Uncertainty: opt.Uncertainty,
 		}, opt)
 		if opt.OnBudgetRow != nil {
 			opt.OnBudgetRow(budgetRow(budgets[i], rowMethod(opt.pointMethod(i)), res, err))
@@ -220,6 +236,7 @@ func BudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budg
 		Post:        map[int]int64{},
 		Improvement: map[int]float64{},
 		Method:      map[int]string{},
+		Robust:      map[int]*uncertain.Report{},
 	}
 	// Pull per-point failures out of the joined error by index so partial
 	// sweeps stay usable.
@@ -239,6 +256,9 @@ func BudgetSweepCtx(ctx context.Context, newArch func() *arch.Architecture, budg
 		out.Improvement[b] = res.Improvement()
 		if m := rowMethod(opt.pointMethod(i)); m != "" {
 			out.Method[b] = m
+		}
+		if res.Robust != nil {
+			out.Robust[b] = res.Robust
 		}
 	}
 	return out, out.Err()
@@ -265,5 +285,19 @@ func budgetRow(budget int, method string, res *core.Result, err error) BudgetRow
 		UniformLoss: res.BaselineLoss,
 		SizedLoss:   res.Best.SimLoss,
 		Improvement: res.Improvement(),
+		Robust:      res.Robust,
+	}
+}
+
+// yieldCells renders one point's chance-constraint columns ("-" for points
+// that ran a non-robust backend in a mixed sweep).
+func yieldCells(rep *uncertain.Report) []string {
+	if rep == nil {
+		return []string{"-", "-", "-"}
+	}
+	return []string{
+		fmt.Sprintf("%.3f", rep.Yield),
+		fmt.Sprintf("%.3f", rep.YieldLow),
+		fmt.Sprint(rep.Met),
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"socbuf/internal/report"
 	"socbuf/internal/scenario"
 	"socbuf/internal/sim"
+	"socbuf/internal/uncertain"
 )
 
 // ScenarioPoint is one scenario's outcome row. The JSON tags are the
@@ -41,6 +42,9 @@ type ScenarioPoint struct {
 	// delivery throughput).
 	LossFrac float64 `json:"lossFrac"`
 	Latency  float64 `json:"latency"`
+	// Robust carries a robust-backend point's chance-constraint report
+	// (empirical yield, Wilson bound, budget used); omitted otherwise.
+	Robust *uncertain.Report `json:"robust,omitempty"`
 }
 
 // ScenarioRow is one scenario point in machine-readable form — a
@@ -78,16 +82,22 @@ func (r *ScenarioSweepResult) Err() error {
 // trailing line per failure — in the shared report format. A method column
 // appears only when some point ran a non-exact backend.
 func (r *ScenarioSweepResult) WriteTable(w io.Writer) error {
-	withMethod := false
+	withMethod, withYield := false, false
 	for _, p := range r.Points {
 		if p.Method != "" {
 			withMethod = true
+		}
+		if p.Robust != nil {
+			withYield = true
 		}
 	}
 	headers := []string{"SCENARIO", "arch", "buses", "buffers", "traffic", "budget",
 		"uniform loss", "sized loss", "improvement", "loss frac", "latency"}
 	if withMethod {
 		headers = append(headers, "method")
+	}
+	if withYield {
+		headers = append(headers, "yield", "yield low", "met")
 	}
 	var rows [][]string
 	for _, p := range r.Points {
@@ -104,6 +114,9 @@ func (r *ScenarioSweepResult) WriteTable(w io.Writer) error {
 				m = "exact"
 			}
 			row = append(row, m)
+		}
+		if withYield {
+			row = append(row, yieldCells(p.Robust)...)
 		}
 		rows = append(rows, row)
 	}
@@ -257,6 +270,9 @@ func runScenario(ctx context.Context, sc scenario.Scenario, opt Options) (Scenar
 	if cfg.Method == "" {
 		cfg.Method = opt.Method
 	}
+	if cfg.Uncertainty == nil {
+		cfg.Uncertainty = opt.Uncertainty
+	}
 	cfg.Workers = 1
 	cfg.Cache = opt.Cache
 
@@ -309,6 +325,7 @@ func runScenario(ctx context.Context, sc scenario.Scenario, opt Options) (Scenar
 		Post:        res.Best.SimLoss,
 		Improvement: res.Improvement(),
 		LossFrac:    pr.LossFraction(),
+		Robust:      res.Robust,
 	}
 	if window := cfg.Horizon - cfg.WarmUp; window > 0 && pr.TotalDelivered() > 0 {
 		// Sum in sorted buffer order: float addition order must not depend on

@@ -1,0 +1,69 @@
+package placement
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCatalogue checks the -buffer-types parser on arbitrary input:
+// never panics, blank input yields exactly the default catalogue, and any
+// accepted catalogue re-renders to flag syntax and parses back identically
+// (round-trip through the %v float rendering the flag help documents).
+func FuzzParseCatalogue(f *testing.F) {
+	f.Add("")
+	f.Add("std:2:0.2")
+	f.Add("small:1:0.5,std:2:0.2,fast:4:0.05")
+	f.Add("a:1:0,b:1e3:2.5")
+	f.Add("bad")
+	f.Add("name:x:1")
+	f.Add("name:1:x")
+	f.Add(":1:1")
+	f.Add("a:1:1,")
+	f.Add("a:-1:NaN")
+	f.Fuzz(func(t *testing.T, s string) {
+		types, err := ParseCatalogue(s)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(s) == "" {
+			def := DefaultCatalogue()
+			if len(types) != len(def) {
+				t.Fatalf("blank input gave %d types, want default %d", len(types), len(def))
+			}
+			for i := range def {
+				if types[i] != def[i] {
+					t.Fatalf("blank input type %d = %+v, want %+v", i, types[i], def[i])
+				}
+			}
+			return
+		}
+		if len(types) == 0 {
+			t.Fatalf("accepted %q but returned no types", s)
+		}
+		// Round-trip any accepted catalogue whose names survive the flag
+		// syntax (names carrying separators can't re-render unambiguously).
+		parts := make([]string, len(types))
+		for i, bt := range types {
+			if strings.ContainsAny(bt.Name, ",:") || bt.Name != strings.TrimSpace(bt.Name) {
+				return
+			}
+			parts[i] = fmt.Sprintf("%s:%v:%v", bt.Name, bt.Cost, bt.Delay)
+		}
+		again, err := ParseCatalogue(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("re-rendered %q failed to parse: %v", strings.Join(parts, ","), err)
+		}
+		if len(again) != len(types) {
+			t.Fatalf("round trip changed arity: %d vs %d", len(again), len(types))
+		}
+		for i := range types {
+			same := again[i].Name == types[i].Name &&
+				(again[i].Cost == types[i].Cost || (again[i].Cost != again[i].Cost && types[i].Cost != types[i].Cost)) &&
+				(again[i].Delay == types[i].Delay || (again[i].Delay != again[i].Delay && types[i].Delay != types[i].Delay))
+			if !same {
+				t.Fatalf("round trip changed type %d: %+v vs %+v", i, again[i], types[i])
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"socbuf/internal/arch"
 	"socbuf/internal/core"
 	"socbuf/internal/solver"
+	"socbuf/internal/uncertain"
 )
 
 // Scenario is one named evaluation configuration.
@@ -40,10 +41,14 @@ type Scenario struct {
 	CapFactor  float64 `json:"capFactor,omitempty"`
 	Sequential bool    `json:"sequential,omitempty"`
 	// Method pins the scenario to a solver backend ("exact" | "analytic" |
-	// "hybrid"); empty inherits the sweep's (or the exact) default. Name
-	// validation happens at dispatch (internal/solver), where the
-	// unknown-method message is uniform across every entry point.
+	// "hybrid" | "robust"); empty inherits the sweep's (or the exact)
+	// default. Name validation happens at dispatch (internal/solver), where
+	// the unknown-method message is uniform across every entry point.
 	Method string `json:"method,omitempty"`
+	// Uncertainty attaches a traffic-uncertainty spec for the robust
+	// backend (nil = that backend's defaults; other backends carry it
+	// untouched). It round-trips with the scenario.
+	Uncertainty *uncertain.Spec `json:"uncertainty,omitempty"`
 }
 
 // Validate checks the scenario end to end: fields, traffic parameters, and
@@ -89,6 +94,11 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}
+	if s.Uncertainty != nil {
+		if err := s.Uncertainty.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -111,16 +121,17 @@ func (s Scenario) CoreConfig() (core.Config, error) {
 		return core.Config{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	return core.Config{
-		Arch:       a,
-		Budget:     s.Budget,
-		Iterations: s.Iterations,
-		Seeds:      s.Seeds,
-		Horizon:    s.Horizon,
-		WarmUp:     s.WarmUp,
-		CapFactor:  s.CapFactor,
-		Sequential: s.Sequential,
-		Traffic:    factory,
-		Method:     s.Method,
+		Arch:        a,
+		Budget:      s.Budget,
+		Iterations:  s.Iterations,
+		Seeds:       s.Seeds,
+		Horizon:     s.Horizon,
+		WarmUp:      s.WarmUp,
+		CapFactor:   s.CapFactor,
+		Sequential:  s.Sequential,
+		Traffic:     factory,
+		Method:      s.Method,
+		Uncertainty: s.Uncertainty,
 	}, nil
 }
 

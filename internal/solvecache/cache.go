@@ -46,6 +46,7 @@ import (
 
 	"socbuf/internal/ctmdp"
 	"socbuf/internal/lp"
+	"socbuf/internal/uncertain"
 )
 
 // Cache is a concurrency-safe, content-addressed store of solved sub-models.
@@ -57,11 +58,13 @@ type Cache struct {
 	structural map[Key]*entry
 	joint      map[Key]*jointEntry
 	analytic   map[Key]*AnalyticSolution
+	robust     map[Key]*RobustSolution
 	placement  map[Key][]byte
 
 	hits, misses, warm         atomic.Int64
 	jointHits, jointMiss       atomic.Int64
 	analyticHit, analyticMis   atomic.Int64
+	robustHit, robustMis       atomic.Int64
 	placementHit, placementMis atomic.Int64
 
 	// Delta tier (opt-in, see EnableDelta): capped-program resolvers keyed by
@@ -119,6 +122,7 @@ func New() *Cache {
 		structural: map[Key]*entry{},
 		joint:      map[Key]*jointEntry{},
 		analytic:   map[Key]*AnalyticSolution{},
+		robust:     map[Key]*RobustSolution{},
 		placement:  map[Key][]byte{},
 		delta:      map[Key]*deltaEntry{},
 	}
@@ -195,6 +199,57 @@ func (c *Cache) PutAnalytic(k Key, s *AnalyticSolution) {
 	c.mu.Unlock()
 }
 
+// RobustSolution is one cached robust sizing: the chance-constrained
+// backend's chosen allocation, its nominal-screen loss estimate, and the
+// full chance-constraint report. Stored payloads are immutable; lookups
+// return fresh allocation maps.
+type RobustSolution struct {
+	Alloc    map[string]int
+	LossRate float64
+	Report   uncertain.Report
+}
+
+// clone returns an aliasing-free copy, matching the analytic tier's
+// contract.
+func (s *RobustSolution) clone() *RobustSolution {
+	alloc := make(map[string]int, len(s.Alloc))
+	for id, u := range s.Alloc {
+		alloc[id] = u
+	}
+	return &RobustSolution{Alloc: alloc, LossRate: s.LossRate, Report: s.Report}
+}
+
+// LookupRobust fetches a cached robust sizing by its RobustFingerprint
+// key. A nil receiver (caching disabled) always misses without counting.
+func (c *Cache) LookupRobust(k Key) (*RobustSolution, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	s := c.robust[k]
+	c.mu.Unlock()
+	if s == nil {
+		c.robustMis.Add(1)
+		return nil, false
+	}
+	c.robustHit.Add(1)
+	return s.clone(), true
+}
+
+// PutRobust stores one robust sizing under its RobustFingerprint key. The
+// payload is copied in; concurrent duplicate stores of the same key are
+// benign (robust solves are deterministic functions of the key). A nil
+// receiver is a no-op.
+func (c *Cache) PutRobust(k Key, s *RobustSolution) {
+	if c == nil || s == nil {
+		return
+	}
+	cp := s.clone()
+	c.mu.Lock()
+	c.robust[k] = cp
+	c.mu.Unlock()
+}
+
 // LookupPlacement fetches a cached placement result by its
 // PlacementFingerprint key. The payload is the engine's serialised
 // placement result — opaque to this package (placement results are
@@ -249,6 +304,10 @@ type Stats struct {
 	// closed-form backend's sizing cache, keyed in a backend-tagged key
 	// space disjoint from every exact fingerprint.
 	AnalyticHits, AnalyticMisses int64
+	// RobustHits / RobustMisses count robust-tier lookups — whole
+	// chance-constrained sizings, keyed by RobustFingerprint in their own
+	// backend-tagged key space.
+	RobustHits, RobustMisses int64
 	// PlacementHits / PlacementMisses count placement-tier lookups — whole
 	// placement runs (frontier + chosen), keyed by PlacementFingerprint.
 	PlacementHits, PlacementMisses int64
@@ -257,9 +316,10 @@ type Stats struct {
 	// to fall back to the ordinary solve path (patch rejected or resolver
 	// error). Both stay zero unless EnableDelta was called.
 	DeltaResolves, DeltaFallbacks int64
-	// Entries / JointEntries / AnalyticEntries / PlacementEntries /
-	// DeltaEntries are the stored solution counts per tier.
-	Entries, JointEntries, AnalyticEntries, PlacementEntries, DeltaEntries int
+	// Entries / JointEntries / AnalyticEntries / RobustEntries /
+	// PlacementEntries / DeltaEntries are the stored solution counts per
+	// tier.
+	Entries, JointEntries, AnalyticEntries, RobustEntries, PlacementEntries, DeltaEntries int
 }
 
 // Stats returns a snapshot of the counters.
@@ -274,7 +334,7 @@ func (c *Cache) Stats() Stats {
 	for _, e := range c.exact {
 		distinct[e] = struct{}{}
 	}
-	entries, jointEntries, analyticEntries, placementEntries, deltaEntries := len(distinct), len(c.joint), len(c.analytic), len(c.placement), len(c.delta)
+	entries, jointEntries, analyticEntries, robustEntries, placementEntries, deltaEntries := len(distinct), len(c.joint), len(c.analytic), len(c.robust), len(c.placement), len(c.delta)
 	c.mu.Unlock()
 	return Stats{
 		Hits:             c.hits.Load(),
@@ -284,6 +344,8 @@ func (c *Cache) Stats() Stats {
 		JointMisses:      c.jointMiss.Load(),
 		AnalyticHits:     c.analyticHit.Load(),
 		AnalyticMisses:   c.analyticMis.Load(),
+		RobustHits:       c.robustHit.Load(),
+		RobustMisses:     c.robustMis.Load(),
 		PlacementHits:    c.placementHit.Load(),
 		PlacementMisses:  c.placementMis.Load(),
 		DeltaResolves:    c.deltaHit.Load(),
@@ -291,6 +353,7 @@ func (c *Cache) Stats() Stats {
 		Entries:          entries,
 		JointEntries:     jointEntries,
 		AnalyticEntries:  analyticEntries,
+		RobustEntries:    robustEntries,
 		PlacementEntries: placementEntries,
 		DeltaEntries:     deltaEntries,
 	}

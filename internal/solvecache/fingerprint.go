@@ -143,6 +143,7 @@ const (
 	backendExact     = 0
 	backendAnalytic  = 1
 	backendPlacement = 2
+	backendRobust    = 3
 )
 
 func (h *hasher) options(o SolveOptions) {
@@ -245,6 +246,27 @@ func AnalyticFingerprint(archBytes []byte, budget, boundaryIters int) Key {
 	h.i64(backendAnalytic)
 	h.i64(int64(budget))
 	h.i64(int64(boundaryIters))
+	h.i64(int64(len(archBytes)))
+	h.buf = append(h.buf, archBytes...)
+	return h.sum()
+}
+
+// RobustFingerprint keys one robust (chance-constrained Monte-Carlo)
+// sizing: the canonical byte serialisation of the buffered architecture
+// (weights appended, as in the analytic key), the uncertainty spec's
+// canonical JSON (σ's, sample count, confidence, target, seed — all of
+// which change what the decision IS), the budget and the fixed-point depth.
+// The backendRobust tag keeps these keys disjoint from every exact,
+// analytic and placement fingerprint, so a robust sizing can never rebind
+// as a nominal solution (or vice versa).
+func RobustFingerprint(archBytes, specBytes []byte, budget, boundaryIters int) Key {
+	h := &hasher{buf: make([]byte, 0, 64+len(archBytes)+len(specBytes))}
+	h.i64(version)
+	h.i64(backendRobust)
+	h.i64(int64(budget))
+	h.i64(int64(boundaryIters))
+	h.i64(int64(len(specBytes)))
+	h.buf = append(h.buf, specBytes...)
 	h.i64(int64(len(archBytes)))
 	h.buf = append(h.buf, archBytes...)
 	return h.sum()

@@ -184,9 +184,12 @@ func newAnalyticModel(a *arch.Architecture, cfg core.Config) (*analyticModel, er
 // μ·λ/Λ (the saturated floor). This is the standard two-regime
 // approximation for a single server shared by loss queues.
 func (m *analyticModel) serviceShare(arrival map[string]float64) map[string]float64 {
+	// Sum in sorted buffer order: float addition order must not depend on
+	// map iteration, or repeated runs drift in the last ULP (the robust
+	// backend's yield counts compare these sums against a threshold).
 	busLoad := map[string]float64{}
-	for id, bus := range m.busOf {
-		busLoad[bus] += arrival[id]
+	for _, id := range m.buffers {
+		busLoad[m.busOf[id]] += arrival[id]
 	}
 	mu := make(map[string]float64, len(m.busOf))
 	for id, bus := range m.busOf {

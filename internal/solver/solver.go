@@ -2,7 +2,7 @@
 // pipeline: every entry point (internal/engine, the experiments sweep
 // runners, and through them the CLIs and the socbufd HTTP service) resolves
 // a method name to a Solver and calls Run, instead of hard-wiring the exact
-// CTMDP/LP path. Three backends register at init:
+// CTMDP/LP path. Four backends register at init:
 //
 //   - "exact" — the paper's CTMDP/LP methodology (core.RunCtx), unchanged:
 //     solver.Run with the exact method is byte-identical to calling core.Run
@@ -15,6 +15,10 @@
 //     exact CTMDP refinement of the screened candidates, with a gated
 //     agreement check that falls back to the full exact loop whenever the
 //     screen and the LP disagree.
+//   - "robust" — chance-constrained Monte-Carlo sizing under traffic
+//     uncertainty (internal/uncertain): N correlated rate perturbations,
+//     analytic yield scoring of candidate sizings on identical sample
+//     paths, and a Wilson-guarded cheapest-first selection.
 //
 // All backends speak core.Config → *core.Result, so everything downstream
 // (reports, sweeps, the service's JSON shapes) is backend-agnostic. The
@@ -39,6 +43,7 @@ const (
 	MethodExact    = "exact"
 	MethodAnalytic = "analytic"
 	MethodHybrid   = "hybrid"
+	MethodRobust   = "robust"
 )
 
 // ErrUnknownMethod tags method-resolution failures. Every layer surfaces it
@@ -97,7 +102,7 @@ func Methods() []string {
 }
 
 // MethodList renders the registry for flag help strings and error messages
-// ("analytic | exact | hybrid").
+// ("analytic | exact | hybrid | robust").
 func MethodList() string { return strings.Join(Methods(), " | ") }
 
 // Canonical normalises a method name for reporting and stats attribution:

@@ -237,7 +237,7 @@ func TestUnknownMethodUniformError(t *testing.T) {
 	if !errors.Is(err, solver.ErrUnknownMethod) {
 		t.Fatalf("error %v does not wrap solver.ErrUnknownMethod", err)
 	}
-	want := `unknown method "simulated-annealing" (valid methods: analytic | exact | hybrid)`
+	want := `unknown method "simulated-annealing" (valid methods: analytic | exact | hybrid | robust)`
 	if !strings.Contains(err.Error(), want) {
 		t.Fatalf("error %q does not carry the uniform message %q", err, want)
 	}
@@ -246,7 +246,7 @@ func TestUnknownMethodUniformError(t *testing.T) {
 // TestRegistryComplete pins the built-in backend set.
 func TestRegistryComplete(t *testing.T) {
 	got := solver.Methods()
-	want := []string{solver.MethodAnalytic, solver.MethodExact, solver.MethodHybrid}
+	want := []string{solver.MethodAnalytic, solver.MethodExact, solver.MethodHybrid, solver.MethodRobust}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("methods = %v, want %v", got, want)
 	}

@@ -1,0 +1,173 @@
+package uncertain
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"socbuf/internal/arch"
+)
+
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{}.WithDefaults()
+	if s.RateSigma != DefaultRateSigma || s.Samples != DefaultSamples ||
+		s.Confidence != DefaultConfidence || s.TargetFactor != DefaultTargetFactor || s.Seed != DefaultSeed {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	// Explicit values survive.
+	s = Spec{RateSigma: 0.4, Samples: 16, Confidence: 0.9, TargetFactor: 2, Seed: 7}.WithDefaults()
+	if s.RateSigma != 0.4 || s.Samples != 16 || s.Confidence != 0.9 || s.TargetFactor != 2 || s.Seed != 7 {
+		t.Fatalf("explicit values clobbered: %+v", s)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{RateSigma: -0.1},
+		{RateSigma: 3},
+		{BurstSigma: -1},
+		{Samples: -1},
+		{Samples: 1 << 20},
+		{Confidence: -0.5},
+		{Confidence: 1},
+		{LossTarget: -1},
+		{TargetFactor: -1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v validated", s)
+		}
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec rejected: %v", err)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	src := Spec{RateSigma: 0.3, BurstSigma: 0.1, Samples: 32, Confidence: 0.9, LossTarget: 0.25, Seed: 5}
+	var buf bytes.Buffer
+	if err := src.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != src {
+		t.Fatalf("round trip changed spec: %+v vs %+v", back, src)
+	}
+}
+
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"rateSigma": 0.2, "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"samples": 8} trailing`)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"confidence": 1.5}`)); err == nil {
+		t.Fatal("invalid confidence accepted")
+	}
+}
+
+// TestSamplerCRN pins the common-random-numbers contract: At(i) is a pure
+// function of (seed, i) — independent samplers over the same spec agree
+// bit for bit, any access order, and different seeds diverge.
+func TestSamplerCRN(t *testing.T) {
+	spec := Spec{RateSigma: 0.25, BurstSigma: 0.1, Samples: 16, Seed: 3}
+	a, b := NewSampler(spec, 5), NewSampler(spec, 5)
+	for _, i := range []int{7, 0, 15, 3, 7} { // out of order, repeated
+		sa, sb := a.At(i), b.At(i)
+		if sa.Burst != sb.Burst {
+			t.Fatalf("sample %d burst differs: %v vs %v", i, sa.Burst, sb.Burst)
+		}
+		for f := range sa.Rate {
+			if sa.Rate[f] != sb.Rate[f] {
+				t.Fatalf("sample %d flow %d differs: %v vs %v", i, f, sa.Rate[f], sb.Rate[f])
+			}
+		}
+	}
+	spec.Seed = 4
+	c := NewSampler(spec, 5)
+	if a.At(0).Rate[0] == c.At(0).Rate[0] {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+func TestSamplerFactorsBounded(t *testing.T) {
+	sp := NewSampler(Spec{RateSigma: 2, BurstSigma: 2, Samples: 200, Seed: 1}, 4)
+	for i := 0; i < sp.N(); i++ {
+		s := sp.At(i)
+		for f, r := range s.Rate {
+			if r < minFactor || r > maxFactor {
+				t.Fatalf("sample %d flow %d factor %v outside clamp", i, f, r)
+			}
+		}
+		if s.Burst < minFactor || s.Burst > maxFactor {
+			t.Fatalf("sample %d burst %v outside clamp", i, s.Burst)
+		}
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	a := arch.TwoBusAMBA()
+	sp := NewSampler(Spec{RateSigma: 0.3, Seed: 2}, len(a.Flows))
+	s := sp.At(0)
+	p, err := Perturb(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Flows {
+		want := a.Flows[i].Rate * s.Rate[i] * s.Burst
+		if p.Flows[i].Rate != want {
+			t.Fatalf("flow %d: got %v want %v", i, p.Flows[i].Rate, want)
+		}
+	}
+	// The original is untouched (Perturb clones).
+	if a.Flows[0].Rate == p.Flows[0].Rate && s.Rate[0] != 1 {
+		t.Fatal("perturb mutated the original architecture")
+	}
+	if _, err := Perturb(a, Sample{Rate: []float64{1}, Burst: 1}); err == nil ||
+		!strings.Contains(err.Error(), "flows") {
+		t.Fatalf("flow-count mismatch not rejected: %v", err)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.95, 1.6448536269514722},
+		{0.975, 1.959963984540054},
+		{0.05, -1.6448536269514722},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("boundary quantiles not infinite")
+	}
+}
+
+func TestWilsonLower(t *testing.T) {
+	// The guard must sit strictly below the raw proportion for 0 < k ≤ n,
+	// and grow toward it with n.
+	if w := WilsonLower(64, 64, 0.95); w <= 0.94 || w >= 1 {
+		t.Fatalf("wilson(64/64) = %v, want (0.94, 1)", w)
+	}
+	if w := WilsonLower(63, 64, 0.95); w >= 0.95 {
+		t.Fatalf("wilson(63/64) = %v, want below 0.95 — one miss at N=64 must fail a 95%% gate", w)
+	}
+	small, large := WilsonLower(19, 20, 0.95), WilsonLower(190, 200, 0.95)
+	if small >= large {
+		t.Fatalf("guard not tightening with N: wilson(19/20)=%v ≥ wilson(190/200)=%v", small, large)
+	}
+	if w := WilsonLower(0, 50, 0.95); w != 0 {
+		t.Fatalf("wilson(0/50) = %v, want 0", w)
+	}
+	if w := WilsonLower(5, 0, 0.95); w != 0 {
+		t.Fatalf("n=0 must yield 0, got %v", w)
+	}
+}

@@ -1,0 +1,158 @@
+package socbuf_test
+
+// Robust-backend contracts that need the scenario registry (which imports
+// internal/solver, so these live at the root like the benchmarks):
+//
+//   - the sampler determinism gate: same seed ⇒ bit-identical yield and
+//     chosen sizing for -parallel 1/4/16, table-driven over registry
+//     scenarios — the robust extension of the repo-wide "identical results
+//     for any worker count" contract;
+//   - the chance-constraint correctness gate: on a registry scenario with
+//     injected rate perturbations, the robust sizing's empirical yield on a
+//     fresh out-of-sample batch meets the requested 95% while the nominal
+//     exact sizing's measurably does not (one-sided, seeded).
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/scenario"
+	"socbuf/internal/solver"
+	"socbuf/internal/uncertain"
+)
+
+// quickRobustConfig assembles a fast, fully seeded robust run of one
+// registry scenario.
+func quickRobustConfig(t *testing.T, name string, spec *uncertain.Spec) core.Config {
+	t.Helper()
+	sc, ok := scenario.Get(name)
+	if !ok {
+		t.Fatalf("scenario %q not in registry", name)
+	}
+	cfg, err := sc.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Iterations = 2
+	cfg.Seeds = []int64{1}
+	cfg.Horizon = 400
+	cfg.WarmUp = 50
+	cfg.Method = solver.MethodRobust
+	cfg.Uncertainty = spec
+	return cfg
+}
+
+// TestRobustDeterminismAcrossWorkers pins the sampler determinism gate:
+// the chance-constraint report (yield included) and the chosen sizing are
+// bit-identical for any worker count, because sample i is a pure function
+// of (seed, i) and every fan-out merges in index order.
+func TestRobustDeterminismAcrossWorkers(t *testing.T) {
+	spec := &uncertain.Spec{RateSigma: 0.2, Samples: 32, Confidence: 0.95, Seed: 11}
+	for _, name := range []string{"twobus", "chain6", "star6"} {
+		t.Run(name, func(t *testing.T) {
+			var wantReport *uncertain.Report
+			var wantAlloc arch.Allocation
+			for _, workers := range []int{1, 4, 16} {
+				cfg := quickRobustConfig(t, name, spec)
+				cfg.Workers = workers
+				res, err := solver.Run(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if res.Robust == nil {
+					t.Fatalf("workers=%d: no robust report", workers)
+				}
+				if wantReport == nil {
+					wantReport, wantAlloc = res.Robust, res.Best.Alloc
+					continue
+				}
+				if *res.Robust != *wantReport {
+					t.Fatalf("workers=%d report drifted:\n got %+v\nwant %+v", workers, *res.Robust, *wantReport)
+				}
+				if !reflect.DeepEqual(res.Best.Alloc, wantAlloc) {
+					t.Fatalf("workers=%d sizing drifted:\n got %v\nwant %v", workers, res.Best.Alloc, wantAlloc)
+				}
+			}
+		})
+	}
+}
+
+// outOfSampleYield scores a sizing on a fresh perturbation batch: the
+// fraction of samples whose analytic loss meets the target.
+func outOfSampleYield(t *testing.T, a *arch.Architecture, cfg core.Config, alloc map[string]int, target float64, spec uncertain.Spec) float64 {
+	t.Helper()
+	sampler := uncertain.NewSampler(spec, len(a.Flows))
+	ok := 0
+	for i := 0; i < sampler.N(); i++ {
+		ai, err := uncertain.Perturb(a, sampler.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, err := solver.AnalyticLoss(ai, cfg, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss <= target {
+			ok++
+		}
+	}
+	return float64(ok) / float64(sampler.N())
+}
+
+// TestRobustChanceConstraintOutOfSample is the correctness gate: on chain6
+// with ±15% lognormal rate perturbations, the robust sizing's empirical
+// yield on a fresh 200-sample batch (different sampler seed) meets the
+// requested 95%, while the nominal exact sizing's — scored on the same
+// batch against the same loss target — measurably does not. Every random
+// stream is seeded, so the margin is reproducible, not statistical luck.
+func TestRobustChanceConstraintOutOfSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact methodology run in the loop")
+	}
+	spec := &uncertain.Spec{RateSigma: 0.15, Samples: 64, Confidence: 0.95, Seed: 7}
+	sc, _ := scenario.Get("chain6")
+	cfg, err := sc.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Iterations = 4
+	cfg.Seeds = []int64{1, 2}
+	cfg.Horizon = 800
+	cfg.WarmUp = 100
+
+	cfg.Method = solver.MethodRobust
+	cfg.Uncertainty = spec
+	robust, err := solver.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.Robust == nil {
+		t.Fatal("robust run carried no report")
+	}
+	target := robust.Robust.LossTarget
+
+	cfg.Method = solver.MethodExact
+	cfg.Uncertainty = nil
+	exact, err := solver.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oos := uncertain.Spec{RateSigma: spec.RateSigma, Samples: 200, Confidence: spec.Confidence, Seed: 99}
+	cfg.Uncertainty = spec
+	yieldRobust := outOfSampleYield(t, robust.Arch, cfg, robust.Best.Alloc, target, oos)
+	yieldExact := outOfSampleYield(t, exact.Arch, cfg, exact.Best.Alloc, target, oos)
+
+	if yieldRobust < spec.Confidence {
+		t.Errorf("robust sizing out-of-sample yield %.3f below the %.2f chance constraint", yieldRobust, spec.Confidence)
+	}
+	if yieldExact >= spec.Confidence {
+		t.Errorf("nominal exact sizing out-of-sample yield %.3f unexpectedly meets the %.2f constraint — the gate has lost its contrast", yieldExact, spec.Confidence)
+	}
+	if yieldRobust <= yieldExact {
+		t.Errorf("robust yield %.3f not above nominal yield %.3f on the common batch", yieldRobust, yieldExact)
+	}
+}

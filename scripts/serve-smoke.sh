@@ -30,7 +30,7 @@ done
 
 # One solve per solver backend: the method field must reach the backend
 # (echoed in the response) and the per-backend stats must count each run.
-METHODS=${SOCBUFD_METHODS:-exact analytic hybrid}
+METHODS=${SOCBUFD_METHODS:-exact analytic hybrid robust}
 RUNS=0
 for METHOD in $METHODS; do
   RUNS=$((RUNS + 1))
@@ -40,13 +40,19 @@ for METHOD in $METHODS; do
     "http://$ADDR/v1/solve" | tee /dev/stderr | grep -q '"method": "'"$METHOD"'"'
 done
 
+echo "serve-smoke: POST /v1/solve (robust report fields)"
+RUNS=$((RUNS + 1))
+curl -sf -X POST -H 'Content-Type: application/json' \
+  -d '{"scenario":"twobus","iterations":1,"seeds":[1],"horizon":400,"warmUp":50,"method":"robust","uncertainty":{"samples":16,"seed":3}}' \
+  "http://$ADDR/v1/solve" | tee /dev/stderr | grep -q '"yield":'
+
 echo "serve-smoke: unknown method → 400 with the uniform message"
 CODE=$(curl -s -o "$LOG.err" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
   -d '{"scenario":"twobus","method":"bogus"}' "http://$ADDR/v1/solve")
 [ "$CODE" = "400" ] || { echo "serve-smoke: unknown method gave HTTP $CODE, want 400" >&2; exit 1; }
 # The quotes arrive JSON-escaped (\"bogus\"), so match the two halves of
 # the uniform message separately.
-grep -q 'unknown method' "$LOG.err" && grep -q 'valid methods: analytic | exact | hybrid' "$LOG.err" || {
+grep -q 'unknown method' "$LOG.err" && grep -q 'valid methods: analytic | exact | hybrid | robust' "$LOG.err" || {
   echo "serve-smoke: unknown-method message not uniform:" >&2
   cat "$LOG.err" >&2
   exit 1
