@@ -17,9 +17,10 @@ BENCH_GATES = \
 	-gate 'BenchmarkSimplex=25' \
 	-gate 'BenchmarkStationaryDenseVsSparse/=25' \
 	-gate 'BenchmarkSolveJointCapped=25' \
-	-gate 'BenchmarkRobustSweep=25'
+	-gate 'BenchmarkRobustSweep=25' \
+	-gate 'BenchmarkFleetThroughput/=25'
 
-.PHONY: build test race bench bench-compare profile lint fmt scenario-smoke serve-smoke placement-smoke robust-smoke fuzz-smoke cover
+.PHONY: build test race bench bench-compare profile lint fmt scenario-smoke serve-smoke placement-smoke robust-smoke fuzz-smoke fleet-smoke fleet-bench cover
 
 build:
 	$(GO) build ./...
@@ -108,6 +109,18 @@ placement-smoke:
 # shutdown. CI runs it on every push next to scenario-smoke.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve-smoke.sh
+
+# End-to-end fleet pass (DESIGN.md §10): router + two shards sharing the
+# remote cache tier, cross-shard remote-cache hit, drain-aware failover,
+# clean shutdown. CI runs it on every push next to serve-smoke.
+fleet-smoke:
+	GO="$(GO)" sh scripts/fleet-smoke.sh
+
+# Measure routed fleet throughput with cmd/loadgen (1/2/4 shards plus a
+# no-router baseline) — the numbers behind PERFORMANCE.md's fleet table.
+# Tune with FLEET_BENCH_DURATION / FLEET_BENCH_CONCURRENCY / FLEET_BENCH_MIX.
+fleet-bench:
+	GO="$(GO)" sh scripts/fleet-bench.sh
 
 # Tiny end-to-end pass through the robust backend: a quick robust-sweep over
 # two registry scenarios, asserting the chance-constraint yield columns made

@@ -1,0 +1,357 @@
+// Command loadgen drives a socbufd or socbufrouter endpoint with a
+// closed-loop workload and reports throughput and latency percentiles — the
+// measurement tool behind PERFORMANCE.md's fleet table (`make fleet-bench`).
+//
+//	loadgen -url http://127.0.0.1:8360 -duration 10s -concurrency 16 \
+//	        -mix solve=8,sweep=1,placement=1
+//
+// Closed loop means each of -concurrency workers issues its next request
+// only after the previous one completes; -rate additionally caps the fleet-
+// wide issue rate (0 = as fast as the loop allows). Requests cycle through
+// -distinct seed variants per kind, so a router actually spreads them across
+// shards while each variant stays cache-warm.
+//
+// Backpressure (HTTP 503) is honored, not counted as failure: the worker
+// sleeps the response's Retry-After and re-issues the same request, exactly
+// like a well-behaved client. EXPERIMENTS.md defines every output column;
+// -json emits the same numbers machine-readably.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socbuf/internal/cliutil"
+)
+
+// kind is one request archetype in the mix.
+type kind struct {
+	name   string
+	weight int
+	path   string
+	body   func(i int) string
+}
+
+// result is one completed request's accounting.
+type result struct {
+	kind    string
+	ok      bool
+	retries int
+	latency time.Duration
+}
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8344", "socbufd or socbufrouter base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
+		rate        = flag.Float64("rate", 0, "target fleet-wide requests/sec (0 = closed-loop maximum)")
+		mix         = flag.String("mix", "solve=1", "request mix as kind=weight, comma-separated (kinds: solve, sweep, placement)")
+		scenarioF   = flag.String("scenario", "twobus", "registry scenario for solve requests")
+		archF       = flag.String("arch", "twobus", "architecture preset for sweep and placement requests")
+		budgetsF    = flag.String("budgets", "16,24,32", "sweep budget points / placement budget cycle")
+		distinct    = flag.Int("distinct", 8, "distinct seed variants per kind (spreads load across a router's shards)")
+		iterations  = flag.Int("iterations", 1, "methodology iterations per request")
+		horizon     = flag.Float64("horizon", 400, "simulation horizon")
+		warmup      = flag.Float64("warmup", 50, "simulation warm-up")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+	if *concurrency < 1 {
+		cliutil.Fatal("loadgen", fmt.Errorf("-concurrency %d must be positive", *concurrency))
+	}
+	if *duration <= 0 {
+		cliutil.Fatal("loadgen", fmt.Errorf("-duration %v must be positive", *duration))
+	}
+	if *rate < 0 {
+		cliutil.Fatal("loadgen", fmt.Errorf("-rate %g must not be negative", *rate))
+	}
+	if *distinct < 1 {
+		cliutil.Fatal("loadgen", fmt.Errorf("-distinct %d must be positive", *distinct))
+	}
+	budgets, err := parseBudgets(*budgetsF)
+	if err != nil {
+		cliutil.Fatal("loadgen", err)
+	}
+	kinds, err := buildMix(*mix, mixParams{
+		scenario: *scenarioF, arch: *archF, budgets: budgets,
+		iterations: *iterations, horizon: *horizon, warmup: *warmup,
+	})
+	if err != nil {
+		cliutil.Fatal("loadgen", err)
+	}
+
+	rep := run(*url, *duration, *concurrency, *rate, *distinct, kinds)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			cliutil.Fatal("loadgen", err)
+		}
+		return
+	}
+	rep.print(os.Stdout)
+}
+
+type mixParams struct {
+	scenario, arch  string
+	budgets         []int
+	iterations      int
+	horizon, warmup float64
+}
+
+func parseBudgets(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		b, err := strconv.Atoi(f)
+		if err != nil || b <= 0 {
+			return nil, fmt.Errorf("-budgets entry %q must be a positive integer", f)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-budgets %q has no entries", s)
+	}
+	return out, nil
+}
+
+// buildMix parses "solve=8,sweep=1" into weighted request archetypes. The
+// seed index i differentiates request content (and therefore fingerprints)
+// within each kind.
+func buildMix(spec string, p mixParams) ([]kind, error) {
+	budgetList := make([]string, len(p.budgets))
+	for i, b := range p.budgets {
+		budgetList[i] = strconv.Itoa(b)
+	}
+	archetypes := map[string]kind{
+		"solve": {name: "solve", path: "/v1/solve", body: func(i int) string {
+			return fmt.Sprintf(`{"scenario":%q,"iterations":%d,"seeds":[%d],"horizon":%g,"warmUp":%g}`,
+				p.scenario, p.iterations, i+1, p.horizon, p.warmup)
+		}},
+		"sweep": {name: "sweep", path: "/v1/sweep/budget", body: func(i int) string {
+			return fmt.Sprintf(`{"arch":%q,"budgets":[%s],"iterations":%d,"seeds":[%d],"horizon":%g,"warmUp":%g,"useCache":true}`,
+				p.arch, strings.Join(budgetList, ","), p.iterations, i+1, p.horizon, p.warmup)
+		}},
+		"placement": {name: "placement", path: "/v1/placement", body: func(i int) string {
+			return fmt.Sprintf(`{"arch":%q,"budget":%d,"method":"analytic","iterations":%d,"seeds":[%d],"horizon":%g,"warmUp":%g,"useCache":true}`,
+				p.arch, p.budgets[i%len(p.budgets)], p.iterations, i+1, p.horizon, p.warmup)
+		}},
+	}
+	var kinds []kind
+	for _, f := range strings.Split(spec, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok {
+			return nil, fmt.Errorf("-mix entry %q must be kind=weight", f)
+		}
+		k, exists := archetypes[name]
+		if !exists {
+			return nil, fmt.Errorf("-mix kind %q unknown (have solve, sweep, placement)", name)
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-mix weight %q must be a non-negative integer", weight)
+		}
+		if w > 0 {
+			k.weight = w
+			kinds = append(kinds, k)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-mix %q selects no requests", spec)
+	}
+	return kinds, nil
+}
+
+// pickKind cycles deterministically through the mix in weight proportion.
+func pickKind(kinds []kind, n int) kind {
+	total := 0
+	for _, k := range kinds {
+		total += k.weight
+	}
+	slot := n % total
+	for _, k := range kinds {
+		if slot < k.weight {
+			return k
+		}
+		slot -= k.weight
+	}
+	return kinds[len(kinds)-1] // unreachable
+}
+
+// run drives the closed loop and aggregates the report.
+func run(url string, duration time.Duration, concurrency int, rate float64, distinct int, kinds []kind) *report {
+	var (
+		seq      atomic.Int64
+		mu       sync.Mutex
+		results  []result
+		deadline = time.Now().Add(duration)
+		client   = &http.Client{}
+	)
+	// The rate limiter is a shared ticker channel: with -rate 120 and 16
+	// workers, each blocked worker takes the next tick, spacing issues
+	// fleet-wide rather than per worker.
+	var ticks <-chan time.Time
+	if rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer t.Stop()
+		ticks = t.C
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if ticks != nil {
+					<-ticks
+					if !time.Now().Before(deadline) {
+						return
+					}
+				}
+				n := int(seq.Add(1) - 1)
+				k := pickKind(kinds, n)
+				res := issue(client, url, k, n%distinct, deadline)
+				mu.Lock()
+				results = append(results, res)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return summarise(url, concurrency, rate, time.Since(start), results)
+}
+
+// issue sends one request, honoring 503 backpressure: sleep the server's
+// Retry-After and re-issue until the deadline. Latency is the full wall time
+// including backoff — what a real client experienced.
+func issue(client *http.Client, url string, k kind, seed int, deadline time.Time) result {
+	body := k.body(seed)
+	start := time.Now()
+	res := result{kind: k.name}
+	for {
+		resp, err := client.Post(url+k.path, "application/json", strings.NewReader(body))
+		if err != nil {
+			res.latency = time.Since(start)
+			return res
+		}
+		// Sweeps stream NDJSON: the request is done when the body ends.
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			wait := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra >= 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			if time.Now().Add(wait).After(deadline) {
+				res.latency = time.Since(start)
+				return res
+			}
+			res.retries++
+			time.Sleep(wait)
+			continue
+		}
+		res.ok = resp.StatusCode == http.StatusOK && cerr == nil
+		res.latency = time.Since(start)
+		return res
+	}
+}
+
+// report is the loadgen output (the -json shape; EXPERIMENTS.md defines the
+// columns).
+type report struct {
+	URL         string  `json:"url"`
+	Concurrency int     `json:"concurrency"`
+	TargetRate  float64 `json:"targetRate,omitempty"`
+	DurationS   float64 `json:"durationS"`
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	Errors      int     `json:"errors"`
+	Retries503  int     `json:"retries503"`
+	Throughput  float64 `json:"reqPerSec"`
+	LatencyMS   struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latencyMs"`
+	Mix map[string]int `json:"mix"`
+}
+
+func summarise(url string, concurrency int, rate float64, elapsed time.Duration, results []result) *report {
+	rep := &report{
+		URL: url, Concurrency: concurrency, TargetRate: rate,
+		DurationS: elapsed.Seconds(), Sent: len(results), Mix: map[string]int{},
+	}
+	var lat []float64
+	for _, r := range results {
+		rep.Mix[r.kind]++
+		rep.Retries503 += r.retries
+		if r.ok {
+			rep.OK++
+			lat = append(lat, float64(r.latency)/float64(time.Millisecond))
+		} else {
+			rep.Errors++
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	sort.Float64s(lat)
+	rep.LatencyMS.P50 = percentile(lat, 0.50)
+	rep.LatencyMS.P90 = percentile(lat, 0.90)
+	rep.LatencyMS.P99 = percentile(lat, 0.99)
+	if n := len(lat); n > 0 {
+		rep.LatencyMS.Max = lat[n-1]
+	}
+	return rep
+}
+
+// percentile is the nearest-rank percentile of sorted values.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "target      %s (concurrency %d", r.URL, r.Concurrency)
+	if r.TargetRate > 0 {
+		fmt.Fprintf(w, ", rate %g/s", r.TargetRate)
+	}
+	fmt.Fprintf(w, ")\n")
+	fmt.Fprintf(w, "duration    %.1fs\n", r.DurationS)
+	fmt.Fprintf(w, "requests    %d sent, %d ok, %d errors, %d 503-retries\n", r.Sent, r.OK, r.Errors, r.Retries503)
+	fmt.Fprintf(w, "throughput  %.1f req/s\n", r.Throughput)
+	fmt.Fprintf(w, "latency ms  p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+		r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P99, r.LatencyMS.Max)
+	names := make([]string, 0, len(r.Mix))
+	for k := range r.Mix {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "mix         %-9s %d\n", k, r.Mix[k])
+	}
+}

@@ -1,7 +1,8 @@
 // Command socbufd serves the buffer-sizing engine over HTTP: a long-running
 // service wrapping internal/engine — the same request/response API the CLIs
 // use — with request coalescing, a bounded in-flight limit, cache-backed
-// concurrency and graceful shutdown.
+// concurrency and graceful shutdown. internal/httpapi holds the handlers;
+// this binary only wires flags, the listener and the signal path.
 //
 //	socbufd -addr :8344 -max-inflight 16
 //
@@ -12,13 +13,22 @@
 //	POST /v1/sweep/budget    budget sweep; streams NDJSON rows as points
 //	                         complete, then a summary line
 //	POST /v1/sweep/scenario  scenario sweep; same streaming shape
+//	POST /v1/placement       buffer-placement run; streams evals + summary
 //	GET  /v1/stats           engine counters + solve-cache counters
+//	GET  /v1/healthz         liveness
+//	GET  /v1/readyz          drain-aware readiness (503 once draining)
 //
 // Responses: 400 for malformed/invalid requests, 503 (with Retry-After) when
 // the in-flight bound is hit or the server is draining, 500 for solver
 // failures.
 //
-// Shutdown: SIGINT/SIGTERM stops admission, cancels in-flight requests (the
+// Fleet mode (DESIGN.md §10): -remote-cache attaches a shared solve-cache
+// sidecar (socbufrouter's /v1/cache endpoint) behind the local cache —
+// fail-open, so a dead sidecar costs recomputes, never availability.
+// -batch-window enables cross-request micro-batching of analytic solves.
+//
+// Shutdown: SIGINT/SIGTERM flips readiness (so ring health checks route
+// around the backend), stops admission, cancels in-flight requests (the
 // cancellation threads down through the sweep workers, which finish their
 // current point and exit), drains, then closes the listener.
 package main
@@ -37,16 +47,22 @@ import (
 
 	"socbuf/internal/cliutil"
 	"socbuf/internal/engine"
+	"socbuf/internal/httpapi"
+	"socbuf/internal/solvecache"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8344", "listen address")
-		parallel   = flag.Int("parallel", 0, "default worker goroutines per request (0 = GOMAXPROCS)")
-		inflight   = flag.Int("max-inflight", 16, "max concurrently executing requests (0 = unbounded); excess requests get 503")
-		cache      = flag.Bool("cache", true, "route every request through the shared solve cache")
-		cacheBound = flag.Int("cache-max-entries", 4096, "rotate the solve cache past this many stored solutions (0 = unbounded); bounds memory in a long-lived server fed client-chosen architectures")
-		drain      = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
+		addr        = flag.String("addr", ":8344", "listen address")
+		parallel    = flag.Int("parallel", 0, "default worker goroutines per request (0 = GOMAXPROCS)")
+		inflight    = flag.Int("max-inflight", 16, "max concurrently executing requests (0 = unbounded); excess requests get 503")
+		cache       = flag.Bool("cache", true, "route every request through the shared solve cache")
+		cacheBound  = flag.Int("cache-max-entries", 4096, "rotate the solve cache past this many stored solutions (0 = unbounded); bounds memory in a long-lived server fed client-chosen architectures")
+		remote      = flag.String("remote-cache", "", "base URL of a shared solve-cache sidecar (e.g. http://127.0.0.1:8360/v1/cache); empty = local cache only")
+		remoteTmo   = flag.Duration("remote-cache-timeout", 250*time.Millisecond, "per-lookup deadline against the remote cache; slower answers fall back to a local solve")
+		batchWindow = flag.Duration("batch-window", 0, "micro-batch concurrent analytic solves for up to this long (0 = disabled)")
+		batchMax    = flag.Int("batch-max", 16, "max analytic solves per micro-batch; a full batch dispatches early")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -58,11 +74,28 @@ func main() {
 	if *cacheBound < 0 {
 		cliutil.Fatal("socbufd", fmt.Errorf("-cache-max-entries %d is negative; use 0 for unbounded", *cacheBound))
 	}
+	if *batchWindow < 0 {
+		cliutil.Fatal("socbufd", fmt.Errorf("-batch-window %v is negative; use 0 to disable batching", *batchWindow))
+	}
 
-	eng := engine.New(engine.Config{Workers: *parallel, MaxInFlight: *inflight, MaxCacheEntries: *cacheBound})
+	cfg := engine.Config{
+		Workers:         *parallel,
+		MaxInFlight:     *inflight,
+		MaxCacheEntries: *cacheBound,
+		BatchWindow:     *batchWindow,
+		BatchMax:        *batchMax,
+	}
+	var remoteStore *solvecache.RemoteStore
+	if *remote != "" {
+		remoteStore = solvecache.NewRemoteStore(*remote, solvecache.RemoteOptions{Timeout: *remoteTmo})
+		defer remoteStore.Close()
+		cfg.RemoteCache = remoteStore
+	}
+	eng := engine.New(cfg)
+	api := httpapi.NewServer(eng, *cache)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(eng, *cache),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -71,7 +104,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("socbufd: listening on %s (max-inflight %d, cache %v)", *addr, *inflight, *cache)
+	log.Printf("socbufd: listening on %s (max-inflight %d, cache %v, remote-cache %q)", *addr, *inflight, *cache, *remote)
 
 	select {
 	case err := <-errc:
@@ -81,9 +114,13 @@ func main() {
 	stop() // a second signal kills the process the default way
 
 	log.Printf("socbufd: shutting down (drain timeout %v)", *drain)
+	// Readiness first, while the listener still answers: the router's health
+	// checks see the drain and stop routing here before requests start
+	// bouncing off the closed engine.
+	api.SetReady(false)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Engine first: admission stops, in-flight requests are cancelled and
+	// Engine next: admission stops, in-flight requests are cancelled and
 	// drained, so the handlers unwind; then the listener closes and waits
 	// for the connections to finish writing.
 	engErr := eng.Shutdown(dctx)

@@ -73,3 +73,78 @@ func TestAddMethodFlag(t *testing.T) {
 		t.Fatalf("method default %q, want empty (exact fallback happens at dispatch)", f.DefValue)
 	}
 }
+
+// TestRobustFlagsSpec pins the nil-when-unset contract: the group must not
+// clobber scenario-attached uncertainty specs with zero defaults, but any
+// single set flag materialises the whole spec (zeros inherit the uncertain
+// package defaults downstream).
+func TestRobustFlagsSpec(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	r := AddRobustFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if spec := r.Spec(SetFlags(fs)); spec != nil {
+		t.Fatalf("unset robust group produced a spec: %+v", spec)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	r = AddRobustFlags(fs)
+	if err := fs.Parse([]string{"-samples", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	spec := r.Spec(SetFlags(fs))
+	if spec == nil || spec.Samples != 32 {
+		t.Fatalf("spec = %+v, want samples 32", spec)
+	}
+	if spec.Confidence != 0 || spec.RateSigma != 0 || spec.Seed != 0 {
+		t.Fatalf("untouched fields must stay zero (defaults applied downstream): %+v", spec)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	r = AddRobustFlags(fs)
+	args := []string{"-samples", "16", "-confidence", "0.9", "-rate-sigma", "0.3", "-uncertainty-seed", "7"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	spec = r.Spec(SetFlags(fs))
+	if spec == nil || spec.Samples != 16 || spec.Confidence != 0.9 || spec.RateSigma != 0.3 || spec.Seed != 7 {
+		t.Fatalf("full group spec = %+v", spec)
+	}
+}
+
+// TestRobustFlagsDefaults pins that every flag in the group defaults to the
+// inert zero — the group must be a no-op unless -method robust runs.
+func TestRobustFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	AddRobustFlags(fs)
+	for _, name := range []string{"samples", "confidence", "rate-sigma", "uncertainty-seed"} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if f.DefValue != "0" {
+			t.Errorf("-%s default %q, want 0 (inherit the spec default)", name, f.DefValue)
+		}
+	}
+}
+
+// TestCommonFlagsNilFlagSet pins the nil-fs convenience path onto the
+// default CommandLine set without parsing it (parsing the real CommandLine
+// inside a test would race with the test framework's own flags).
+func TestCommonFlagsNilFlagSet(t *testing.T) {
+	defer func(old *flag.FlagSet) { flag.CommandLine = old }(flag.CommandLine)
+	flag.CommandLine = flag.NewFlagSet("cmdline", flag.ContinueOnError)
+	c := AddCommonFlags(nil)
+	m := AddMethodFlag(nil)
+	r := AddRobustFlags(nil)
+	if c == nil || m == nil || r == nil {
+		t.Fatal("nil flag set must register on flag.CommandLine")
+	}
+	if flag.CommandLine.Lookup("parallel") == nil || flag.CommandLine.Lookup("method") == nil || flag.CommandLine.Lookup("samples") == nil {
+		t.Fatal("groups not registered on the default set")
+	}
+	if set := SetFlags(nil); len(set) != 0 {
+		t.Fatalf("nothing parsed, but SetFlags = %v", set)
+	}
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"context"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"socbuf/internal/core"
+	"socbuf/internal/parallel"
+	"socbuf/internal/solver"
+)
+
+// batcher implements Config.BatchWindow: cross-request micro-batching of
+// analytic methodology runs. Concurrent analytic solves are collected for up
+// to one window (a full batch dispatches early), grouped by their analytic
+// content fingerprint (solver.AnalyticContentKey), and dispatched through one
+// bounded fan-out. Groups run in parallel; within a group the solves chain
+// serially, so on a cache-enabled engine every solve after the group's first
+// answers its sizing from the analytic cache tier — the amortisation the
+// batching buys. Correctness is untouched: every request still executes its
+// own solver.Run under its own context, so batched results are bit-identical
+// to unbatched ones and one cancelled caller never fails its batch peers.
+type batcher struct {
+	e      *Engine
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	pending []*batchItem
+}
+
+// batchItem is one collected analytic solve. done is closed exactly once,
+// after res/err are set.
+type batchItem struct {
+	ctx   context.Context
+	cfg   core.Config
+	group string
+	done  chan struct{}
+	res   *core.Result
+	err   error
+}
+
+func newBatcher(e *Engine, window time.Duration, max int) *batcher {
+	if max <= 0 {
+		max = 16
+	}
+	return &batcher{e: e, window: window, max: max}
+}
+
+// eligible reports whether a normalised config takes the batch path: exactly
+// the analytic backend (exact and hybrid runs have LP-dominated cost profiles
+// the window would only delay; robust fans its own screens internally).
+func (b *batcher) eligible(cfg core.Config) bool {
+	return b != nil && solver.Canonical(cfg.Method) == solver.MethodAnalytic
+}
+
+// run enqueues one analytic solve and waits for its batch to answer it. The
+// first arrival of an empty queue arms the window timer; a full queue
+// dispatches immediately.
+func (b *batcher) run(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	group := ""
+	if k, ok := solver.AnalyticContentKey(cfg); ok {
+		group = hex.EncodeToString(k[:])
+	}
+	it := &batchItem{ctx: ctx, cfg: cfg, group: group, done: make(chan struct{})}
+
+	b.mu.Lock()
+	b.pending = append(b.pending, it)
+	if len(b.pending) >= b.max {
+		batch := b.pending
+		b.pending = nil
+		b.mu.Unlock()
+		go b.dispatch(batch)
+	} else {
+		if len(b.pending) == 1 {
+			time.AfterFunc(b.window, b.flush)
+		}
+		b.mu.Unlock()
+	}
+
+	<-it.done
+	return it.res, it.err
+}
+
+// flush dispatches whatever the window collected. A timer firing after a
+// full-batch dispatch finds the queue empty and is a no-op; a timer that
+// outlives its own batch and fires into the next one merely shortens that
+// batch's wait — the window is a maximum, so early dispatch is always sound.
+func (b *batcher) flush() {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.dispatch(batch)
+	}
+}
+
+// dispatch groups one batch by content fingerprint and fans the groups out
+// through one pool bounded by the engine's worker limit, chaining each
+// group's solves serially in arrival order.
+func (b *batcher) dispatch(batch []*batchItem) {
+	var order []string
+	groups := map[string][]*batchItem{}
+	for _, it := range batch {
+		if _, seen := groups[it.group]; !seen {
+			order = append(order, it.group)
+		}
+		groups[it.group] = append(groups[it.group], it)
+	}
+	// Errors are delivered per item; the fan-out itself cannot fail.
+	_ = parallel.ForEach(len(order), b.e.requestWorkers(0), func(gi int) error {
+		for _, it := range groups[order[gi]] {
+			b.e.batched.Add(1)
+			it.res, it.err = b.e.runSolver(it.ctx, it.cfg)
+			close(it.done)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"socbuf/internal/solvecache"
+)
+
+// analyticReq builds one cheap analytic solve; seed varies the simulation
+// identity so concurrent requests don't coalesce while sharing one analytic
+// sizing fingerprint.
+func analyticReq(seed int64) SolveRequest {
+	return SolveRequest{
+		Arch: "twobus", Budget: 24, Method: "analytic",
+		Iterations: fastIters, Seeds: []int64{seed},
+		Horizon: fastHorizon, WarmUp: fastWarmUp, UseCache: true,
+	}
+}
+
+// TestBatchedAnalyticBitIdentical is the tentpole's batching gate: the same
+// concurrent analytic workload through a batching engine and a plain one
+// yields identical results, and the batch path actually ran.
+func TestBatchedAnalyticBitIdentical(t *testing.T) {
+	const n = 6
+	run := func(e *Engine) []*SolveResult {
+		t.Helper()
+		defer e.Close()
+		out := make([]*SolveResult, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := e.Solve(context.Background(), analyticReq(int64(i+1)))
+				if err != nil {
+					t.Errorf("solve %d: %v", i, err)
+					return
+				}
+				out[i] = res
+			}(i)
+		}
+		wg.Wait()
+		return out
+	}
+
+	plain := run(New(Config{}))
+	batching := New(Config{BatchWindow: 50 * time.Millisecond, BatchMax: n})
+	batched := run(batching)
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i], batched[i]) {
+			t.Errorf("request %d: batched result differs from unbatched:\nplain   %+v\nbatched %+v", i, plain[i], batched[i])
+		}
+	}
+	s := batching.Stats()
+	if s.Batched != n {
+		t.Errorf("Batched = %d, want %d", s.Batched, n)
+	}
+	// The six requests share one analytic content fingerprint, so the group
+	// chained serially: one sizing computed, five answered from the analytic
+	// tier — deterministically, not by scheduling luck.
+	if s.Cache.AnalyticMisses != 1 || s.Cache.AnalyticHits != n-1 {
+		t.Errorf("analytic tier: hits=%d misses=%d, want %d/1", s.Cache.AnalyticHits, s.Cache.AnalyticMisses, n-1)
+	}
+}
+
+// TestBatchFullDispatchesEarly pins the BatchMax fast path: a full batch
+// answers well before the window expires.
+func TestBatchFullDispatchesEarly(t *testing.T) {
+	e := New(Config{BatchWindow: time.Hour, BatchMax: 2})
+	defer e.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Solve(context.Background(), analyticReq(int64(i+1)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+	if wall := time.Since(start); wall > time.Minute {
+		t.Fatalf("full batch waited out the window: %v", wall)
+	}
+}
+
+// TestBatchWindowSingleRequest pins that a lone analytic request is answered
+// after one window, not stalled waiting for peers.
+func TestBatchWindowSingleRequest(t *testing.T) {
+	e := New(Config{BatchWindow: 20 * time.Millisecond, BatchMax: 16})
+	defer e.Close()
+	if _, err := e.Solve(context.Background(), analyticReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Batched != 1 {
+		t.Fatalf("Batched = %d, want 1", s.Batched)
+	}
+}
+
+// TestNonAnalyticSkipsBatch pins eligibility: exact solves never pay the
+// batching window.
+func TestNonAnalyticSkipsBatch(t *testing.T) {
+	e := New(Config{BatchWindow: time.Hour, BatchMax: 16})
+	defer e.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Solve(context.Background(), SolveRequest{
+			Scenario: "twobus", Iterations: fastIters, Seeds: fastSeeds,
+			Horizon: fastHorizon, WarmUp: fastWarmUp,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("exact solve stuck behind the batching window")
+	}
+	if s := e.Stats(); s.Batched != 0 {
+		t.Fatalf("Batched = %d, want 0", s.Batched)
+	}
+}
+
+// TestEngineRemoteCacheSharing pins the Config.RemoteCache wiring: two
+// engines sharing one store answer the second engine's solve from the
+// first's payloads, identically.
+func TestEngineRemoteCacheSharing(t *testing.T) {
+	shared := solvecache.NewMemStore()
+	a := New(Config{RemoteCache: shared})
+	defer a.Close()
+	b := New(Config{RemoteCache: shared})
+	defer b.Close()
+
+	req := SolveRequest{Scenario: "twobus", Iterations: fastIters, Seeds: fastSeeds,
+		Horizon: fastHorizon, WarmUp: fastWarmUp, UseCache: true}
+	want, err := a.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Len() == 0 {
+		t.Fatal("first engine's solves did not populate the shared store")
+	}
+	got, err := b.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("remote-fed result differs:\nwant %+v\ngot  %+v", want, got)
+	}
+	s := b.Stats()
+	if s.Cache.RemoteHits == 0 {
+		t.Errorf("second engine must adopt remote payloads: %+v", s.Cache)
+	}
+	if s.Cache.Misses != 0 {
+		t.Errorf("second engine re-solved %d sub-models a peer had already solved", s.Cache.Misses)
+	}
+	if r := s.CacheRates["remote"]; r <= 0 {
+		t.Errorf("remote rate %g must be positive; rates %v", r, s.CacheRates)
+	}
+}
+
+// TestRotationKeepsRemote pins that cache rotation re-attaches the shared
+// store rather than silently dropping the tier.
+func TestRotationKeepsRemote(t *testing.T) {
+	shared := solvecache.NewMemStore()
+	e := New(Config{RemoteCache: shared, MaxCacheEntries: 1})
+	defer e.Close()
+	req := SolveRequest{Scenario: "twobus", Iterations: fastIters, Seeds: fastSeeds,
+		Horizon: fastHorizon, WarmUp: fastWarmUp, UseCache: true}
+	before := e.Cache()
+	for i := 0; i < 4; i++ {
+		if _, err := e.Solve(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+		if e.Cache() != before {
+			break
+		}
+	}
+	if e.Cache() == before {
+		t.Fatal("cache never rotated under MaxCacheEntries=1")
+	}
+	if e.Cache().Remote() != solvecache.Store(shared) {
+		t.Fatal("rotated cache lost the remote store")
+	}
+}
+
+// TestRequestFingerprints pins the exported routing fingerprints: stable
+// under normalisation, distinct across content and across request types.
+func TestRequestFingerprints(t *testing.T) {
+	s1 := SolveRequest{Budget: 160}
+	s2 := SolveRequest{Arch: "netproc", Budget: 160, Workers: 8}
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Error("default-preset and worker normalisation must coalesce solve fingerprints")
+	}
+	if s1.Fingerprint() == (SolveRequest{Budget: 161}).Fingerprint() {
+		t.Error("different budgets must fingerprint differently")
+	}
+	if s1.Fingerprint() != s1.key() {
+		t.Error("Fingerprint must be the coalescing key")
+	}
+
+	b1 := BudgetSweepRequest{Budgets: []int{10, 20}}
+	b2 := BudgetSweepRequest{Arch: "netproc", Budgets: []int{10, 20}, Workers: 3}
+	if b1.Fingerprint() != b2.Fingerprint() {
+		t.Error("budget sweep normalisation failed")
+	}
+	c1 := ScenarioSweepRequest{Scenarios: []string{"twobus"}}
+	c2 := ScenarioSweepRequest{Scenarios: []string{"twobus"}, Workers: 2}
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Error("scenario sweep normalisation failed")
+	}
+	p1 := PlacementRequest{Budget: 160}
+	p2 := PlacementRequest{Arch: "netproc", Budget: 160, Workers: 5}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Error("placement normalisation failed")
+	}
+
+	// Domain separation: four types, same-ish content, four fingerprints.
+	fps := map[string]bool{
+		s1.Fingerprint(): true, b1.Fingerprint(): true,
+		c1.Fingerprint(): true, p1.Fingerprint(): true,
+	}
+	if len(fps) != 4 {
+		t.Errorf("request types must fingerprint in disjoint domains: %v", fps)
+	}
+}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkAnalyticScreen32 measures the micro-batching acceptance workload
+// (ISSUE 9): 32 concurrent analytic screen requests per iteration — distinct
+// seeds (so nothing coalesces), one shared analytic content fingerprint per
+// burst, a fresh budget each iteration so every burst arrives cold. ns/op is
+// the wall time of one 32-request burst; per-solve wall time is ns/op / 32.
+// The custom metrics carry the mechanism: `sizings/op` counts analytic-tier
+// misses per burst (batched chains the group serially, so it pins this at 1;
+// unbatched leaves it to scheduling), `batched/op` counts requests that went
+// through the batcher. PERFORMANCE.md "The fleet, measured" narrates the
+// numbers.
+func BenchmarkAnalyticScreen32(b *testing.B) {
+	const clients = 32
+	run := func(b *testing.B, window time.Duration) {
+		e := New(Config{BatchWindow: window, BatchMax: clients})
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh budget each burst keeps the analytic tier cold across
+			// iterations (content fingerprints cover the budget), modulo a
+			// cap so calibration runs cannot grow budgets without bound.
+			budget := 16 + i%1024
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					req := analyticReq(int64(c + 1))
+					req.Budget = budget
+					if _, err := e.Solve(context.Background(), req); err != nil {
+						b.Error(err)
+					}
+				}(c)
+			}
+			wg.Wait()
+			if b.Failed() {
+				b.FailNow()
+			}
+		}
+		b.StopTimer()
+		s := e.Stats()
+		b.ReportMetric(float64(s.Cache.AnalyticMisses)/float64(b.N), "sizings/op")
+		b.ReportMetric(float64(s.Batched)/float64(b.N), "batched/op")
+	}
+	b.Run("unbatched", func(b *testing.B) { run(b, 0) })
+	b.Run("batched", func(b *testing.B) { run(b, 5*time.Millisecond) })
+}

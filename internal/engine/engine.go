@@ -85,6 +85,25 @@ type Config struct {
 	// costs warm starts, never correctness. 0 means unbounded; ignored for
 	// adopted caches.
 	MaxCacheEntries int
+	// RemoteCache, when non-nil, attaches a shared remote store behind the
+	// engine cache's exact/analytic/robust/placement tiers (DESIGN.md §10):
+	// local misses consult it, fresh payloads are written behind it. The
+	// attachment survives cache rotation. The engine does not own the store's
+	// lifetime (callers close a RemoteStore themselves).
+	RemoteCache solvecache.Store
+	// BatchWindow enables cross-request micro-batching of analytic solves
+	// (0 = disabled): an analytic methodology run waits up to this long for
+	// concurrent analytic requests to arrive, then the collected batch is
+	// grouped by analytic content fingerprint and dispatched through one
+	// fan-out — same-content solves chain serially so all but the first are
+	// answered from the analytic cache tier. Batched results are
+	// bit-identical to unbatched ones (every request still executes its own
+	// methodology run); the window only trades a bounded latency floor for
+	// amortised setup and cache traffic under concurrency.
+	BatchWindow time.Duration
+	// BatchMax bounds one batch (default 16 when BatchWindow is set): a full
+	// batch dispatches immediately without waiting out the window.
+	BatchMax int
 }
 
 // Engine is the long-lived solve service. Create with New; an Engine must
@@ -93,8 +112,10 @@ type Engine struct {
 	cache      *solvecache.Cache // guarded by mu (rotation swaps it)
 	ownsCache  bool
 	cacheLimit int
+	remote     solvecache.Store // re-attached to every rotated cache
 	workers    int
 	sem        chan struct{} // nil = unbounded
+	batch      *batcher      // nil = analytic micro-batching disabled
 
 	baseCtx context.Context // cancelled on Shutdown; every request derives from it
 	cancel  context.CancelFunc
@@ -106,6 +127,7 @@ type Engine struct {
 
 	requests   atomic.Int64
 	coalesced  atomic.Int64
+	batched    atomic.Int64
 	rotCounter atomic.Int64 // amortises the cache-rotation size scan
 	solveRuns  atomic.Int64
 	sweepRuns  atomic.Int64
@@ -180,15 +202,19 @@ func New(cfg Config) *Engine {
 	if cache == nil {
 		cache, owns = solvecache.New(), true
 	}
+	if cfg.RemoteCache != nil {
+		cache.SetRemote(cfg.RemoteCache)
+	}
 	var sem chan struct{}
 	if cfg.MaxInFlight > 0 {
 		sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Engine{
+	e := &Engine{
 		cache:      cache,
 		ownsCache:  owns,
 		cacheLimit: cfg.MaxCacheEntries,
+		remote:     cfg.RemoteCache,
 		workers:    cfg.Workers,
 		sem:        sem,
 		baseCtx:    ctx,
@@ -196,6 +222,10 @@ func New(cfg Config) *Engine {
 		flights:    map[string]*flight{},
 		backends:   map[string]*backendAcc{},
 	}
+	if cfg.BatchWindow > 0 {
+		e.batch = newBatcher(e, cfg.BatchWindow, cfg.BatchMax)
+	}
+	return e
 }
 
 // backendAcc accumulates one backend's counters.
@@ -272,9 +302,11 @@ func (e *Engine) maybeRotateCache() {
 	if s.Entries+s.JointEntries+s.AnalyticEntries <= e.cacheLimit {
 		return
 	}
+	fresh := solvecache.New()
+	fresh.SetRemote(e.remote) // rotation must not silently drop the shared tier
 	e.mu.Lock()
 	if e.cache == c {
-		e.cache = solvecache.New()
+		e.cache = fresh
 	}
 	e.mu.Unlock()
 }
@@ -299,12 +331,18 @@ type Stats struct {
 	// PlacementRuns counts placement executions — a placement request served
 	// from the cache's placement tier never counts here.
 	PlacementRuns int64 `json:"placementRuns"`
+	// Batched counts solve runs dispatched through the analytic micro-batch
+	// path (Config.BatchWindow); zero when batching is disabled.
+	Batched int64 `json:"batched,omitempty"`
 	// Busy counts requests rejected by the in-flight bound.
 	Busy int64 `json:"busyRejections"`
 	// InFlight is the number of currently executing requests.
 	InFlight int64 `json:"inFlight"`
 	// Cache is the owned solve cache's counter snapshot.
 	Cache solvecache.Stats `json:"cache"`
+	// CacheRates are the cache's per-tier hit rates derived from those
+	// counters (solvecache.Stats.Rates); only tiers that saw traffic appear.
+	CacheRates map[string]float64 `json:"cacheRates,omitempty"`
 	// Backends breaks the methodology runs down by solver backend
 	// ("exact" | "analytic" | "hybrid"); only backends that have executed
 	// appear.
@@ -326,6 +364,7 @@ func (e *Engine) Stats() Stats {
 	if len(backends) == 0 {
 		backends = nil
 	}
+	cs := e.Cache().Stats()
 	return Stats{
 		Requests:      e.requests.Load(),
 		Coalesced:     e.coalesced.Load(),
@@ -333,9 +372,11 @@ func (e *Engine) Stats() Stats {
 		SweepRuns:     e.sweepRuns.Load(),
 		SimRuns:       e.simRuns.Load(),
 		PlacementRuns: e.placeRuns.Load(),
+		Batched:       e.batched.Load(),
 		Busy:          e.busy.Load(),
 		InFlight:      e.inFlight.Load(),
-		Cache:         e.Cache().Stats(),
+		Cache:         cs,
+		CacheRates:    cs.Rates(),
 		Backends:      backends,
 	}
 }

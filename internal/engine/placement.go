@@ -53,6 +53,20 @@ type PlacementRequest struct {
 	OnEval func(placement.Point) `json:"-"`
 }
 
+// Fingerprint is the placement request's normalised content fingerprint (see
+// SolveRequest.Fingerprint): default preset made explicit, worker bound
+// dropped, streaming hook excluded by construction. It is a request-level
+// routing key, distinct from the cache-tier placementKey (which fingerprints
+// the fully normalised placement.Config).
+func (r PlacementRequest) Fingerprint() string {
+	k := r
+	if k.Scenario == "" && len(k.ArchJSON) == 0 && k.Arch == "" {
+		k.Arch = "netproc"
+	}
+	k.Workers = 0
+	return hashRequest("placement", k, &r)
+}
+
 // placementConfig normalises the request into a placement.Config, reusing
 // the SolveRequest scenario-override semantics for every shared knob, then
 // applying the placement defaults so equivalent requests (explicit default

@@ -76,13 +76,49 @@ func (r SolveRequest) key() string {
 		k.Arch = "netproc"
 	}
 	k.Workers = 0
-	b, err := json.Marshal(k)
-	if err != nil {
-		// Unreachable: the struct contains only marshalable fields. Fall
-		// back to a never-coalescing sentinel rather than panicking.
-		return fmt.Sprintf("unkeyed:%p", &r)
+	return hashRequest("solve", k, &r)
+}
+
+// Fingerprint is the request's normalised content fingerprint — the same
+// identity Solve coalesces on, exported so a routing layer can shard by it:
+// sending equal-fingerprint requests to one backend is exactly what lets
+// coalescing and cache locality survive scale-out (DESIGN.md §10). The four
+// request types fingerprint in disjoint domains (a solve and a placement of
+// the same architecture never collide).
+func (r SolveRequest) Fingerprint() string { return r.key() }
+
+// Fingerprint is the sweep request's normalised content fingerprint (see
+// SolveRequest.Fingerprint): default preset made explicit, worker bound
+// dropped, streaming hook excluded by construction.
+func (r BudgetSweepRequest) Fingerprint() string {
+	k := r
+	if len(k.ArchJSON) == 0 && k.Arch == "" {
+		k.Arch = "netproc"
 	}
-	sum := sha256.Sum256(b)
+	k.Workers = 0
+	return hashRequest("sweep-budget", k, &r)
+}
+
+// Fingerprint is the scenario sweep's normalised content fingerprint (see
+// SolveRequest.Fingerprint).
+func (r ScenarioSweepRequest) Fingerprint() string {
+	k := r
+	k.Workers = 0
+	return hashRequest("sweep-scenario", k, &r)
+}
+
+// hashRequest renders one normalised request as a domain-tagged
+// content-addressed hex key. The canonical JSON serialisation is
+// deterministic (struct field order is fixed); the tag keeps the four
+// request types' fingerprint spaces disjoint.
+func hashRequest(tag string, normalised any, orig any) string {
+	b, err := json.Marshal(normalised)
+	if err != nil {
+		// Unreachable: the structs contain only marshalable fields. Fall
+		// back to a never-coalescing sentinel rather than panicking.
+		return fmt.Sprintf("unkeyed:%p", orig)
+	}
+	sum := sha256.Sum256(append([]byte(tag+":"), b...))
 	return hex.EncodeToString(sum[:])
 }
 

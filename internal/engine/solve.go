@@ -116,7 +116,12 @@ func (e *Engine) solve(ctx context.Context, req SolveRequest) (*SolveResult, err
 	}
 	cfg.Workers = e.requestWorkers(cfg.Workers)
 	e.solveRuns.Add(1)
-	res, err := e.runSolver(ctx, cfg)
+	var res *core.Result
+	if e.batch.eligible(cfg) {
+		res, err = e.batch.run(ctx, cfg)
+	} else {
+		res, err = e.runSolver(ctx, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

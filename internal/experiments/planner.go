@@ -229,9 +229,9 @@ func SweepWithPlanCtx(ctx context.Context, w io.Writer, newArch func() *arch.Arc
 }
 
 // WriteCacheStats renders a cache-counter snapshot in the shared report
-// format (the body of both CLIs' -cache-stats flag). The analytic and
-// placement tiers' counters appear only once each has been touched, keeping
-// exact-only invocations' output unchanged.
+// format (the body of both CLIs' -cache-stats flag): the raw counters, then
+// the derived per-tier hit rates (solvecache.Stats.Rates). Tiers appear only
+// once touched, keeping exact-only invocations' output compact.
 func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
 	headers := []string{"HITS", "warm starts", "misses", "joint hits", "joint misses", "entries"}
 	rows := [][]string{{
@@ -258,5 +258,27 @@ func WriteCacheStats(w io.Writer, s solvecache.Stats) error {
 		headers = append(headers, "delta resolves", "delta fallbacks")
 		rows[0] = append(rows[0], fmt.Sprint(s.DeltaResolves), fmt.Sprint(s.DeltaFallbacks))
 	}
-	return report.Table(w, headers, rows)
+	if s.RemoteHits+s.RemoteMisses > 0 {
+		headers = append(headers, "remote hits", "remote misses")
+		rows[0] = append(rows[0], fmt.Sprint(s.RemoteHits), fmt.Sprint(s.RemoteMisses))
+	}
+	if err := report.Table(w, headers, rows); err != nil {
+		return err
+	}
+	rates := s.Rates()
+	if len(rates) == 0 {
+		return nil
+	}
+	// Fixed tier order (the Rates doc's order), filtered to traffic seen.
+	var rh, rr []string
+	for _, tier := range []string{"exact", "structural", "joint", "joint-delta", "analytic", "robust", "placement", "remote"} {
+		if v, ok := rates[tier]; ok {
+			rh = append(rh, tier)
+			rr = append(rr, fmt.Sprintf("%.1f%%", 100*v))
+		}
+	}
+	if _, err := fmt.Fprintln(w, "\nhit rates:"); err != nil {
+		return err
+	}
+	return report.Table(w, rh, [][]string{rr})
 }

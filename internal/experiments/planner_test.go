@@ -128,3 +128,46 @@ func TestCachedBudgetSweepReuse(t *testing.T) {
 		t.Errorf("re-sweep performed %d new cold joint solves", s2.JointMisses-s.JointMisses)
 	}
 }
+
+// TestWriteCacheStatsRates pins the -cache-stats rendering: untouched tiers
+// stay out of the table, touched tiers (remote included) appear with their
+// counters, and the derived hit-rate table follows.
+func TestWriteCacheStatsRates(t *testing.T) {
+	var b strings.Builder
+	s := solvecache.Stats{
+		Hits: 6, WarmStarts: 2, Misses: 2,
+		AnalyticHits: 3, AnalyticMisses: 1,
+		RemoteHits: 4, RemoteMisses: 4,
+		Entries: 2,
+	}
+	if err := WriteCacheStats(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"remote hits", "remote misses",
+		"hit rates:",
+		"exact", "structural", "analytic", "remote",
+		"60.0%", // exact: 6 / (6+2+2)
+		"50.0%", // structural 2/(2+2), remote 4/(4+4)
+		"75.0%", // analytic: 3 / (3+1)
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, absent := range []string{"robust", "placement", "delta"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("untouched tier %q leaked into output:\n%s", absent, out)
+		}
+	}
+
+	// A cold snapshot renders only the counter table — no rates line.
+	b.Reset()
+	if err := WriteCacheStats(&b, solvecache.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "hit rates") {
+		t.Errorf("cold snapshot grew a rates table:\n%s", b.String())
+	}
+}

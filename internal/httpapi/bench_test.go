@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"encoding/json"
@@ -31,7 +31,7 @@ func BenchmarkServerSolveThroughput(b *testing.B) {
 	// PERFORMANCE.md.
 	b.Run("c1-cold", func(b *testing.B) {
 		eng := engine.New(engine.Config{})
-		ts := httptest.NewServer(newHandler(eng, false))
+		ts := httptest.NewServer(NewServer(eng, false).Handler())
 		defer func() {
 			ts.Close()
 			eng.Close()
@@ -60,7 +60,7 @@ func BenchmarkServerSolveThroughput(b *testing.B) {
 
 func benchServerSolve(b *testing.B, clients int) {
 	eng := engine.New(engine.Config{})
-	ts := httptest.NewServer(newHandler(eng, true))
+	ts := httptest.NewServer(NewServer(eng, true).Handler())
 	defer func() {
 		ts.Close()
 		eng.Close()

@@ -1,4 +1,9 @@
-package main
+// Package httpapi is socbufd's HTTP face, factored out of the binary so the
+// router (cmd/socbufrouter) and the fleet tests can host real backends
+// in-process. It adapts the engine's typed API to HTTP: the handlers only
+// decode requests, map errors to status codes, and stream rows — all solve
+// composition lives in internal/engine.
+package httpapi
 
 import (
 	"context"
@@ -7,42 +12,80 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"socbuf/internal/engine"
 	"socbuf/internal/experiments"
 	"socbuf/internal/placement"
 )
 
-// server adapts the engine's typed API to HTTP. All solve composition lives
-// in internal/engine; the handlers only decode requests, map errors to
-// status codes, and stream rows.
-type server struct {
+// Server adapts one engine to the socbufd HTTP API. Create with NewServer.
+type Server struct {
 	eng *engine.Engine
 	// defaultCache routes every request through the engine's shared solve
 	// cache unless the client opted in itself — the service's steady-state
 	// configuration (cache-backed concurrency).
 	defaultCache bool
+	// ready is the drain-aware readiness bit behind GET /v1/readyz: true from
+	// construction until SetReady(false), which the shutdown path flips
+	// BEFORE stopping admission so ring health checks route around a
+	// draining backend ahead of its first 503.
+	ready atomic.Bool
 }
 
-// newHandler builds the socbufd route table:
+// NewServer wraps eng. defaultCache routes every request through the shared
+// solve cache unless the client opted in itself.
+func NewServer(eng *engine.Engine, defaultCache bool) *Server {
+	s := &Server{eng: eng, defaultCache: defaultCache}
+	s.ready.Store(true)
+	return s
+}
+
+// SetReady flips the readiness bit served by GET /v1/readyz. Liveness
+// (/v1/healthz) is unaffected — a draining process is alive but unready.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// Handler builds the socbufd route table:
 //
 //	POST /v1/solve          one methodology run (coalesced)    → JSON SolveResult
 //	POST /v1/sweep/budget   budget sweep                       → NDJSON rows + summary
 //	POST /v1/sweep/scenario scenario sweep                     → NDJSON rows + summary
 //	POST /v1/placement      buffer-placement run               → NDJSON evals + summary
 //	GET  /v1/stats          engine + cache counters            → JSON engine.Stats
-func newHandler(eng *engine.Engine, defaultCache bool) http.Handler {
-	s := &server{eng: eng, defaultCache: defaultCache}
+//	GET  /v1/healthz        liveness (always 200 while serving)
+//	GET  /v1/readyz         drain-aware readiness (503 once draining)
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.solve)
 	mux.HandleFunc("POST /v1/sweep/budget", s.budgetSweep)
 	mux.HandleFunc("POST /v1/sweep/scenario", s.scenarioSweep)
 	mux.HandleFunc("POST /v1/placement", s.placement)
 	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("GET /v1/readyz", s.readyz)
 	return mux
 }
 
-func (s *server) solve(w http.ResponseWriter, r *http.Request) {
+// healthz is liveness: the process is up and serving HTTP.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// readyz is drain-aware readiness: 200 while the backend accepts work, 503 +
+// Retry-After once SetReady(false) marked it draining. The router's ring
+// health checks poll this.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+func (s *Server) solve(w http.ResponseWriter, r *http.Request) {
 	var req engine.SolveRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -57,7 +100,7 @@ func (s *server) solve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res)
 }
 
-func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.eng.Stats())
 }
 
@@ -78,7 +121,7 @@ type budgetSummary struct {
 	Error  string                  `json:"error,omitempty"`
 }
 
-func (s *server) budgetSweep(w http.ResponseWriter, r *http.Request) {
+func (s *Server) budgetSweep(w http.ResponseWriter, r *http.Request) {
 	var req engine.BudgetSweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -120,7 +163,7 @@ type scenarioSummary struct {
 	Error  string                    `json:"error,omitempty"`
 }
 
-func (s *server) scenarioSweep(w http.ResponseWriter, r *http.Request) {
+func (s *Server) scenarioSweep(w http.ResponseWriter, r *http.Request) {
 	var req engine.ScenarioSweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -153,7 +196,7 @@ func (s *server) scenarioSweep(w http.ResponseWriter, r *http.Request) {
 // sweeps) and closing with the full typed result. A request served from the
 // cache's placement tier streams no eval lines — only the summary, with its
 // cached flag set.
-func (s *server) placement(w http.ResponseWriter, r *http.Request) {
+func (s *Server) placement(w http.ResponseWriter, r *http.Request) {
 	var req engine.PlacementRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -214,7 +257,7 @@ func (st *stream) send(v any) {
 // fail reports a sweep that produced no result: as a plain HTTP error when
 // nothing has been streamed yet, as a final error line otherwise (the status
 // code is gone once rows went out).
-func (st *stream) fail(s *server, w http.ResponseWriter, r *http.Request, err error) {
+func (st *stream) fail(s *Server, w http.ResponseWriter, r *http.Request, err error) {
 	st.mu.Lock()
 	started := st.started
 	st.mu.Unlock()
@@ -232,7 +275,7 @@ func (st *stream) fail(s *server, w http.ResponseWriter, r *http.Request, err er
 // than ErrClosed; a request whose own context died means the client is gone
 // (no response will be read); anything else is a server-side solve failure
 // (500).
-func (s *server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, engine.ErrInvalidRequest):
 		httpError(w, http.StatusBadRequest, err)

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bufio"
@@ -26,7 +26,7 @@ const fastSolveBody = `{"scenario":"twobus","iterations":1,"seeds":[1],"horizon"
 func startServer(t *testing.T, cfg engine.Config, defaultCache bool) (*engine.Engine, *httptest.Server) {
 	t.Helper()
 	eng := engine.New(cfg)
-	ts := httptest.NewServer(newHandler(eng, defaultCache))
+	ts := httptest.NewServer(NewServer(eng, defaultCache).Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()
@@ -438,7 +438,7 @@ func TestServerShutdownCancelsInFlightSweep(t *testing.T) {
 	}
 	base := runtime.NumGoroutine()
 	eng := engine.New(engine.Config{})
-	ts := httptest.NewServer(newHandler(eng, false))
+	ts := httptest.NewServer(NewServer(eng, false).Handler())
 
 	budgets := make([]string, 50)
 	for i := range budgets {
@@ -567,5 +567,60 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 			t.Fatalf("timed out waiting for %s", what)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHealthAndReadiness pins the fleet-signal endpoints: liveness always
+// answers while the process serves, readiness flips with SetReady — the
+// drain path marks a backend unready before its listener stops.
+func TestHealthAndReadiness(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := NewServer(eng, false)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	get := func(path string) (int, map[string]string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		return resp.StatusCode, m
+	}
+
+	if code, m := get("/v1/healthz"); code != http.StatusOK || m["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, m)
+	}
+	if code, m := get("/v1/readyz"); code != http.StatusOK || m["status"] != "ready" {
+		t.Fatalf("readyz: %d %v", code, m)
+	}
+
+	srv.SetReady(false)
+	if code, m := get("/v1/readyz"); code != http.StatusServiceUnavailable || m["status"] != "draining" {
+		t.Fatalf("draining readyz: %d %v", code, m)
+	}
+	resp, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz without Retry-After")
+	}
+	// Liveness is unaffected by draining; solve admission is the engine's
+	// business, not readiness's.
+	if code, _ := get("/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain: %d", code)
+	}
+
+	srv.SetReady(true)
+	if code, _ := get("/v1/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after re-ready: %d", code)
 	}
 }

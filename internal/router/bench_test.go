@@ -1,0 +1,104 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"socbuf/internal/engine"
+	"socbuf/internal/httpapi"
+	"socbuf/internal/solvecache"
+)
+
+// BenchmarkFleetThroughput measures end-to-end routed /v1/solve requests/sec
+// against in-process fleets of 1 and 2 shards, 16 concurrent clients, on a
+// warm cache — the steady state a scaled-out socbufd serves. The workload
+// cycles over 8 distinct fingerprints so the ring actually spreads it;
+// PERFORMANCE.md records the numbers (on a single-core host the 2-shard
+// figure measures routing overhead, not parallel speedup — see the caveat
+// there). The nightly benchdiff gate watches this benchmark.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2} {
+		// key=value, not shards-N: benchdiff strips a trailing -N as the
+		// GOMAXPROCS suffix, which would collapse the two variants into one
+		// trajectory key.
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchFleet(b, shards)
+		})
+	}
+}
+
+func benchFleet(b *testing.B, shards int) {
+	shared := solvecache.NewMemStore()
+	var (
+		engines []*engine.Engine
+		servers []*httptest.Server
+		addrs   []string
+	)
+	for i := 0; i < shards; i++ {
+		eng := engine.New(engine.Config{RemoteCache: shared})
+		ts := httptest.NewServer(httpapi.NewServer(eng, true).Handler())
+		engines = append(engines, eng)
+		servers = append(servers, ts)
+		addrs = append(addrs, ts.URL)
+	}
+	rt, err := New(Options{Backends: addrs, Store: shared, HealthInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer func() {
+		front.Close()
+		rt.Close()
+		for i := range servers {
+			servers[i].Close()
+			engines[i].Close()
+		}
+	}()
+
+	const distinct = 8
+	bodies := make([]string, distinct)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"scenario":"twobus","iterations":1,"seeds":[%d],"horizon":400,"warmUp":50}`, i+1)
+	}
+	do := func(i int) {
+		resp, err := http.Post(front.URL+"/v1/solve", "application/json", strings.NewReader(bodies[i%distinct]))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		var res engine.SolveResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil || resp.StatusCode != http.StatusOK {
+			b.Errorf("status %d, decode %v", resp.StatusCode, err)
+		}
+	}
+	// Prime every fingerprint so the timed loop measures the warm fleet.
+	for i := 0; i < distinct; i++ {
+		do(i)
+	}
+
+	const clients = 16
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				do(i)
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

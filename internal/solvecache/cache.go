@@ -40,6 +40,7 @@
 package solvecache
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,13 @@ type Cache struct {
 	analyticHit, analyticMis   atomic.Int64
 	robustHit, robustMis       atomic.Int64
 	placementHit, placementMis atomic.Int64
+
+	// remote is the optional shared store behind the exact/analytic/robust/
+	// placement tiers (see SetRemote and remote.go); remoteHit counts
+	// payloads adopted from it, remoteMis consults that came back empty or
+	// undecodable. Both stay zero when no store is attached.
+	remote               Store
+	remoteHit, remoteMis atomic.Int64
 
 	// Delta tier (opt-in, see EnableDelta): capped-program resolvers keyed by
 	// JointStructuralFingerprint, each holding a retained simplex tableau
@@ -168,8 +176,10 @@ func (s *AnalyticSolution) clone() *AnalyticSolution {
 }
 
 // LookupAnalytic fetches a cached analytic sizing by its
-// AnalyticFingerprint key. A nil receiver (caching disabled) always misses
-// without counting.
+// AnalyticFingerprint key, falling back to the attached remote store on a
+// local miss (an adopted remote payload is stored locally and counts as
+// both an analytic and a remote hit). A nil receiver (caching disabled)
+// always misses without counting.
 func (c *Cache) LookupAnalytic(k Key) (*AnalyticSolution, bool) {
 	if c == nil {
 		return nil, false
@@ -178,6 +188,15 @@ func (c *Cache) LookupAnalytic(k Key) (*AnalyticSolution, bool) {
 	s := c.analytic[k]
 	c.mu.Unlock()
 	if s == nil {
+		var rs AnalyticSolution
+		if c.remoteGet(k, "analytic", &rs) && rs.Alloc != nil {
+			c.analyticHit.Add(1)
+			cp := rs.clone()
+			c.mu.Lock()
+			c.analytic[k] = cp
+			c.mu.Unlock()
+			return rs.clone(), true
+		}
 		c.analyticMis.Add(1)
 		return nil, false
 	}
@@ -197,6 +216,7 @@ func (c *Cache) PutAnalytic(k Key, s *AnalyticSolution) {
 	c.mu.Lock()
 	c.analytic[k] = cp
 	c.mu.Unlock()
+	c.remotePutData(k, "analytic", s)
 }
 
 // RobustSolution is one cached robust sizing: the chance-constrained
@@ -220,7 +240,8 @@ func (s *RobustSolution) clone() *RobustSolution {
 }
 
 // LookupRobust fetches a cached robust sizing by its RobustFingerprint
-// key. A nil receiver (caching disabled) always misses without counting.
+// key, falling back to the attached remote store on a local miss. A nil
+// receiver (caching disabled) always misses without counting.
 func (c *Cache) LookupRobust(k Key) (*RobustSolution, bool) {
 	if c == nil {
 		return nil, false
@@ -229,6 +250,15 @@ func (c *Cache) LookupRobust(k Key) (*RobustSolution, bool) {
 	s := c.robust[k]
 	c.mu.Unlock()
 	if s == nil {
+		var rs RobustSolution
+		if c.remoteGet(k, "robust", &rs) && rs.Alloc != nil {
+			c.robustHit.Add(1)
+			cp := rs.clone()
+			c.mu.Lock()
+			c.robust[k] = cp
+			c.mu.Unlock()
+			return rs.clone(), true
+		}
 		c.robustMis.Add(1)
 		return nil, false
 	}
@@ -248,6 +278,7 @@ func (c *Cache) PutRobust(k Key, s *RobustSolution) {
 	c.mu.Lock()
 	c.robust[k] = cp
 	c.mu.Unlock()
+	c.remotePutData(k, "robust", s)
 }
 
 // LookupPlacement fetches a cached placement result by its
@@ -265,6 +296,18 @@ func (c *Cache) LookupPlacement(k Key) ([]byte, bool) {
 	b := c.placement[k]
 	c.mu.Unlock()
 	if b == nil {
+		var raw json.RawMessage
+		if c.remoteGet(k, "placement", &raw) && len(raw) > 0 {
+			c.placementHit.Add(1)
+			cp := make([]byte, len(raw))
+			copy(cp, raw)
+			c.mu.Lock()
+			c.placement[k] = cp
+			c.mu.Unlock()
+			out := make([]byte, len(raw))
+			copy(out, raw)
+			return out, true
+		}
 		c.placementMis.Add(1)
 		return nil, false
 	}
@@ -286,6 +329,7 @@ func (c *Cache) PutPlacement(k Key, b []byte) {
 	c.mu.Lock()
 	c.placement[k] = cp
 	c.mu.Unlock()
+	c.remotePutData(k, "placement", json.RawMessage(b))
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -316,10 +360,48 @@ type Stats struct {
 	// to fall back to the ordinary solve path (patch rejected or resolver
 	// error). Both stay zero unless EnableDelta was called.
 	DeltaResolves, DeltaFallbacks int64
+	// RemoteHits / RemoteMisses count consults of the attached remote store
+	// (SetRemote): payloads adopted vs consults that came back empty or
+	// undecodable. A remote hit additionally counts as a hit of its home
+	// tier, so home-tier rates reflect what the engine got regardless of
+	// source. Both stay zero when no store is attached.
+	RemoteHits, RemoteMisses int64
 	// Entries / JointEntries / AnalyticEntries / RobustEntries /
 	// PlacementEntries / DeltaEntries are the stored solution counts per
 	// tier.
 	Entries, JointEntries, AnalyticEntries, RobustEntries, PlacementEntries, DeltaEntries int
+}
+
+// Rates derives per-tier hit rates from the counters, keyed by tier name.
+// Only tiers that saw traffic appear, so an operator reading `/v1/stats` or a
+// `-cache-stats` table sees rates exactly for the tiers the run exercised:
+//
+//	exact       Hits / (Hits + WarmStarts + Misses) — full-fingerprint hits
+//	            over all sub-model lookups
+//	structural  WarmStarts / (WarmStarts + Misses) — how often a non-exact
+//	            lookup was still answered by a structural sibling
+//	joint       JointHits / (JointHits + JointMisses)
+//	joint-delta DeltaResolves / (DeltaResolves + DeltaFallbacks) — of the
+//	            delta-tier attempts, how many the retained tableaus answered
+//	analytic, robust, placement — hits / (hits + misses) of that tier
+//	remote      RemoteHits / (RemoteHits + RemoteMisses) — adopted payloads
+//	            over all remote consults
+func (s Stats) Rates() map[string]float64 {
+	rates := map[string]float64{}
+	add := func(name string, num, den int64) {
+		if den > 0 {
+			rates[name] = float64(num) / float64(den)
+		}
+	}
+	add("exact", s.Hits, s.Hits+s.WarmStarts+s.Misses)
+	add("structural", s.WarmStarts, s.WarmStarts+s.Misses)
+	add("joint", s.JointHits, s.JointHits+s.JointMisses)
+	add("joint-delta", s.DeltaResolves, s.DeltaResolves+s.DeltaFallbacks)
+	add("analytic", s.AnalyticHits, s.AnalyticHits+s.AnalyticMisses)
+	add("robust", s.RobustHits, s.RobustHits+s.RobustMisses)
+	add("placement", s.PlacementHits, s.PlacementHits+s.PlacementMisses)
+	add("remote", s.RemoteHits, s.RemoteHits+s.RemoteMisses)
+	return rates
 }
 
 // Stats returns a snapshot of the counters.
@@ -350,6 +432,8 @@ func (c *Cache) Stats() Stats {
 		PlacementMisses:  c.placementMis.Load(),
 		DeltaResolves:    c.deltaHit.Load(),
 		DeltaFallbacks:   c.deltaShrug.Load(),
+		RemoteHits:       c.remoteHit.Load(),
+		RemoteMisses:     c.remoteMis.Load(),
 		Entries:          entries,
 		JointEntries:     jointEntries,
 		AnalyticEntries:  analyticEntries,

@@ -1,0 +1,203 @@
+package solvecache
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"socbuf/internal/ctmdp"
+)
+
+// This file is the cache side of the shared remote tier: how local tiers
+// consult an attached Store on a local miss, and how freshly computed
+// payloads are written behind. The serialisation contract (DESIGN.md §10):
+//
+//   - A remote payload is a pure function of its key, exactly like a local
+//     entry: the bytes any peer stores under a key are bit-identical to the
+//     bytes every other peer would store, so adopting a remote payload can
+//     never change a result — only skip a recompute.
+//   - Payloads are JSON envelopes tagged with their tier. Keys are already
+//     version- and backend-tagged (a peer on another fingerprint version
+//     computes disjoint keys), and the HTTP layer additionally version-tags
+//     every response; the tier tag inside the envelope is the final guard
+//     against a store wired across incompatible fleets.
+//   - Decoding validates every dimension against the reconstructed model
+//     before the payload is adopted; an undecodable or inconsistent payload
+//     is a miss, never an error — a poisoned peer can cost recomputes, not
+//     correctness.
+//   - Exact-tier payloads carry the canonical model and solution but NOT the
+//     LP basis: a basis is a warm-start hint, not part of the answer, and
+//     excluding it keeps hostile-payload validation trivial. A remote exact
+//     hit therefore seeds capped re-solves slightly less well than a local
+//     one — a deliberate trade.
+
+// remoteEnvelope wraps every sidecar payload.
+type remoteEnvelope struct {
+	Tier string          `json:"tier"`
+	Data json.RawMessage `json:"data"`
+}
+
+// exactPayload is the wire form of one exact-tier entry: the canonical
+// model's reconstruction inputs plus the solution aligned to it.
+type exactPayload struct {
+	ServiceRate float64        `json:"serviceRate"`
+	Clients     []ctmdp.Client `json:"clients"`
+	X           []float64      `json:"x"`
+	StateProb   []float64      `json:"stateProb"`
+	LossRate    float64        `json:"lossRate"`
+	ActionProb  [][]float64    `json:"actionProb"`
+	Visited     []bool         `json:"visited"`
+	Iters       int            `json:"iters"`
+}
+
+// encodeRemote wraps tier-tagged data in the envelope.
+func encodeRemote(tier string, data any) ([]byte, error) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(remoteEnvelope{Tier: tier, Data: raw})
+}
+
+// decodeRemote unwraps an envelope, checking the tier tag.
+func decodeRemote(b []byte, tier string, into any) error {
+	var env remoteEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return err
+	}
+	if env.Tier != tier {
+		return fmt.Errorf("solvecache: remote payload tier %q, want %q", env.Tier, tier)
+	}
+	return json.Unmarshal(env.Data, into)
+}
+
+// encodeEntry serialises one exact-tier entry for the remote store.
+func encodeEntry(e *entry) ([]byte, error) {
+	return encodeRemote("exact", exactPayload{
+		ServiceRate: e.model.ServiceRate,
+		Clients:     e.model.Clients,
+		X:           e.sol.X,
+		StateProb:   e.sol.StateProb,
+		LossRate:    e.sol.LossRate,
+		ActionProb:  e.sol.Policy.ActionProb,
+		Visited:     e.sol.Policy.Visited,
+		Iters:       e.iters,
+	})
+}
+
+// decodeEntry reconstructs an exact-tier entry from remote bytes, validating
+// every dimension against the rebuilt canonical model. Any inconsistency
+// returns an error (the caller treats it as a miss).
+func decodeEntry(b []byte) (*entry, error) {
+	var p exactPayload
+	if err := decodeRemote(b, "exact", &p); err != nil {
+		return nil, err
+	}
+	m, err := ctmdp.NewModel("sub", p.ServiceRate, p.Clients)
+	if err != nil {
+		return nil, fmt.Errorf("solvecache: remote exact payload: %w", err)
+	}
+	n := m.NumStates()
+	if len(p.X) != m.NumVars() || len(p.StateProb) != n || len(p.ActionProb) != n || len(p.Visited) != n {
+		return nil, fmt.Errorf("solvecache: remote exact payload dimensions do not match model")
+	}
+	for _, row := range p.ActionProb {
+		if len(row) != len(p.Clients) {
+			return nil, fmt.Errorf("solvecache: remote exact payload policy row width mismatch")
+		}
+	}
+	sol := &ctmdp.ModelSolution{
+		Model:     m,
+		X:         p.X,
+		StateProb: p.StateProb,
+		LossRate:  p.LossRate,
+		Policy: &ctmdp.Policy{
+			Model:      m,
+			ActionProb: p.ActionProb,
+			Visited:    p.Visited,
+		},
+	}
+	return &entry{model: m, sol: sol, iters: p.Iters}, nil
+}
+
+// SetRemote attaches (or, with nil, detaches) the shared remote store. Local
+// tiers consult it on local misses and write freshly computed payloads
+// behind it. Attach before solving; swapping mid-flight is not synchronised.
+// A nil receiver is a no-op.
+func (c *Cache) SetRemote(s Store) {
+	if c == nil {
+		return
+	}
+	c.remote = s
+}
+
+// Remote returns the attached store (nil when none).
+func (c *Cache) Remote() Store {
+	if c == nil {
+		return nil
+	}
+	return c.remote
+}
+
+// remoteGet consults the attached store for one tier-tagged payload,
+// decoding into `into`. Misses and undecodable payloads both report false;
+// only adopted payloads count as remote hits.
+func (c *Cache) remoteGet(k Key, tier string, into any) bool {
+	if c.remote == nil {
+		return false
+	}
+	b, ok := c.remote.Get(nil, k)
+	if !ok {
+		c.remoteMis.Add(1)
+		return false
+	}
+	if err := decodeRemote(b, tier, into); err != nil {
+		c.remoteMis.Add(1)
+		return false
+	}
+	c.remoteHit.Add(1)
+	return true
+}
+
+// remotePutData writes one tier-tagged payload behind the attached store.
+func (c *Cache) remotePutData(k Key, tier string, data any) {
+	if c.remote == nil {
+		return
+	}
+	b, err := encodeRemote(tier, data)
+	if err != nil {
+		return
+	}
+	c.remote.Put(nil, k, b)
+}
+
+// remoteEntryGet is remoteGet for the exact tier (entries need model
+// reconstruction and dimension validation, not plain JSON decoding).
+func (c *Cache) remoteEntryGet(k Key) *entry {
+	if c.remote == nil {
+		return nil
+	}
+	b, ok := c.remote.Get(nil, k)
+	if !ok {
+		c.remoteMis.Add(1)
+		return nil
+	}
+	e, err := decodeEntry(b)
+	if err != nil {
+		c.remoteMis.Add(1)
+		return nil
+	}
+	c.remoteHit.Add(1)
+	return e
+}
+
+// remoteEntryPut writes one exact-tier entry behind the attached store.
+func (c *Cache) remoteEntryPut(k Key, e *entry) {
+	if c.remote == nil {
+		return
+	}
+	b, err := encodeEntry(e)
+	if err != nil {
+		return
+	}
+	c.remote.Put(nil, k, b)
+}

@@ -86,6 +86,14 @@ func (c *Cache) solveOne(m *ctmdp.Model, opts SolveOptions, wantBasis bool) (*ct
 			// this exact model are plain hits.
 			c.put(full, structural, e)
 		}
+	} else if re := c.remoteEntryGet(full); re != nil && re.matches(m, order) {
+		// A peer solved this exact fingerprint already: adopt its payload as a
+		// plain hit and keep a local copy. The payload is a pure function of
+		// the key (solveCold solves the canonical clone), so the adopted
+		// numbers are bit-identical to what a local cold solve would produce.
+		c.hits.Add(1)
+		c.put(full, structural, re)
+		e = re
 	} else {
 		c.misses.Add(1)
 		var err error
@@ -94,6 +102,7 @@ func (c *Cache) solveOne(m *ctmdp.Model, opts SolveOptions, wantBasis bool) (*ct
 		}
 		c.put(full, structural, e)
 		iters = e.iters
+		c.remoteEntryPut(full, e)
 	}
 	ms, err := e.rebind(m, order)
 	if err != nil {

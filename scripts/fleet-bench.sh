@@ -1,0 +1,87 @@
+#!/bin/sh
+# fleet-bench: measure routed fleet throughput with cmd/loadgen — the
+# numbers behind PERFORMANCE.md's fleet table. For each fleet size it starts
+# N socbufd shards sharing the router's remote cache tier, drives a mixed
+# closed-loop workload through the router, and prints the loadgen report.
+# A direct single-process baseline (no router) runs first, so the router's
+# own overhead is visible.
+#
+#   make fleet-bench                      # 10s per point
+#   FLEET_BENCH_DURATION=30s make fleet-bench
+#
+# Read the numbers with PERFORMANCE.md's caveat in mind: on a single-core
+# host every shard shares that core, so fleet scaling measures routing
+# overhead and cache sharing, not parallel speedup.
+set -eu
+
+GO=${GO:-go}
+DURATION=${FLEET_BENCH_DURATION:-10s}
+CONCURRENCY=${FLEET_BENCH_CONCURRENCY:-16}
+MIX=${FLEET_BENCH_MIX:-solve=8,sweep=1,placement=1}
+BASE_PORT=${FLEET_BENCH_BASE_PORT:-18370}
+DIR=$(mktemp -d)
+
+"$GO" build -o "$DIR/socbufd" ./cmd/socbufd
+"$GO" build -o "$DIR/socbufrouter" ./cmd/socbufrouter
+"$GO" build -o "$DIR/loadgen" ./cmd/loadgen
+
+wait_ready() { # url
+  i=0
+  until curl -sf "$1" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { echo "fleet-bench: $1 did not come up" >&2; cat "$DIR"/*.log >&2; exit 1; }
+    sleep 0.2
+  done
+}
+
+echo "== fleet-bench: baseline (1 socbufd, no router) =="
+"$DIR/socbufd" -addr "127.0.0.1:$BASE_PORT" >"$DIR/base.log" 2>&1 &
+PID=$!
+wait_ready "http://127.0.0.1:$BASE_PORT/v1/readyz"
+"$DIR/loadgen" -url "http://127.0.0.1:$BASE_PORT" -duration "$DURATION" \
+  -concurrency "$CONCURRENCY" -mix "$MIX"
+kill -TERM "$PID" && wait "$PID" || true
+
+for SHARDS in 1 2 4; do
+  echo "== fleet-bench: router + $SHARDS shard(s) =="
+  ROUTER_PORT=$((BASE_PORT + 1))
+  BACKENDS=""
+  PIDS=""
+  N=0
+  while [ "$N" -lt "$SHARDS" ]; do
+    PORT=$((BASE_PORT + 2 + N))
+    BACKENDS="$BACKENDS,http://127.0.0.1:$PORT"
+    N=$((N + 1))
+  done
+  BACKENDS=${BACKENDS#,}
+  "$DIR/socbufrouter" -addr "127.0.0.1:$ROUTER_PORT" -backends "$BACKENDS" \
+    -health-interval 500ms >"$DIR/router-$SHARDS.log" 2>&1 &
+  PIDS="$!"
+  N=0
+  while [ "$N" -lt "$SHARDS" ]; do
+    PORT=$((BASE_PORT + 2 + N))
+    "$DIR/socbufd" -addr "127.0.0.1:$PORT" \
+      -remote-cache "http://127.0.0.1:$ROUTER_PORT/v1/cache" \
+      >"$DIR/shard-$SHARDS-$N.log" 2>&1 &
+    PIDS="$PIDS $!"
+    N=$((N + 1))
+  done
+  # shellcheck disable=SC2064
+  trap "kill $PIDS 2>/dev/null || true" EXIT
+  N=0
+  while [ "$N" -lt "$SHARDS" ]; do
+    wait_ready "http://127.0.0.1:$((BASE_PORT + 2 + N))/v1/readyz"
+    N=$((N + 1))
+  done
+  wait_ready "http://127.0.0.1:$ROUTER_PORT/v1/readyz"
+
+  "$DIR/loadgen" -url "http://127.0.0.1:$ROUTER_PORT" -duration "$DURATION" \
+    -concurrency "$CONCURRENCY" -mix "$MIX"
+
+  kill -TERM $PIDS 2>/dev/null || true
+  for P in $PIDS; do
+    wait "$P" 2>/dev/null || true
+  done
+  trap - EXIT
+done
+echo "fleet-bench: done"
