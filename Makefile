@@ -18,7 +18,9 @@ BENCH_GATES = \
 	-gate 'BenchmarkStationaryDenseVsSparse/=25' \
 	-gate 'BenchmarkSolveJointCapped=25' \
 	-gate 'BenchmarkRobustSweep=25' \
-	-gate 'BenchmarkFleetThroughput/=25'
+	-gate 'BenchmarkFleetThroughput/=25' \
+	-gate 'BenchmarkAnalyticSolve=25' \
+	-gate 'BenchmarkRobustMatrix=25'
 
 .PHONY: build test race bench bench-compare profile lint fmt scenario-smoke serve-smoke placement-smoke robust-smoke fuzz-smoke fleet-smoke fleet-bench cover
 
@@ -135,14 +137,16 @@ robust-smoke:
 	echo "$$out" | grep -q '"yieldLow":' || { \
 		echo "robust-smoke: no Wilson bound in output"; echo "$$out"; exit 1; }
 
-# Brief run of every native fuzz target (strict-parser robustness: the
-# uncertainty-spec decoder and the two CLI list parsers). Ten seconds per
+# Brief run of every native fuzz target (strict-parser robustness — the
+# uncertainty-spec decoder and the two CLI list parsers — plus the blocking
+# recurrence's oracle gate against the big.Float MM1K form). Ten seconds per
 # target is enough to shake out panics and round-trip violations on new
 # code; the targets also run as plain tests (corpus seeds) under make test.
 fuzz-smoke:
 	@for t in FuzzParseSpec=./internal/uncertain \
 		FuzzParseMethods=./internal/experiments \
-		FuzzParseCatalogue=./internal/placement; do \
+		FuzzParseCatalogue=./internal/placement \
+		FuzzBlockingRecurrence=./internal/queueing; do \
 		name=$${t%=*}; pkg=$${t#*=}; \
 		echo "== fuzz-smoke ($$name) =="; \
 		$(GO) test -run '^$$' -fuzz "^$$name$$" -fuzztime 10s $$pkg || exit 1; \

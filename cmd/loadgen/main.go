@@ -3,7 +3,7 @@
 // measurement tool behind PERFORMANCE.md's fleet table (`make fleet-bench`).
 //
 //	loadgen -url http://127.0.0.1:8360 -duration 10s -concurrency 16 \
-//	        -mix solve=8,sweep=1,placement=1
+//	        -mix solve=8,robust=2,sweep=1,placement=1
 //
 // Closed loop means each of -concurrency workers issues its next request
 // only after the previous one completes; -rate additionally caps the fleet-
@@ -57,7 +57,7 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
 		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
 		rate        = flag.Float64("rate", 0, "target fleet-wide requests/sec (0 = closed-loop maximum)")
-		mix         = flag.String("mix", "solve=1", "request mix as kind=weight, comma-separated (kinds: solve, sweep, placement)")
+		mix         = flag.String("mix", "solve=1", "request mix as kind=weight, comma-separated (kinds: solve, robust, sweep, placement)")
 		scenarioF   = flag.String("scenario", "twobus", "registry scenario for solve requests")
 		archF       = flag.String("arch", "twobus", "architecture preset for sweep and placement requests")
 		budgetsF    = flag.String("budgets", "16,24,32", "sweep budget points / placement budget cycle")
@@ -143,6 +143,14 @@ func buildMix(spec string, p mixParams) ([]kind, error) {
 			return fmt.Sprintf(`{"scenario":%q,"iterations":%d,"seeds":[%d],"horizon":%g,"warmUp":%g}`,
 				p.scenario, p.iterations, i+1, p.horizon, p.warmup)
 		}},
+		// Robust requests exercise the chance-constrained backend: same
+		// /v1/solve endpoint, method pinned to "robust" with a modest Monte-
+		// Carlo sample count, the spec seed varied per variant so each
+		// fingerprints (and caches) distinctly.
+		"robust": {name: "robust", path: "/v1/solve", body: func(i int) string {
+			return fmt.Sprintf(`{"scenario":%q,"method":"robust","uncertainty":{"samples":32,"seed":%d},"iterations":%d,"seeds":[%d],"horizon":%g,"warmUp":%g}`,
+				p.scenario, i+1, p.iterations, i+1, p.horizon, p.warmup)
+		}},
 		"sweep": {name: "sweep", path: "/v1/sweep/budget", body: func(i int) string {
 			return fmt.Sprintf(`{"arch":%q,"budgets":[%s],"iterations":%d,"seeds":[%d],"horizon":%g,"warmUp":%g,"useCache":true}`,
 				p.arch, strings.Join(budgetList, ","), p.iterations, i+1, p.horizon, p.warmup)
@@ -160,7 +168,7 @@ func buildMix(spec string, p mixParams) ([]kind, error) {
 		}
 		k, exists := archetypes[name]
 		if !exists {
-			return nil, fmt.Errorf("-mix kind %q unknown (have solve, sweep, placement)", name)
+			return nil, fmt.Errorf("-mix kind %q unknown (have solve, robust, sweep, placement)", name)
 		}
 		w, err := strconv.Atoi(weight)
 		if err != nil || w < 0 {

@@ -29,7 +29,7 @@ type Route struct {
 // destination's attachment buses. Ties break toward lexicographically
 // smaller bus IDs so routing is deterministic.
 func (a *Architecture) Routes() ([]Route, error) {
-	adj := a.busAdjacency()
+	g := a.busGraph()
 	routes := make([]Route, 0, len(a.Flows))
 	for i, f := range a.Flows {
 		src, ok := a.ProcessorByID(f.From)
@@ -40,7 +40,7 @@ func (a *Architecture) Routes() ([]Route, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: flow %d: unknown destination %q", ErrInvalid, i, f.To)
 		}
-		best, err := a.bestBusPath(adj, src, dst)
+		best, err := g.bestBusPath(src, dst)
 		if err != nil {
 			return nil, fmt.Errorf("%w: flow %d (%q→%q): %v", ErrInvalid, i, f.From, f.To, err)
 		}
@@ -60,30 +60,65 @@ func (a *Architecture) Routes() ([]Route, error) {
 }
 
 type busEdge struct {
-	to     string
-	bridge string
+	to     int32  // neighbour bus index
+	bridge string // bridge crossed
 }
 
-func (a *Architecture) busAdjacency() map[string][]busEdge {
-	adj := make(map[string][]busEdge, len(a.Buses))
+// busGraph is the index-addressed bus topology Routes searches: bus IDs
+// resolved to dense indices, adjacency in deterministic (ID, bridge) order,
+// and reusable BFS scratch (stamped visited marks and parent pointers) so a
+// whole Routes pass allocates per flow only the route it returns.
+type busGraph struct {
+	ids []string
+	idx map[string]int
+
+	adj [][]busEdge
+
+	// BFS scratch, reused across searches. seen and dstSeen use stamps
+	// instead of clears: a slot holds the property in the current search iff
+	// its entry equals the current stamp.
+	stamp        int32
+	seen         []int32 // visited mark, stamped per start
+	dstSeen      []int32 // destination mark, stamped per flow
+	parent       []int32 // discovering bus index, -1 for the start
+	parentBridge []string
+	queue        []int32
+}
+
+func (a *Architecture) busGraph() *busGraph {
+	n := len(a.Buses)
+	g := &busGraph{
+		ids:          make([]string, 0, n),
+		idx:          make(map[string]int, n),
+		adj:          make([][]busEdge, n),
+		seen:         make([]int32, n),
+		dstSeen:      make([]int32, n),
+		parent:       make([]int32, n),
+		parentBridge: make([]string, n),
+		queue:        make([]int32, 0, n),
+	}
 	for _, b := range a.Buses {
-		adj[b.ID] = nil
+		g.ids = append(g.ids, b.ID)
+	}
+	sort.Strings(g.ids)
+	for i, id := range g.ids {
+		g.idx[id] = i
 	}
 	for _, br := range a.Bridges {
-		adj[br.BusA] = append(adj[br.BusA], busEdge{to: br.BusB, bridge: br.ID})
-		adj[br.BusB] = append(adj[br.BusB], busEdge{to: br.BusA, bridge: br.ID})
+		ai, bi := g.idx[br.BusA], g.idx[br.BusB]
+		g.adj[ai] = append(g.adj[ai], busEdge{to: int32(bi), bridge: br.ID})
+		g.adj[bi] = append(g.adj[bi], busEdge{to: int32(ai), bridge: br.ID})
 	}
-	// Deterministic neighbour order.
-	for k := range adj {
-		es := adj[k]
+	// Deterministic neighbour order: by neighbour ID, then bridge ID.
+	for _, es := range g.adj {
 		sort.Slice(es, func(i, j int) bool {
 			if es[i].to != es[j].to {
-				return es[i].to < es[j].to
+				return g.ids[es[i].to] < g.ids[es[j].to]
 			}
 			return es[i].bridge < es[j].bridge
 		})
 	}
-	return adj
+	return g
 }
 
 type busPath struct {
@@ -92,46 +127,66 @@ type busPath struct {
 }
 
 // bestBusPath finds the shortest bridge path from any of src's buses to any
-// of dst's buses via BFS.
-func (a *Architecture) bestBusPath(adj map[string][]busEdge, src, dst *Processor) (*busPath, error) {
-	dstBuses := map[string]bool{}
+// of dst's buses via BFS with parent pointers (paths materialise once, for
+// the winning terminal only — never per frontier node).
+func (g *busGraph) bestBusPath(src, dst *Processor) (*busPath, error) {
+	g.stamp++
+	dstStamp := g.stamp
 	for _, b := range dst.Buses {
-		dstBuses[b] = true
+		g.dstSeen[g.idx[b]] = dstStamp
 	}
 	// Deterministic start order.
 	starts := append([]string(nil), src.Buses...)
 	sort.Strings(starts)
 
 	var best *busPath
+	bestLen := -1
 	for _, start := range starts {
-		type node struct {
-			bus  string
-			path busPath
+		g.stamp++
+		stamp := g.stamp
+		si := int32(g.idx[start])
+		g.seen[si] = stamp
+		g.parent[si] = -1
+		g.queue = append(g.queue[:0], si)
+		found := int32(-1)
+		if g.dstSeen[si] == dstStamp {
+			found = si
 		}
-		visited := map[string]bool{start: true}
-		queue := []node{{bus: start, path: busPath{buses: []string{start}}}}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			if dstBuses[cur.bus] {
-				if best == nil || len(cur.path.buses) < len(best.buses) {
-					p := cur.path
-					best = &p
-				}
-				break // BFS: first hit from this start is its shortest
-			}
-			for _, e := range adj[cur.bus] {
-				if visited[e.to] {
+		for qi := 0; found < 0 && qi < len(g.queue); qi++ {
+			cur := g.queue[qi]
+			for _, e := range g.adj[cur] {
+				if g.seen[e.to] == stamp {
 					continue
 				}
-				visited[e.to] = true
-				np := busPath{
-					buses:   append(append([]string(nil), cur.path.buses...), e.to),
-					bridges: append(append([]string(nil), cur.path.bridges...), e.bridge),
+				g.seen[e.to] = stamp
+				g.parent[e.to] = cur
+				g.parentBridge[e.to] = e.bridge
+				g.queue = append(g.queue, e.to)
+				if g.dstSeen[e.to] == dstStamp {
+					found = e.to
+					break // BFS: first hit from this start is its shortest
 				}
-				queue = append(queue, node{bus: e.to, path: np})
 			}
 		}
+		if found < 0 {
+			continue
+		}
+		depth := 1
+		for v := found; g.parent[v] >= 0; v = g.parent[v] {
+			depth++
+		}
+		if best != nil && depth >= bestLen {
+			continue
+		}
+		p := &busPath{buses: make([]string, depth), bridges: make([]string, depth-1)}
+		for v, h := found, depth-1; ; v, h = g.parent[v], h-1 {
+			p.buses[h] = g.ids[v]
+			if g.parent[v] < 0 {
+				break
+			}
+			p.bridges[h-1] = g.parentBridge[v]
+		}
+		best, bestLen = p, depth
 	}
 	if best == nil {
 		return nil, fmt.Errorf("no bus path from %q to %q", src.ID, dst.ID)

@@ -46,7 +46,13 @@ func decLess(a, b []int8) bool {
 // mergeDec overlays two disjoint partial decision vectors (each bridge is
 // decided by at most one side; the rest are optUndecided).
 func mergeDec(a, b []int8) []int8 {
-	out := make([]int8, len(a))
+	return mergeDecInto(make([]int8, len(a)), a, b)
+}
+
+// mergeDecInto is mergeDec writing into caller-owned storage — the DP's
+// merge loops carve candidate vectors out of one arena per batch instead of
+// allocating each individually.
+func mergeDecInto(out, a, b []int8) []int8 {
 	copy(out, a)
 	for i, d := range b {
 		if d != optUndecided {
@@ -64,46 +70,42 @@ func mergeDec(a, b []int8) []int8 {
 // places every potential dominator before its victims, so one forward sweep
 // suffices.
 func (p *problem) prune3(in []partial, st *dpStats) []partial {
-	groups := map[compKey][]partial{}
-	for _, s := range in {
-		groups[s.comp] = append(groups[s.comp], s)
-	}
-	keys := make([]compKey, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	var out []partial
-	for _, k := range keys {
-		g := groups[k]
-		sort.Slice(g, func(i, j int) bool {
-			switch {
-			case g[i].cost != g[j].cost:
-				return g[i].cost < g[j].cost
-			case g[i].j != g[j].j:
-				return g[i].j < g[j].j
-			case g[i].bypassed != g[j].bypassed:
-				return g[i].bypassed > g[j].bypassed
-			default:
-				return decLess(g[i].dec, g[j].dec)
-			}
-		})
-		var kept []partial
-		for _, s := range g {
-			dominated := false
-			for _, q := range kept {
-				if q.cost <= s.cost && q.j <= s.j && q.bypassed >= s.bypassed {
-					dominated = true
-					break
-				}
-			}
-			if dominated {
-				st.pruned++
-			} else {
-				kept = append(kept, s)
+	// One sort keyed by (component, cost, j, bypassed desc, dec lex) makes
+	// every group contiguous with its potential dominators first, so the
+	// dominance sweep compacts survivors in place — no grouping map, no
+	// per-group sort.
+	sort.Slice(in, func(i, j int) bool {
+		switch {
+		case in[i].comp != in[j].comp:
+			return in[i].comp < in[j].comp
+		case in[i].cost != in[j].cost:
+			return in[i].cost < in[j].cost
+		case in[i].j != in[j].j:
+			return in[i].j < in[j].j
+		case in[i].bypassed != in[j].bypassed:
+			return in[i].bypassed > in[j].bypassed
+		default:
+			return decLess(in[i].dec, in[j].dec)
+		}
+	})
+	out := in[:0]
+	group := 0 // start of the current component's survivors in out
+	for i, s := range in {
+		if i > 0 && s.comp != in[i-1].comp {
+			group = len(out)
+		}
+		dominated := false
+		for _, q := range out[group:] {
+			if q.cost <= s.cost && q.j <= s.j && q.bypassed >= s.bypassed {
+				dominated = true
+				break
 			}
 		}
-		out = append(out, kept...)
+		if dominated {
+			st.pruned++
+		} else {
+			out = append(out, s)
+		}
 	}
 	return out
 }
@@ -208,11 +210,15 @@ func (p *problem) runDP() ([]scored, dpStats) {
 				bypassed: s.bypassed,
 			})
 		}
-		next := make([]scored, 0, len(complete)*len(closed))
+		n := len(complete) * len(closed)
+		next := make([]scored, 0, n)
+		arena := make([]int8, 0, n*len(p.bridges))
 		for _, a := range complete {
 			for _, b := range closed {
+				arena = arena[:len(arena)+len(p.bridges)]
+				nd := arena[len(arena)-len(p.bridges) : len(arena) : len(arena)]
 				next = append(next, scored{
-					dec:      mergeDec(a.dec, b.dec),
+					dec:      mergeDecInto(nd, a.dec, b.dec),
 					cost:     a.cost + b.cost,
 					j:        a.j + b.j,
 					bypassed: a.bypassed + b.bypassed,
@@ -225,10 +231,13 @@ func (p *problem) runDP() ([]scored, dpStats) {
 	// still free): each is an independent (cost, delay) mini-frontier,
 	// composed by Minkowski sum with pruning after each fold.
 	for _, nb := range p.nonTree {
-		next := make([]scored, 0, len(complete)*len(p.types))
+		n := len(complete) * len(p.types)
+		next := make([]scored, 0, n)
+		arena := make([]int8, 0, n*len(p.bridges))
 		for _, s := range complete {
 			for t := range p.types {
-				nd := make([]int8, len(s.dec))
+				arena = arena[:len(arena)+len(p.bridges)]
+				nd := arena[len(arena)-len(p.bridges) : len(arena) : len(arena)]
 				copy(nd, s.dec)
 				nd[nb] = int8(t)
 				next = append(next, scored{
@@ -271,11 +280,17 @@ func (p *problem) solveSubtree(v int, st *dpStats) []partial {
 		if p.cut[edge] {
 			options++
 		}
-		next := make([]partial, 0, len(sols)*len(csols)*options)
+		n := len(sols) * len(csols) * options
+		next := make([]partial, 0, n)
+		arena := make([]int8, 0, n*len(p.bridges))
+		carve := func() []int8 {
+			arena = arena[:len(arena)+len(p.bridges)]
+			return arena[len(arena)-len(p.bridges) : len(arena) : len(arena)]
+		}
 		for _, sv := range sols {
 			for _, sc := range csols {
 				if p.cut[edge] {
-					nd := mergeDec(sv.dec, sc.dec)
+					nd := mergeDecInto(carve(), sv.dec, sc.dec)
 					nd[edge] = optBypass
 					next = append(next, partial{
 						comp:     unionComp(sv.comp, sc.comp),
@@ -286,7 +301,7 @@ func (p *problem) solveSubtree(v int, st *dpStats) []partial {
 					})
 				}
 				for t := range p.types {
-					nd := mergeDec(sv.dec, sc.dec)
+					nd := mergeDecInto(carve(), sv.dec, sc.dec)
 					nd[edge] = int8(t)
 					next = append(next, partial{
 						comp:     sv.comp,

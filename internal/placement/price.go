@@ -1,10 +1,6 @@
 package placement
 
-import (
-	"sort"
-
-	"socbuf/internal/queueing"
-)
+import "math"
 
 // compKey is a bitset over bus indices rendered as an immutable string —
 // the DP's open-component signature and the closeJ memo key.
@@ -56,19 +52,28 @@ func (p *problem) insertTerm(i int, t int8) float64 {
 // determines the client set — every bridge with exactly one endpoint inside
 // is inserted in any placement that closes this component — which is what
 // makes the DP objective additive and the memo sound (DESIGN.md §7).
+//
+// The evaluation is allocation-free on the memo-miss path: clients gather
+// into a reusable scratch slice ordered by insertion sort, and each queue's
+// loss and mean population are computed inline by the same arithmetic
+// queueing.MM1K's Distribution performs (identical expressions in identical
+// order), so the memoised prices are bit-for-bit those of the array-built
+// stationary distribution.
 func (p *problem) closeJ(key compKey) float64 {
 	if j, ok := p.fMemo[key]; ok {
 		return j
 	}
-	members := key.members(len(p.buses))
-	mu := p.muBus[members[0]]
-	for _, m := range members[1:] {
-		if p.muBus[m] < mu {
-			mu = p.muBus[m]
+	first := true
+	var mu float64
+	clients := p.clScratch[:0]
+	for m := range p.buses {
+		if !key.has(m) {
+			continue
 		}
-	}
-	var clients []client
-	for _, m := range members {
+		if first || p.muBus[m] < mu {
+			mu = p.muBus[m]
+			first = false
+		}
 		clients = append(clients, p.egress[m]...)
 	}
 	for i := range p.bridges {
@@ -84,7 +89,17 @@ func (p *problem) closeJ(key compKey) float64 {
 		}
 	}
 	// Canonical client order keeps the float summation deterministic.
-	sort.Slice(clients, func(x, y int) bool { return clients[x].id < clients[y].id })
+	// Insertion sort: client sets are small and IDs unique, and it spares
+	// the sort.Slice closure allocation.
+	for x := 1; x < len(clients); x++ {
+		cl := clients[x]
+		y := x - 1
+		for y >= 0 && clients[y].id > cl.id {
+			clients[y+1] = clients[y]
+			y--
+		}
+		clients[y+1] = cl
+	}
 	var load float64
 	for _, cl := range clients {
 		load += cl.lambda
@@ -100,17 +115,47 @@ func (p *problem) closeJ(key compKey) float64 {
 		if prop > share {
 			share = prop
 		}
-		q, err := queueing.NewMM1K(cl.lambda, share, p.k0)
-		if err != nil {
-			// λ and μ are constructed positive; unreachable in practice.
-			j += cl.lambda
-			continue
-		}
-		j += q.LossRate() + p.lw*q.MeanQueue()
+		j += p.queuePrice(cl.lambda, share)
 	}
+	p.clScratch = clients[:0]
 	if p.fMemo == nil {
 		p.fMemo = map[compKey]float64{}
 	}
 	p.fMemo[key] = j
 	return j
+}
+
+// queuePrice is λ·B + lw·E[N] for one M/M/1/K client at capacity k0 —
+// MM1K's LossRate and MeanQueue evaluated without materialising the
+// stationary distribution. The branch structure, expressions and summation
+// order mirror queueing.MM1K.Distribution exactly so the price is
+// bit-identical to the array-built evaluation.
+func (p *problem) queuePrice(lambda, share float64) float64 {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) ||
+		share <= 0 || math.IsNaN(share) || math.IsInf(share, 0) || p.k0 < 1 {
+		// λ and μ are constructed positive; unreachable in practice.
+		return lambda
+	}
+	rho := lambda / share
+	var block, meanQ float64
+	if math.Abs(rho-1) < 1e-12 {
+		// Uniform when ρ = 1.
+		pk := 1 / float64(p.k0+1)
+		block = pk
+		for i := 0; i <= p.k0; i++ {
+			meanQ += float64(i) * pk
+		}
+	} else {
+		norm := (1 - math.Pow(rho, float64(p.k0+1))) / (1 - rho)
+		pp := 1.0
+		for i := 0; i <= p.k0; i++ {
+			pi := pp / norm
+			if i == p.k0 {
+				block = pi
+			}
+			meanQ += float64(i) * pi
+			pp *= rho
+		}
+	}
+	return lambda*block + p.lw*meanQ
 }

@@ -58,6 +58,10 @@ type problem struct {
 	enumerated int64 // Π per-bridge option counts, saturating
 
 	fMemo map[compKey]float64 // closeJ memo, keyed by component membership
+
+	// clScratch is closeJ's reusable client buffer: the DP is single-
+	// threaded, and pricing a component must not allocate per call.
+	clScratch []client
 }
 
 // client is one screened M/M/1/K queue: a buffer and its offered rate.

@@ -74,6 +74,48 @@ func TestBlockingMonotoneInLoad(t *testing.T) {
 	}
 }
 
+// TestStabilityAtUnitLoad pins the ρ → 1 behaviour of every closed-form
+// summary the sizing backends consume: Distribution() guards the singular
+// point with an |ρ−1| < 1e-12 uniform fallback, so Blocking(), LossRate()
+// and MeanQueue() must all return the uniform-distribution values there —
+// finite, in range, and exactly the 1/(K+1)-weighted sums — over a
+// randomized (λ, μ, K) grid of in-window jitters. The incremental
+// recurrence kernels must land on the same values without any guard: the
+// recurrence is continuous through the singular point by construction.
+func TestStabilityAtUnitLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		mu := math.Exp(rng.Float64()*4 - 2)
+		k := 1 + rng.Intn(60)
+		// Jitter inside the guard window: |ρ−1| < 1e-12.
+		rho := 1 + (rng.Float64()*2-1)*0.99e-12
+		lambda := rho * mu
+		q, err := NewMM1K(lambda, mu, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniform := 1 / float64(k+1)
+		if b := q.Blocking(); math.Abs(b-uniform) > 1e-15 {
+			t.Fatalf("μ=%v K=%d ρ=%v: Blocking %v, want uniform %v", mu, k, rho, b, uniform)
+		}
+		if lr := q.LossRate(); math.Abs(lr-lambda*uniform) > 1e-12*lambda {
+			t.Fatalf("μ=%v K=%d ρ=%v: LossRate %v, want %v", mu, k, rho, lr, lambda*uniform)
+		}
+		mq := q.MeanQueue()
+		if math.IsNaN(mq) || math.Abs(mq-float64(k)/2) > 1e-9*float64(k) {
+			t.Fatalf("μ=%v K=%d ρ=%v: MeanQueue %v, want K/2 = %v", mu, k, rho, mq, float64(k)/2)
+		}
+		// The recurrence kernels inherit the same behaviour with no special
+		// case: continuity bounds the in-window drift by ~slope × 1e-12.
+		if b := BlockingRecurrence(lambda, mu, k); math.Abs(b-uniform) > 1e-12 {
+			t.Fatalf("μ=%v K=%d ρ=%v: BlockingRecurrence %v, want uniform %v", mu, k, rho, b, uniform)
+		}
+		if mq := MeanQueueSum(lambda, mu, k); math.Abs(mq-float64(k)/2) > 1e-9*float64(k*k) {
+			t.Fatalf("μ=%v K=%d ρ=%v: MeanQueueSum %v, want K/2", mu, k, rho, mq)
+		}
+	}
+}
+
 // TestLossRateMarginalNonNegative checks the quantity the greedy actually
 // ranks: λ·(B(K) − B(K+1)) ≥ 0 everywhere on the grid, and strictly
 // positive wherever blocking is still material — a zero marginal with

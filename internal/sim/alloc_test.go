@@ -20,7 +20,7 @@ func TestEventHeapZeroAlloc(t *testing.T) {
 			if at > 100 {
 				at -= 100
 			}
-			h.push(event{at: at, seq: seq, kind: evArrival, flow: i})
+			h.push(event{at: at, seq: seq, kind: evArrival, idx: int32(i)})
 			seq++
 		}
 		for len(h) > 0 {
@@ -53,7 +53,7 @@ func TestDispatchZeroAlloc(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.schedule(event{at: gap, kind: evArrival, flow: i})
+		s.schedule(event{at: gap, kind: evArrival, idx: int32(i)})
 	}
 	step := func() {
 		e := s.events.pop()
@@ -61,9 +61,9 @@ func TestDispatchZeroAlloc(t *testing.T) {
 		var err error
 		switch e.kind {
 		case evArrival:
-			err = s.handleArrival(e.flow)
+			err = s.handleArrival(int(e.idx))
 		case evDeparture:
-			err = s.handleDeparture(e.bus)
+			err = s.handleDeparture(int(e.idx))
 		}
 		if err != nil {
 			t.Fatal(err)

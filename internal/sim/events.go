@@ -1,7 +1,7 @@
 package sim
 
 // eventKind discriminates the two event types of the simulator.
-type eventKind int
+type eventKind int32
 
 const (
 	evArrival   eventKind = iota // a flow generates a new packet
@@ -9,21 +9,24 @@ const (
 )
 
 // event is a scheduled occurrence. seq breaks time ties deterministically so
-// that runs with equal seeds are bit-for-bit reproducible.
+// that runs with equal seeds are bit-for-bit reproducible. The struct is
+// kept to 24 bytes (kind and idx packed into 32 bits each) because heap
+// sifts copy whole events — size is memory traffic on the hottest loop.
 type event struct {
 	at   float64
 	seq  uint64
 	kind eventKind
-	flow int // evArrival: index into routes
-	bus  int // evDeparture: index into buses
+	idx  int32 // evArrival: index into routes; evDeparture: index into buses
 }
 
-// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq). It
 // deliberately does not implement container/heap: that interface boxes every
 // pushed element into an interface{} (one heap allocation per scheduled
 // event, the busiest call site of the whole simulator); monomorphic push/pop
 // over []event keep the event loop allocation-free once the backing array
-// has grown to the run's high-water mark.
+// has grown to the run's high-water mark. Arity 4 halves the tree depth —
+// fewer cache lines touched per sift — and cannot change the pop sequence:
+// (at, seq) is a total order, so the minimum is structure-independent.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
@@ -33,18 +36,22 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-// push inserts e, sifting it up to its heap position.
+// push inserts e, sifting it up to its heap position. The new element is
+// held aside while ancestors shift down (hole sift): one write per level
+// instead of a swap.
 func (h *eventHeap) push(e event) {
 	a := append(*h, e)
 	i := len(a) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !a.less(i, parent) {
+		parent := (i - 1) / 4
+		p := a[parent]
+		if p.at < e.at || (p.at == e.at && p.seq < e.seq) {
 			break
 		}
-		a[i], a[parent] = a[parent], a[i]
+		a[i] = p
 		i = parent
 	}
+	a[i] = e
 	*h = a
 }
 
@@ -53,24 +60,36 @@ func (h *eventHeap) pop() event {
 	a := *h
 	top := a[0]
 	n := len(a) - 1
-	a[0] = a[n]
+	e := a[n]
 	a = a[:n]
-	// Sift the displaced tail element down.
+	// Hole sift: the displaced tail element is held aside while the smaller
+	// of up to four children moves up, then written once at its final slot.
 	i := 0
 	for {
-		l := 2*i + 1
-		if l >= n {
+		c := 4*i + 1
+		if c >= n {
 			break
 		}
-		child := l
-		if r := l + 1; r < n && a.less(r, l) {
-			child = r
+		end := c + 4
+		if end > n {
+			end = n
 		}
-		if !a.less(child, i) {
+		ch := a[c:end:end]
+		child := c
+		ca, cs := ch[0].at, ch[0].seq
+		for k := 1; k < len(ch); k++ {
+			if ka, ks := ch[k].at, ch[k].seq; ka < ca || (ka == ca && ks < cs) {
+				child, ca, cs = c+k, ka, ks
+			}
+		}
+		if e.at < ca || (e.at == ca && e.seq < cs) {
 			break
 		}
-		a[i], a[child] = a[child], a[i]
+		a[i] = a[child]
 		i = child
+	}
+	if n > 0 {
+		a[i] = e
 	}
 	*h = a
 	return top

@@ -106,25 +106,31 @@ func (r *Results) LossFraction() float64 {
 	return float64(r.TotalLost()) / float64(g)
 }
 
-// packet is one request in flight.
+// packet is one request in flight. It is kept to 24 bytes: packets are
+// copied on every enqueue, pop and serving assignment, so size is memory
+// traffic on the event loop.
 type packet struct {
-	flow      int     // index into routes
-	hop       int     // current hop index
-	genAt     float64 // generation time
-	countable bool    // generated after warm-up?
 	enqAt     float64 // when it entered its current buffer
+	flow      int32   // index into routes
+	hop       int32   // current hop index
+	countable bool    // generated after warm-up?
 }
 
-// queue is one finite FIFO buffer.
+// queue is one finite FIFO buffer: a ring over items[head:], so popping the
+// head is O(1) bookkeeping instead of a memmove of the whole backlog.
 type queue struct {
 	id    string
 	cap   int
 	items []packet
+	head  int
 	// occupancy integral bookkeeping
 	lastT float64
 	area  float64
 	maxN  int
 }
+
+// size is the current backlog length.
+func (q *queue) size() int { return len(q.items) - q.head }
 
 func (q *queue) updateArea(now, warmUp float64) {
 	if now > q.lastT {
@@ -133,7 +139,7 @@ func (q *queue) updateArea(now, warmUp float64) {
 			from = warmUp
 		}
 		if now > from {
-			q.area += float64(len(q.items)) * (now - from)
+			q.area += float64(q.size()) * (now - from)
 		}
 		q.lastT = now
 	}
@@ -142,9 +148,15 @@ func (q *queue) updateArea(now, warmUp float64) {
 // busState is one bus's runtime state.
 type busState struct {
 	id      string
+	idx     int32 // own index into Simulator.buses, for departure scheduling
 	rate    float64
-	clients []int // queue indices, sorted by buffer ID
+	clients []int    // queue indices, sorted by buffer ID
+	qs      []*queue // the same clients, pointer-resolved for the dispatch loop
 	arbiter Arbiter
+	// fastLQ marks the default LongestQueue arbiter: its pick (longest
+	// backlog, ties to the lowest index, no RNG, no HeadWait) is computed
+	// straight off the queue sizes, skipping the view build entirely.
+	fastLQ  bool
 	busy    bool
 	serving packet
 	// views is the arbitration scratch passed to the arbiter each dispatch,
@@ -154,11 +166,36 @@ type busState struct {
 }
 
 // Simulator holds one run's mutable state. Create with New, run with Run.
+// The event loop is fully index-addressed: every per-hop queue and bus and
+// every per-flow source processor is resolved to a dense index at build
+// time, and the per-processor/per-buffer statistics accumulate in flat
+// int64 slices — the string-keyed Results maps are materialised once, after
+// the last event.
 type Simulator struct {
 	cfg    Config
 	rng    *rand.Rand
 	routes []arch.Route
 	srcs   []trace.Source
+	// srcLam devirtualises pure-Poisson sources (the overwhelming default):
+	// a positive entry is the flow's λ, and handleArrival draws the gap
+	// inline — the identical rng.ExpFloat64()/λ Poisson.Next performs —
+	// instead of paying an interface call per arrival. Zero = call srcs.
+	srcLam []float64
+
+	// Per-flow dense routing: rtFrom is the source processor, rtQ/rtBus the
+	// queue and bus of each hop (rtQ[f][h] holds hop h's waiting buffer).
+	rtFrom []int
+	rtQ    [][]int32
+	rtBus  [][]int32
+
+	// Dense statistics counters, indexed by processor (procIDs order) and
+	// queue; folded into Results after the event loop.
+	procIDs []string
+	genBy   []int64
+	delBy   []int64
+	lostBy  []int64
+	lostTO  []int64
+	ovflBy  []int64
 
 	queues  []*queue
 	qIndex  map[string]int
@@ -210,16 +247,20 @@ func New(cfg Config) (*Simulator, error) {
 
 	// Sources per flow.
 	s.srcs = make([]trace.Source, len(routes))
+	s.srcLam = make([]float64, len(routes))
 	for i, r := range routes {
 		if src, ok := cfg.Sources[FlowKey{From: r.Flow.From, To: r.Flow.To}]; ok && src != nil {
 			s.srcs[i] = src
-			continue
+		} else {
+			p, err := trace.NewPoisson(r.Flow.Rate)
+			if err != nil {
+				return nil, err
+			}
+			s.srcs[i] = p
 		}
-		p, err := trace.NewPoisson(r.Flow.Rate)
-		if err != nil {
-			return nil, err
+		if p, ok := s.srcs[i].(*trace.Poisson); ok {
+			s.srcLam[i] = p.Lambda
 		}
-		s.srcs[i] = p
 	}
 
 	// Queues, in sorted buffer-ID order.
@@ -253,10 +294,55 @@ func New(cfg Config) (*Simulator, error) {
 		} else {
 			st.arbiter = LongestQueue{}
 		}
+		_, st.fastLQ = st.arbiter.(LongestQueue)
+		st.qs = make([]*queue, len(st.clients))
+		for i, qi := range st.clients {
+			st.qs[i] = s.queues[qi]
+		}
 		st.views = make([]ClientView, len(st.clients))
+		// BufferID and Cap never change after construction; dispatch only
+		// refreshes Len and HeadWait.
+		for i, qi := range st.clients {
+			st.views[i].BufferID = s.queues[qi].id
+			st.views[i].Cap = s.queues[qi].cap
+		}
+		st.idx = int32(len(s.buses))
 		s.bIndex[id] = len(s.buses)
 		s.buses = append(s.buses, st)
 	}
+
+	// Dense routing and counter indices.
+	procIndex := make(map[string]int, len(cfg.Arch.Processors))
+	s.procIDs = make([]string, len(cfg.Arch.Processors))
+	for i, p := range cfg.Arch.Processors {
+		procIndex[p.ID] = i
+		s.procIDs[i] = p.ID
+	}
+	s.rtFrom = make([]int, len(routes))
+	s.rtQ = make([][]int32, len(routes))
+	s.rtBus = make([][]int32, len(routes))
+	for f, r := range routes {
+		pi, ok := procIndex[r.Flow.From]
+		if !ok {
+			return nil, fmt.Errorf("sim: flow %d source %q is not a processor", f, r.Flow.From)
+		}
+		s.rtFrom[f] = pi
+		s.rtQ[f] = make([]int32, len(r.Hops))
+		s.rtBus[f] = make([]int32, len(r.Hops))
+		for h, hop := range r.Hops {
+			qi, ok := s.qIndex[hop.Buffer]
+			if !ok {
+				return nil, fmt.Errorf("sim: flow %d hop %d buffer %q has no queue", f, h, hop.Buffer)
+			}
+			s.rtQ[f][h] = int32(qi)
+			s.rtBus[f][h] = int32(s.bIndex[hop.Bus])
+		}
+	}
+	s.genBy = make([]int64, len(s.procIDs))
+	s.delBy = make([]int64, len(s.procIDs))
+	s.lostBy = make([]int64, len(s.procIDs))
+	s.lostTO = make([]int64, len(s.procIDs))
+	s.ovflBy = make([]int64, len(s.queues))
 
 	s.results = &Results{
 		Horizon:        cfg.Horizon,
@@ -267,12 +353,6 @@ func New(cfg Config) (*Simulator, error) {
 		BufferOverflow: map[string]int64{},
 		MeanOccupancy:  map[string]float64{},
 		MaxOccupancy:   map[string]int{},
-	}
-	for _, p := range cfg.Arch.Processors {
-		s.results.Generated[p.ID] = 0
-		s.results.Delivered[p.ID] = 0
-		s.results.Lost[p.ID] = 0
-		s.results.LostTimeout[p.ID] = 0
 	}
 	return s, nil
 }
@@ -289,7 +369,7 @@ func (s *Simulator) Run() (*Results, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: flow %d initial arrival: %w", i, err)
 		}
-		s.schedule(event{at: gap, kind: evArrival, flow: i})
+		s.schedule(event{at: gap, kind: evArrival, idx: int32(i)})
 	}
 
 	for len(s.events) > 0 {
@@ -300,28 +380,34 @@ func (s *Simulator) Run() (*Results, error) {
 		s.now = e.at
 		switch e.kind {
 		case evArrival:
-			if err := s.handleArrival(e.flow); err != nil {
+			if err := s.handleArrival(int(e.idx)); err != nil {
 				return nil, err
 			}
 		case evDeparture:
-			if err := s.handleDeparture(e.bus); err != nil {
+			if err := s.handleDeparture(int(e.idx)); err != nil {
 				return nil, err
 			}
 		}
 	}
 
-	// Close occupancy integrals and gather.
+	// Close occupancy integrals and gather; fold the dense counters into
+	// the string-keyed result maps (every processor gets an entry, buffers
+	// only where an overflow happened — the shapes the map-keyed loop
+	// produced).
 	window := s.cfg.Horizon - s.cfg.WarmUp
-	for _, q := range s.queues {
+	for qi, q := range s.queues {
 		q.updateArea(s.cfg.Horizon, s.cfg.WarmUp)
 		if window > 0 {
 			s.results.MeanOccupancy[q.id] = q.area / window
 		}
 		s.results.MaxOccupancy[q.id] = q.maxN
-		for _, p := range q.items {
+		for _, p := range q.items[q.head:] {
 			if p.countable {
 				s.results.InFlight++
 			}
+		}
+		if s.ovflBy[qi] > 0 {
+			s.results.BufferOverflow[q.id] = s.ovflBy[qi]
 		}
 	}
 	for _, b := range s.buses {
@@ -329,37 +415,46 @@ func (s *Simulator) Run() (*Results, error) {
 			s.results.InFlight++
 		}
 	}
+	for i, id := range s.procIDs {
+		s.results.Generated[id] = s.genBy[i]
+		s.results.Delivered[id] = s.delBy[i]
+		s.results.Lost[id] = s.lostBy[i]
+		s.results.LostTimeout[id] = s.lostTO[i]
+	}
 	return s.results, nil
 }
 
 func (s *Simulator) handleArrival(flow int) error {
-	r := &s.routes[flow]
 	// Schedule the next arrival first (exhausted replay sources stop the
 	// flow without failing the run).
-	gap, err := s.srcs[flow].Next(s.rng)
-	switch {
-	case err == nil:
-		s.schedule(event{at: s.now + gap, kind: evArrival, flow: flow})
-	case errors.Is(err, trace.ErrExhausted):
-		// no further arrivals for this flow
-	default:
-		return fmt.Errorf("sim: flow %d arrival: %w", flow, err)
+	if lam := s.srcLam[flow]; lam > 0 {
+		// Inlined Poisson.Next: same RNG draw, same float expression.
+		s.schedule(event{at: s.now + s.rng.ExpFloat64()/lam, kind: evArrival, idx: int32(flow)})
+	} else {
+		gap, err := s.srcs[flow].Next(s.rng)
+		switch {
+		case err == nil:
+			s.schedule(event{at: s.now + gap, kind: evArrival, idx: int32(flow)})
+		case errors.Is(err, trace.ErrExhausted):
+			// no further arrivals for this flow
+		default:
+			return fmt.Errorf("sim: flow %d arrival: %w", flow, err)
+		}
 	}
 
-	p := packet{flow: flow, genAt: s.now, countable: s.now >= s.cfg.WarmUp, enqAt: s.now}
+	p := packet{flow: int32(flow), countable: s.now >= s.cfg.WarmUp, enqAt: s.now}
 	if p.countable {
-		s.results.Generated[r.Flow.From]++
+		s.genBy[s.rtFrom[flow]]++
 	}
-	hop := r.Hops[0]
-	q := s.queues[s.qIndex[hop.Buffer]]
-	if !s.enqueue(q, p) {
+	qi := s.rtQ[flow][0]
+	if !s.enqueue(s.queues[qi], p) {
 		if p.countable {
-			s.results.Lost[r.Flow.From]++
-			s.results.BufferOverflow[q.id]++
+			s.lostBy[s.rtFrom[flow]]++
+			s.ovflBy[qi]++
 		}
 		return nil
 	}
-	return s.dispatch(s.bIndex[hop.Bus])
+	return s.dispatch(s.buses[s.rtBus[flow][0]])
 }
 
 func (s *Simulator) handleDeparture(busIdx int) error {
@@ -370,55 +465,63 @@ func (s *Simulator) handleDeparture(busIdx int) error {
 	p := b.serving
 	b.busy = false
 
-	r := &s.routes[p.flow]
-	hop := r.Hops[p.hop]
-	if hop.NextBuffer == "" {
+	hops := s.rtQ[p.flow]
+	if int(p.hop) == len(hops)-1 {
 		if p.countable {
-			s.results.Delivered[r.Flow.From]++
+			s.delBy[s.rtFrom[p.flow]]++
 		}
 	} else {
-		nq := s.queues[s.qIndex[hop.NextBuffer]]
 		p.hop++
 		p.enqAt = s.now
-		if s.enqueue(nq, p) {
-			nextBus := r.Hops[p.hop].Bus
-			if err := s.dispatch(s.bIndex[nextBus]); err != nil {
+		nqi := hops[p.hop]
+		if s.enqueue(s.queues[nqi], p) {
+			if err := s.dispatch(s.buses[s.rtBus[p.flow][p.hop]]); err != nil {
 				return err
 			}
 		} else if p.countable {
-			s.results.Lost[r.Flow.From]++
-			s.results.BufferOverflow[nq.id]++
+			s.lostBy[s.rtFrom[p.flow]]++
+			s.ovflBy[nqi]++
 		}
 	}
-	return s.dispatch(busIdx)
+	return s.dispatch(b)
 }
 
 // enqueue appends p to q unless full, maintaining occupancy accounting.
 // Reports whether the packet was accepted.
 func (s *Simulator) enqueue(q *queue, p packet) bool {
-	if len(q.items) >= q.cap {
+	if q.size() >= q.cap {
 		return false
 	}
 	q.updateArea(s.now, s.cfg.WarmUp)
 	q.items = append(q.items, p)
-	if len(q.items) > q.maxN {
-		q.maxN = len(q.items)
+	if n := q.size(); n > q.maxN {
+		q.maxN = n
 	}
 	return true
 }
 
-// popHead removes and returns the head of q.
+// popHead removes and returns the head of q, advancing the ring. The
+// backing array resets when the queue drains and compacts when the dead
+// prefix outweighs the backlog, so it stays within a small multiple of the
+// buffer capacity.
 func (s *Simulator) popHead(q *queue) packet {
 	q.updateArea(s.now, s.cfg.WarmUp)
-	p := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
+	p := q.items[q.head]
+	q.head++
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head > 32 && q.head > q.size():
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
 	return p
 }
 
 // dispatch runs arbitration on a bus if it is idle and work exists.
-func (s *Simulator) dispatch(busIdx int) error {
-	b := s.buses[busIdx]
+func (s *Simulator) dispatch(b *busState) error {
 	if b.busy {
 		return nil
 	}
@@ -426,44 +529,61 @@ func (s *Simulator) dispatch(busIdx int) error {
 	// threshold. Behind an expired head, later arrivals may also have
 	// expired, so purge repeatedly.
 	if s.cfg.Timeout > 0 {
-		for _, qi := range b.clients {
-			q := s.queues[qi]
-			for len(q.items) > 0 && s.now-q.items[0].enqAt > s.cfg.Timeout {
+		for _, q := range b.qs {
+			for q.size() > 0 && s.now-q.items[q.head].enqAt > s.cfg.Timeout {
 				p := s.popHead(q)
 				if p.countable {
-					from := s.routes[p.flow].Flow.From
-					s.results.Lost[from]++
-					s.results.LostTimeout[from]++
+					from := s.rtFrom[p.flow]
+					s.lostBy[from]++
+					s.lostTO[from]++
 				}
 			}
 		}
 	}
 
-	views := b.views
-	any := false
-	for i, qi := range b.clients {
-		q := s.queues[qi]
-		v := ClientView{BufferID: q.id, Len: len(q.items), Cap: q.cap}
-		if len(q.items) > 0 {
-			v.HeadWait = s.now - q.items[0].enqAt
-			any = true
+	var pick int
+	if b.fastLQ {
+		// Default arbitration inlined: longest backlog, ties to the lowest
+		// index — exactly LongestQueue.Pick over the views, minus the view
+		// build (it reads only Len and draws no randomness).
+		pick = -1
+		bestLen := 0
+		for i, q := range b.qs {
+			if n := q.size(); n > bestLen {
+				pick, bestLen = i, n
+			}
 		}
-		views[i] = v
+		if pick == -1 {
+			return nil
+		}
+	} else {
+		views := b.views
+		any := false
+		for i, q := range b.qs {
+			n := q.size()
+			views[i].Len = n
+			if n > 0 {
+				views[i].HeadWait = s.now - q.items[q.head].enqAt
+				any = true
+			} else {
+				views[i].HeadWait = 0
+			}
+		}
+		if !any {
+			return nil
+		}
+		pick = b.arbiter.Pick(views, s.rng)
+		if pick == -1 {
+			return nil // arbiter chose to idle
+		}
+		if pick < 0 || pick >= len(b.clients) || views[pick].Len == 0 {
+			return fmt.Errorf("sim: arbiter on bus %q picked invalid client %d", b.id, pick)
+		}
 	}
-	if !any {
-		return nil
-	}
-	pick := b.arbiter.Pick(views, s.rng)
-	if pick == -1 {
-		return nil // arbiter chose to idle
-	}
-	if pick < 0 || pick >= len(b.clients) || views[pick].Len == 0 {
-		return fmt.Errorf("sim: arbiter on bus %q picked invalid client %d", b.id, pick)
-	}
-	q := s.queues[b.clients[pick]]
+	q := b.qs[pick]
 	b.serving = s.popHead(q)
 	b.busy = true
 	svc := s.rng.ExpFloat64() / b.rate
-	s.schedule(event{at: s.now + svc, kind: evDeparture, bus: busIdx})
+	s.schedule(event{at: s.now + svc, kind: evDeparture, idx: b.idx})
 	return nil
 }

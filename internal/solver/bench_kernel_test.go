@@ -1,0 +1,83 @@
+package solver_test
+
+// Gated kernel benchmarks (Makefile BENCH_GATES, bench.yml): the two hot
+// paths the analytic-screen overhaul rebuilt. BenchmarkAnalyticSolve is the
+// whole closed-form sizing — model build, boundary fixed point, greedy,
+// pricing — on chain6; BenchmarkRobustMatrix is the (sample × candidate)
+// scoring matrix alone, the robust backend's inner product of precomputed
+// blocking tables against the candidate pool. PERFORMANCE.md "The analytic
+// screen, measured" records the baselines.
+
+import (
+	"context"
+	"testing"
+
+	"socbuf/internal/core"
+	"socbuf/internal/scenario"
+	"socbuf/internal/solver"
+)
+
+// benchSetup resolves a buffered chain6 and its config outside the timer.
+func benchSetup(b *testing.B) (*core.Stepper, core.Config) {
+	b.Helper()
+	sc, ok := scenario.Get("chain6")
+	if !ok {
+		b.Fatal("scenario chain6 not registered")
+	}
+	cfg, err := sc.CoreConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.NewStepper(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, s.Config()
+}
+
+func BenchmarkAnalyticSolve(b *testing.B) {
+	s, cfg := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.AnalyticSolveDirect(s.Arch(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRobustMatrix(b *testing.B) {
+	s, cfg := benchSetup(b)
+	screens, err := solver.PerturbedScreens(s.Arch(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nominal, err := solver.NewScreen(s.Arch(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Candidate pool shaped like the backend's: one sizing per ladder rung.
+	var cands [][]int
+	for _, f := range solver.BudgetLadder() {
+		budget := int(float64(cfg.Budget) * f)
+		if budget < nominal.Floor() {
+			budget = nominal.Floor()
+		}
+		cands = append(cands, nominal.SizeAt(budget))
+	}
+	pairs := len(screens) * len(cands)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, sc := range screens {
+			for _, alloc := range cands {
+				sink += sc.TableLoss(alloc)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*pairs)/b.Elapsed().Seconds(), "pairs/s")
+	if sink < 0 {
+		b.Fatal("impossible negative loss")
+	}
+}

@@ -76,12 +76,12 @@ func (hybrid) Run(ctx context.Context, cfg core.Config) (*core.Result, error) {
 }
 
 // screen is the analytic view of one instance: converged boundary arrival
-// estimates and effective service shares, pricing arbitrary allocations in
-// closed form.
+// estimates and effective service shares over the dense model, pricing
+// arbitrary allocations in closed form.
 type screen struct {
 	model   *analyticModel
-	arrival map[string]float64
-	mu      map[string]float64
+	arrival []float64
+	mu      []float64
 }
 
 // newScreen builds the pricing screen by running the analytic boundary
@@ -91,18 +91,17 @@ func newScreen(a *arch.Architecture, cfg core.Config) (*screen, error) {
 	if err != nil {
 		return nil, err
 	}
-	arrival, err := m.converge(a, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &screen{model: m, arrival: arrival, mu: m.serviceShare(arrival)}, nil
+	arrival := m.converge(cfg)
+	mu := make([]float64, len(m.buffers))
+	m.serviceShare(arrival, mu, make([]float64, len(m.muBus)))
+	return &screen{model: m, arrival: arrival, mu: mu}, nil
 }
 
 // loss prices an allocation with the screen's converged boundary.
 func (sc *screen) loss(alloc map[string]int) float64 {
 	var total float64
-	for _, id := range sc.model.buffers {
-		total += sc.model.weight[id] * sc.arrival[id] * blocking(sc.arrival[id], sc.mu[id], alloc[id])
+	for i, id := range sc.model.buffers {
+		total += sc.model.weight[i] * sc.arrival[i] * blocking(sc.arrival[i], sc.mu[i], alloc[id])
 	}
 	return total
 }

@@ -1,0 +1,142 @@
+package solver_test
+
+// Kernel gates for the analytic screen: the trajectory-prefix and
+// table-scoring shortcuts the robust backend leans on are each pinned
+// bit-for-bit against the straightforward evaluation they replaced, and
+// the whole robust decision is pinned worker-count invariant. The
+// internals they reach come through export_test.go.
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"socbuf/internal/arch"
+	"socbuf/internal/core"
+	"socbuf/internal/solver"
+)
+
+// invariantScenarios is the instance set of the kernel gates: small enough
+// to keep the suite quick, shaped differently enough (two buses, a chain, a
+// star) to exercise distinct routing and contention structure.
+var invariantScenarios = []string{"twobus", "chain6", "star6"}
+
+// screenFor builds the buffered architecture and converged nominal screen
+// of a registry scenario, exactly as the robust backend would.
+func screenFor(t *testing.T, name string) (*arch.Architecture, core.Config, *solver.Screen) {
+	t.Helper()
+	cfg := quickCfg(t, name)
+	s, err := core.NewStepper(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = s.Config()
+	sc, err := solver.NewScreen(s.Arch(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Arch(), cfg, sc
+}
+
+// TestRobustTrajectoryPrefixEquivalence pins the shared-trajectory claim in
+// the greedy's contract: because the marginal gain sequence does not depend
+// on the budget, the sizing at ANY budget b is the floor plus the first b−n
+// picks of the full-budget trajectory. Every rung read as a prefix snapshot
+// must therefore equal an independently re-run greedy at that budget — for
+// every budget from the floor to the full budget, not just the ladder's.
+func TestRobustTrajectoryPrefixEquivalence(t *testing.T) {
+	for _, name := range invariantScenarios {
+		t.Run(name, func(t *testing.T) {
+			_, cfg, sc := screenFor(t, name)
+			for b := sc.Floor(); b <= cfg.Budget; b++ {
+				direct := sc.GreedyAt(b)
+				prefix := sc.SizeAt(b)
+				if !reflect.DeepEqual(direct, prefix) {
+					t.Fatalf("budget %d: prefix sizing %v != per-rung greedy %v", b, prefix, direct)
+				}
+			}
+		})
+	}
+}
+
+// TestScreenTableMatchesDirectBlocking pins the precomputed-table claim:
+// pricing an allocation against the screen's B[i][k] table must be
+// bit-identical to walking the blocking recurrence per call, because each
+// table row IS the recurrence trace from B(0)=1 and the summation order is
+// the same dense buffer order. Checked on nominal and perturbed screens at
+// every ladder-rung sizing plus the floor and full-budget extremes.
+func TestScreenTableMatchesDirectBlocking(t *testing.T) {
+	for _, name := range invariantScenarios {
+		t.Run(name, func(t *testing.T) {
+			a, cfg, nominal := screenFor(t, name)
+			perturbed, err := solver.PerturbedScreens(a, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			screens := append([]*solver.Screen{nominal}, perturbed[:4]...)
+			budgets := []int{nominal.Floor(), cfg.Budget}
+			for _, f := range solver.BudgetLadder() {
+				if b := int(float64(cfg.Budget) * f); b >= nominal.Floor() && b <= cfg.Budget {
+					budgets = append(budgets, b)
+				}
+			}
+			for si, sc := range screens {
+				for _, b := range budgets {
+					alloc := sc.SizeAt(b)
+					table, direct := sc.TableLoss(alloc), sc.DirectLoss(alloc)
+					if table != direct {
+						t.Fatalf("screen %d, budget %d: table-scored loss %v != direct blocking loss %v (Δ=%g)",
+							si, b, table, direct, table-direct)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRobustWorkerInvariance pins the robust decision worker-count
+// invariant: the per-sample screens fan across the pool but aggregate by
+// sample index, candidate scoring merges in candidate order, and every
+// float summation has one canonical order — so the sizing, its nominal
+// loss, and every report field (yields included) must be byte-identical at
+// 1, 4 and 16 workers.
+func TestRobustWorkerInvariance(t *testing.T) {
+	for _, name := range invariantScenarios {
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) interface{} {
+				a, cfg, _ := screenFor(t, name)
+				cfg.Workers = workers
+				sol, err := solver.RobustSolveDirect(context.Background(), a, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sol
+			}
+			base := run(1)
+			for _, w := range []int{4, 16} {
+				if got := run(w); !reflect.DeepEqual(got, base) {
+					t.Fatalf("robust decision differs between 1 and %d workers:\n 1: %+v\n%2d: %+v",
+						w, base, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestScreenLossZeroAlloc pins the scoring hot path allocation-free: the
+// (sample × candidate) matrix runs loss once per pair, so a single heap
+// allocation there multiplies into thousands per decision.
+func TestScreenLossZeroAlloc(t *testing.T) {
+	_, cfg, sc := screenFor(t, "chain6")
+	alloc := sc.SizeAt(cfg.Budget)
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() {
+		sink += sc.TableLoss(alloc)
+	}); n != 0 {
+		t.Fatalf("sampleScreen.loss allocates %v times per call, want 0", n)
+	}
+	if math.IsNaN(sink) {
+		t.Fatal("loss went NaN")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"socbuf/internal/arch"
 	"socbuf/internal/core"
 	"socbuf/internal/parallel"
+	"socbuf/internal/queueing"
 	"socbuf/internal/solvecache"
 	"socbuf/internal/uncertain"
 )
@@ -151,15 +152,23 @@ func robustKey(a *arch.Architecture, cfg core.Config, spec uncertain.Spec) (solv
 	return solvecache.RobustFingerprint(buf.Bytes(), specBuf.Bytes(), cfg.Budget, cfg.BoundaryIters), nil
 }
 
-// screen is one converged analytic view of a (possibly perturbed)
+// sampleScreen is one converged analytic view of a (possibly perturbed)
 // architecture: the closed-form structure every candidate is scored
-// against. Building it costs the boundary fixed point once; scoring a
-// candidate against it is pure float arithmetic — this is the structural
-// reuse that makes the (sample × candidate) matrix cheap.
+// against. Building it costs the boundary fixed point once, plus a
+// precomputed per-buffer blocking table B[i][k] for every capacity the
+// budget allows and the full-budget greedy trajectory; after that, sizing
+// any ladder rung is a prefix read of the trajectory and pricing any
+// candidate is one multiply-add per buffer against the table — this is the
+// structural reuse that makes the (sample × candidate) matrix cheap, and
+// it is read-only, so candidate scoring fans across workers freely.
 type sampleScreen struct {
 	m       *analyticModel
-	arrival map[string]float64
-	mu      map[string]float64
+	arrival []float64
+	mu      []float64
+	wl      []float64 // weight[i]·arrival[i], the loss-sum coefficients
+	tab     []float64 // blocking tables: B(buffer i, capacity k) at tab[i*stride+k]
+	stride  int       // table row width: max per-buffer capacity + 1
+	traj    []int     // full-budget greedy pick sequence beyond the 1-unit floor
 }
 
 func newSampleScreen(a *arch.Architecture, cfg core.Config) (*sampleScreen, error) {
@@ -167,24 +176,88 @@ func newSampleScreen(a *arch.Architecture, cfg core.Config) (*sampleScreen, erro
 	if err != nil {
 		return nil, err
 	}
-	arrival, err := m.converge(a, cfg)
-	if err != nil {
-		return nil, err
+	return screenOf(m, cfg), nil
+}
+
+// screenOf converges the model's boundary and precomputes the screen's
+// scoring tables and sizing trajectory.
+func screenOf(m *analyticModel, cfg core.Config) *sampleScreen {
+	n := len(m.buffers)
+	sc := &sampleScreen{m: m, arrival: m.converge(cfg)}
+	sc.mu = make([]float64, n)
+	m.serviceShare(sc.arrival, sc.mu, make([]float64, len(m.muBus)))
+	sc.wl = make([]float64, n)
+	for i := 0; i < n; i++ {
+		sc.wl[i] = m.weight[i] * sc.arrival[i]
 	}
-	return &sampleScreen{m: m, arrival: arrival, mu: m.serviceShare(arrival)}, nil
+	// Every buffer keeps the 1-unit floor, so no buffer can ever hold more
+	// than budget − n + 1 units; one table row covers k = 0..stride−1.
+	sc.stride = cfg.Budget - n + 2
+	if sc.stride < 2 {
+		sc.stride = 2
+	}
+	sc.tab = make([]float64, n*sc.stride)
+	for i := 0; i < n; i++ {
+		row := sc.tab[i*sc.stride : (i+1)*sc.stride]
+		switch {
+		case sc.arrival[i] <= 0:
+			// zeros: a traffic-free buffer never blocks
+		case sc.mu[i] <= 0:
+			for k := range row {
+				row[k] = 1
+			}
+		default:
+			rho := sc.arrival[i] / sc.mu[i]
+			row[0] = 1
+			for k := 1; k < sc.stride; k++ {
+				row[k] = queueing.BlockingStep(rho, row[k-1])
+			}
+		}
+	}
+	_, sc.traj = m.greedy(sc.arrival, sc.mu, cfg.Budget, make([]int, 0, cfg.Budget-n))
+	return sc
 }
 
-// size runs the marginal greedy against this screen's rates.
-func (sc *sampleScreen) size(budget int) map[string]int {
-	return marginalGreedy(sc.m, sc.arrival, sc.mu, budget)
+// size returns the marginal-greedy sizing at the given budget as a prefix
+// snapshot of the full-budget trajectory: the floor plus the first
+// budget − n picks (exact, because the greedy's gain sequence does not
+// depend on the budget).
+func (sc *sampleScreen) size(budget int) []int {
+	n := len(sc.m.buffers)
+	alloc := make([]int, n)
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	extra := budget - n
+	if extra > len(sc.traj) {
+		extra = len(sc.traj)
+	}
+	for _, i := range sc.traj[:max(0, extra)] {
+		alloc[i]++
+	}
+	return alloc
 }
 
-// loss prices an allocation under this screen: the analytic weighted loss
-// rate, summed in sorted buffer order (deterministic float order).
-func (sc *sampleScreen) loss(alloc map[string]int) float64 {
+// loss prices a dense allocation under this screen: the analytic weighted
+// loss rate, one table lookup and multiply-add per buffer, summed in dense
+// (sorted-buffer) order — the same deterministic float order as pricing
+// each buffer directly, so yields stay worker-count invariant
+// (TestScreenLossZeroAlloc pins that this path never allocates).
+func (sc *sampleScreen) loss(alloc []int) float64 {
 	var loss float64
-	for _, id := range sc.m.buffers {
-		loss += sc.m.weight[id] * sc.arrival[id] * blocking(sc.arrival[id], sc.mu[id], alloc[id])
+	for i, k := range alloc {
+		loss += sc.wl[i] * sc.tab[i*sc.stride+k]
+	}
+	return loss
+}
+
+// lossMap prices a map-form allocation (the package-boundary form) by
+// direct blocking evaluation — capacities outside the table's budget range
+// are legal here.
+func (sc *sampleScreen) lossMap(alloc map[string]int) float64 {
+	var loss float64
+	for i, id := range sc.m.buffers {
+		loss += sc.wl[i] * blocking(sc.arrival[i], sc.mu[i], alloc[id])
 	}
 	return loss
 }
@@ -204,12 +277,12 @@ func AnalyticLoss(a *arch.Architecture, cfg core.Config, alloc map[string]int) (
 	if err != nil {
 		return 0, err
 	}
-	return sc.loss(alloc), nil
+	return sc.lossMap(alloc), nil
 }
 
-// robustCandidate is one scored sizing.
+// robustCandidate is one scored sizing (dense allocation form).
 type robustCandidate struct {
-	alloc map[string]int
+	alloc []int
 	total int
 	key   string
 	// successes counts samples whose loss met the target; yield and
@@ -226,19 +299,20 @@ type robustCandidate struct {
 // the Wilson-guarded cheapest-first selection.
 func robustSolve(ctx context.Context, a *arch.Architecture, cfg core.Config, spec uncertain.Spec) (*solvecache.RobustSolution, error) {
 	sampler := uncertain.NewSampler(spec, len(a.Flows))
-	nominal, err := newSampleScreen(a, cfg)
+	base, err := newAnalyticModel(a, cfg)
 	if err != nil {
 		return nil, err
 	}
+	nominal := screenOf(base, cfg)
 
 	// Per-sample screens fan across the worker pool; aggregation is by
 	// sample index, so the screen set is identical for any worker count.
+	// Each sample shares the nominal model's static structure (topology,
+	// routing, bus rates) — a perturbation only rescales the flow rates, so
+	// no architecture clone or re-route happens per sample.
 	screens, err := parallel.MapCtx(ctx, sampler.N(), cfg.Workers, func(i int) (*sampleScreen, error) {
-		ai, err := uncertain.Perturb(a, sampler.At(i))
-		if err != nil {
-			return nil, err
-		}
-		return newSampleScreen(ai, cfg)
+		s := sampler.At(i)
+		return screenOf(base.withSample(s.Rate, s.Burst), cfg), nil
 	})
 	if err != nil {
 		return nil, err
@@ -260,8 +334,11 @@ func robustSolve(ctx context.Context, a *arch.Architecture, cfg core.Config, spe
 	// rung take the nominal-rate sizing plus the sizings the first few
 	// samples would choose, deduplicated on the canonical allocation key.
 	// Generation is deterministic: ladder order, then nominal-first, then
-	// sample index.
-	floor := len(a.BufferIDs())
+	// sample index. Each rung sizing is a prefix snapshot of its screen's
+	// full-budget trajectory, and candIdx (key → candidate index, built
+	// alongside the dedup set) answers "which candidate is this rung's
+	// nominal sizing" without scanning the pool.
+	floor := len(base.buffers)
 	budgets := make([]int, 0, len(budgetLadder))
 	seenBudget := map[int]bool{}
 	for _, f := range budgetLadder {
@@ -282,35 +359,23 @@ func robustSolve(ctx context.Context, a *arch.Architecture, cfg core.Config, spe
 		seeds = n
 	}
 	var cands []*robustCandidate
-	seenAlloc := map[string]bool{}
-	addCandidate := func(alloc map[string]int) {
-		key := allocKeyMap(alloc)
-		if seenAlloc[key] {
-			return
+	candIdx := map[string]int{}
+	addCandidate := func(alloc []int) int {
+		key := base.allocKeyDense(alloc)
+		if i, ok := candIdx[key]; ok {
+			return i
 		}
-		seenAlloc[key] = true
+		candIdx[key] = len(cands)
 		total := 0
 		for _, u := range alloc {
 			total += u
 		}
 		cands = append(cands, &robustCandidate{alloc: alloc, total: total, key: key})
+		return len(cands) - 1
 	}
 	nominalIdx := make(map[int]int, len(budgets)) // budget rung -> nominal candidate index
 	for _, b := range budgets {
-		nominalIdx[b] = -1
-		alloc := nominal.size(b)
-		key := allocKeyMap(alloc)
-		if !seenAlloc[key] {
-			nominalIdx[b] = len(cands)
-		} else {
-			for i, c := range cands {
-				if c.key == key {
-					nominalIdx[b] = i
-					break
-				}
-			}
-		}
-		addCandidate(alloc)
+		nominalIdx[b] = addCandidate(nominal.size(b))
 		for i := 0; i < seeds; i++ {
 			addCandidate(screens[i].size(b))
 		}
@@ -387,7 +452,7 @@ func robustSolve(ctx context.Context, a *arch.Architecture, cfg core.Config, spe
 		Candidates:   len(cands),
 	}
 	return &solvecache.RobustSolution{
-		Alloc:    chosen.alloc,
+		Alloc:    base.allocMap(chosen.alloc),
 		LossRate: nominal.loss(chosen.alloc),
 		Report:   report,
 	}, nil

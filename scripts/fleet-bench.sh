@@ -17,7 +17,7 @@ set -eu
 GO=${GO:-go}
 DURATION=${FLEET_BENCH_DURATION:-10s}
 CONCURRENCY=${FLEET_BENCH_CONCURRENCY:-16}
-MIX=${FLEET_BENCH_MIX:-solve=8,sweep=1,placement=1}
+MIX=${FLEET_BENCH_MIX:-solve=8,robust=2,sweep=1,placement=1}
 BASE_PORT=${FLEET_BENCH_BASE_PORT:-18370}
 DIR=$(mktemp -d)
 
